@@ -1,0 +1,104 @@
+// Ablation (paper section 3.1): the latency value of the converter's graph
+// optimizations, measured on QuickNet and on a shortcut-free binarized
+// ResNet18 (where bitpacked chaining can fire on every layer).
+//
+//   full       : all passes (the deployed configuration)
+//   no-elision : binarized convs always materialize float output + separate
+//                LceQuantize ops (no bitpacked layer chaining)
+//   no-fusion  : additionally keep BatchNorm/ReLU as standalone ops instead
+//                of fusing them into the bconv output transform
+//
+// Paper: "These graph transformations are crucial for efficient inference
+// as the overhead of full-precision channel-wise operations can become
+// significant when full-precision convolutions are replaced with binary
+// ones."
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace lce;
+using namespace lce::bench;
+
+std::unique_ptr<Interpreter> Prep(const std::function<Graph(int)>& build,
+                                  const ConvertOptions& opts,
+                                  gemm::KernelProfile profile,
+                                  std::unique_ptr<Graph>& storage) {
+  storage = std::make_unique<Graph>(build(224));
+  LCE_CHECK(Convert(*storage, opts).ok());
+  InterpreterOptions iopts;
+  iopts.kernel_profile = profile;
+  auto interp = std::make_unique<Interpreter>(*storage, iopts);
+  LCE_CHECK(interp->Prepare().ok());
+  Rng rng(1);
+  Tensor in = interp->input(0);
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    in.data<float>()[i] = rng.Uniform();
+  }
+  interp->Invoke();  // warmup
+  return interp;
+}
+
+void Run(const char* name, const std::function<Graph(int)>& build,
+         gemm::KernelProfile profile) {
+  ConvertOptions full;
+  ConvertOptions no_elision = full;
+  no_elision.elide_quantize = false;
+  ConvertOptions no_fusion = no_elision;
+  no_fusion.fuse_bconv_output_transform = false;
+  no_fusion.fuse_batch_norm = false;
+  no_fusion.fuse_activations = false;
+  no_fusion.swap_maxpool_sign = false;
+
+  // Interleave the three configurations round-robin so slow drift on a
+  // shared host affects them equally; report per-config medians.
+  std::unique_ptr<Graph> g1, g2, g3;
+  auto i_full = Prep(build, full, profile, g1);
+  auto i_noel = Prep(build, no_elision, profile, g2);
+  auto i_nofu = Prep(build, no_fusion, profile, g3);
+  std::vector<double> s_full, s_noel, s_nofu;
+  for (int round = 0; round < 15; ++round) {
+    double t0 = profiling::NowSeconds();
+    i_full->Invoke();
+    double t1 = profiling::NowSeconds();
+    i_noel->Invoke();
+    double t2 = profiling::NowSeconds();
+    i_nofu->Invoke();
+    double t3 = profiling::NowSeconds();
+    s_full.push_back(t1 - t0);
+    s_noel.push_back(t2 - t1);
+    s_nofu.push_back(t3 - t2);
+  }
+  const double t_full = profiling::Median(s_full);
+  const double t_noel = profiling::Median(s_noel);
+  const double t_nofu = profiling::Median(s_nofu);
+  std::printf("%-28s %10.1f %14.1f (%+5.1f%%) %14.1f (%+5.1f%%)\n", name,
+              t_full * 1e3, t_noel * 1e3, 100.0 * (t_noel - t_full) / t_full,
+              t_nofu * 1e3, 100.0 * (t_nofu - t_full) / t_full);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto profile = ParseProfile(argc, argv);
+  std::printf("=== Ablation: converter graph optimizations (profile=%s) "
+              "===\n\n",
+              ProfileName(profile));
+  std::printf("%-28s %10s %24s %24s\n", "Model", "full-ms", "no-elision-ms",
+              "no-fusion-ms");
+  Run("QuickNet",
+      [](int hw) { return BuildQuickNet(QuickNetMediumConfig(), hw); },
+      profile);
+  Run("BinarizedResNet18 (no sc)",
+      [](int hw) { return BuildBinarizedResNet18(ShortcutMode::kNone, hw); },
+      profile);
+  std::printf(
+      "\nShape: disabling bitpacked chaining and transform fusion adds\n"
+      "full-precision glue back and increases latency, most on the\n"
+      "shortcut-free network where every layer chains bitpacked.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: im2col + packed BGEMM vs indirect BGEMM (pointer indirection,
+// the alternative kernel family in the upstream LCE codebase), plus the
+// 1x1 fast path that skips patch materialization entirely.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bitpack.h"
+#include "kernels/bconv2d.h"
+
+namespace {
+
+using namespace lce;
+using namespace lce::bench;
+
+double BConvLatency(int hw, int channels, int kernel, bool indirect,
+                    gemm::Context& ctx) {
+  Conv2DGeometry g;
+  g.in_h = g.in_w = hw;
+  g.in_c = g.out_c = channels;
+  g.filter_h = g.filter_w = kernel;
+  g.padding = kernel == 1 ? Padding::kValid : Padding::kSameOne;
+  Rng rng(hw + channels + kernel);
+  Tensor input_f(DataType::kFloat32, Shape{1, hw, hw, channels});
+  FillSigns(input_f, rng);
+  Tensor input(DataType::kBitpacked, input_f.shape());
+  BitpackTensor(input_f, input);
+  std::vector<float> w(static_cast<std::size_t>(channels) * kernel * kernel *
+                       channels);
+  for (auto& v : w) v = rng.Sign();
+  BConv2DAttrs attrs;
+  attrs.geo = g;
+  attrs.output_type = BConvOutputType::kFloat;
+  attrs.use_indirect_bgemm = indirect;
+  BConv2D op(w.data(), attrs);
+  Tensor out(DataType::kFloat32, Shape{1, g.out_h(), g.out_w(), channels});
+  return profiling::MeasureMedianSeconds([&] { op.Run(input, out, ctx); }, 2,
+                                         11, 50, 0.1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto profile = ParseProfile(argc, argv);
+  gemm::Context ctx(1, profile);
+
+  std::printf("=== Ablation: im2col BGEMM vs indirect BGEMM (profile=%s) "
+              "===\n\n",
+              ProfileName(profile));
+  std::printf("%-24s %14s %15s %10s\n", "Convolution", "im2col (ms)",
+              "indirect (ms)", "ratio");
+  struct Case {
+    int hw, ch, k;
+  };
+  for (const Case& c : {Case{56, 64, 3}, Case{28, 128, 3}, Case{14, 256, 3},
+                        Case{7, 256, 3}, Case{28, 128, 1}, Case{14, 256, 1}}) {
+    const double a = BConvLatency(c.hw, c.ch, c.k, /*indirect=*/false, ctx);
+    const double b = BConvLatency(c.hw, c.ch, c.k, /*indirect=*/true, ctx);
+    std::printf("%dx%dx%dx%d k=%d %*s %14.3f %15.3f %9.2fx\n", c.hw, c.hw,
+                c.ch, c.ch, c.k, 2, "", a * 1e3, b * 1e3, b / a);
+  }
+  std::printf(
+      "\nThe packed-BGEMM path pays the im2col copy but gains the tiled\n"
+      "SIMD kernel; indirect avoids the copy at the cost of scalar gather\n"
+      "loops. For 1x1 convolutions the im2col path is free (identity).\n");
+  return 0;
+}

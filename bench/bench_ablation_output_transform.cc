@@ -1,0 +1,88 @@
+// Ablation (paper section 3.2): the value of writing bitpacked output
+// directly from the BGEMM accumulator (precomputed thresholds) versus
+// materializing float output and re-binarizing with a separate LceQuantize
+// -- the exact pair of op streams the converter's quantize-elision pass
+// chooses between when two binarized convolutions are chained.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bitpack.h"
+#include "kernels/bconv2d.h"
+#include "kernels/quantize_ops.h"
+
+namespace {
+
+using namespace lce;
+using namespace lce::bench;
+
+struct Setup {
+  Tensor input;
+  std::unique_ptr<BConv2D> bconv_float;
+  std::unique_ptr<BConv2D> bconv_packed;
+  Tensor out_float;
+  Tensor out_packed_direct;
+  Tensor out_packed_via_quantize;
+};
+
+Setup Make(const ConvDims& d) {
+  Setup s;
+  Conv2DGeometry g;
+  g.in_h = g.in_w = d.hw;
+  g.in_c = g.out_c = d.channels;
+  g.filter_h = g.filter_w = d.kernel;
+  g.padding = Padding::kSameOne;
+  Rng rng(d.hw * 7 + d.channels);
+  Tensor in_f(DataType::kFloat32, Shape{1, d.hw, d.hw, d.channels});
+  FillSigns(in_f, rng);
+  s.input = Tensor(DataType::kBitpacked, in_f.shape());
+  BitpackTensor(in_f, s.input);
+  std::vector<float> w(static_cast<std::size_t>(d.channels) * d.kernel *
+                       d.kernel * d.channels);
+  for (auto& v : w) v = rng.Sign();
+  BConv2DAttrs attrs;
+  attrs.geo = g;
+  attrs.multiplier.assign(d.channels, 0.02f);
+  attrs.bias.assign(d.channels, 0.1f);
+  attrs.output_type = BConvOutputType::kFloat;
+  s.bconv_float = std::make_unique<BConv2D>(w.data(), attrs);
+  attrs.output_type = BConvOutputType::kBitpacked;
+  s.bconv_packed = std::make_unique<BConv2D>(w.data(), attrs);
+  s.out_float = Tensor(DataType::kFloat32, in_f.shape());
+  s.out_packed_direct = Tensor(DataType::kBitpacked, in_f.shape());
+  s.out_packed_via_quantize = Tensor(DataType::kBitpacked, in_f.shape());
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto profile = ParseProfile(argc, argv);
+  gemm::Context ctx(1, profile);
+
+  std::printf("=== Ablation: thresholded bitpacked output vs float + "
+              "LceQuantize (profile=%s) ===\n\n",
+              ProfileName(profile));
+  std::printf("%-18s %16s %22s %9s\n", "Convolution", "direct (ms)",
+              "float+quantize (ms)", "saving");
+  for (const auto& [name, dims] : ResNet18Convs()) {
+    Setup s = Make(dims);
+    const double direct = profiling::MeasureMedianSeconds(
+        [&] { s.bconv_packed->Run(s.input, s.out_packed_direct, ctx); }, 2, 9,
+        40, 0.08);
+    const double via_quantize = profiling::MeasureMedianSeconds(
+        [&] {
+          s.bconv_float->Run(s.input, s.out_float, ctx);
+          LceQuantize(s.out_float, s.out_packed_via_quantize);
+        },
+        2, 9, 40, 0.08);
+    std::printf("%-18s %16.3f %22.3f %8.1f%%\n", name.c_str(), direct * 1e3,
+                via_quantize * 1e3,
+                100.0 * (via_quantize - direct) / via_quantize);
+  }
+  std::printf(
+      "\nPaper section 3.2: when the next layer is binarized, emitting\n"
+      "bitpacked output directly avoids materializing float values and the\n"
+      "separate LceQuantize pass -- the op stream the converter's\n"
+      "quantize-elision produces.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Shared helpers for the benchmark harnesses in bench/. Each binary
+// regenerates one table or figure of the paper (see DESIGN.md's experiment
+// index). Every binary accepts `--profile=scalar` to run the portable
+// kernels instead of the SIMD ones -- the stand-in for the paper's second
+// benchmark device (Raspberry Pi 4B appendix results).
+#ifndef LCE_BENCH_BENCH_COMMON_H_
+#define LCE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "converter/convert.h"
+#include "core/random.h"
+#include "core/tensor.h"
+#include "gemm/context.h"
+#include "graph/interpreter.h"
+#include "kernels/bconv2d.h"
+#include "kernels/conv2d_float.h"
+#include "kernels/conv2d_int8.h"
+#include "profiling/bench_utils.h"
+
+namespace lce::bench {
+
+inline gemm::KernelProfile ParseProfile(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile=scalar") == 0) {
+      return gemm::KernelProfile::kScalar;
+    }
+  }
+  return gemm::KernelProfile::kSimd;
+}
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline const char* ProfileName(gemm::KernelProfile p) {
+  return p == gemm::KernelProfile::kSimd ? "simd" : "scalar";
+}
+
+// A benchmarkable convolution: closure plus workload metadata.
+struct ConvBench {
+  std::string name;
+  std::int64_t macs = 0;
+  std::function<void()> run;
+  // Keep-alive for operands/kernels captured by `run`.
+  std::shared_ptr<void> state;
+};
+
+// Square convolutions with equal in/out channels, stride 1, SAME padding --
+// the shape family used in Figures 2/3/4.
+struct ConvDims {
+  int hw;
+  int channels;
+  int kernel;
+  int stride = 1;
+  std::int64_t macs() const {
+    const int out = (hw + stride - 1) / stride;
+    return static_cast<std::int64_t>(out) * out * kernel * kernel *
+           static_cast<std::int64_t>(channels) * channels;
+  }
+};
+
+// The four ResNet18 convolutions of Figure 2 (A-D).
+inline std::vector<std::pair<std::string, ConvDims>> ResNet18Convs() {
+  return {{"A 56x56x64x64", {56, 64, 3}},
+          {"B 28x28x128x128", {28, 128, 3}},
+          {"C 14x14x256x256", {14, 256, 3}},
+          {"D 7x7x256x256", {7, 256, 3}}};
+}
+
+ConvBench MakeFloatConv(const ConvDims& d, gemm::Context& ctx);
+ConvBench MakeInt8Conv(const ConvDims& d, gemm::Context& ctx);
+ConvBench MakeBinaryConv(const ConvDims& d, gemm::Context& ctx);
+
+// One measured convolution of the Figure 3 / Table 2 sweep.
+struct SweepRow {
+  ConvDims dims;
+  double float_ms = 0.0;
+  double int8_ms = 0.0;
+  double binary_ms = 0.0;
+};
+
+// The paper's sweep grid (Figure 3): channels {32,64,96,128,160,256},
+// spatial {8,16,32,64}, kernels {3,5}, stride 1, equal in/out channels.
+// Convolutions above `max_macs` are skipped (pass INT64_MAX via --full to
+// run the complete grid; the largest float cells take hundreds of ms each).
+std::vector<SweepRow> RunConvSweep(gemm::Context& ctx, std::int64_t max_macs);
+
+// Builds a zoo training graph, converts it, prepares an interpreter with
+// random input and returns it ready to Invoke().
+std::unique_ptr<Interpreter> PrepareConverted(
+    Graph& graph_storage, const std::function<Graph(int)>& build, int hw,
+    gemm::KernelProfile profile, bool profiling);
+
+// Median latency of interp.Invoke() in seconds.
+double ModelLatency(Interpreter& interp, int reps = 5);
+
+// Writes rows to results/<name>.csv (creating results/ if needed) so the
+// figures can be re-plotted from machine-readable data. Prints the path.
+// Fails soft: benches still print their tables if the filesystem is
+// read-only.
+class CsvWriter {
+ public:
+  // header: comma-separated column names.
+  CsvWriter(const std::string& name, const std::string& header);
+  ~CsvWriter();
+  // Appends one comma-separated row.
+  void Row(const std::string& row);
+  bool ok() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace lce::bench
+
+#endif  // LCE_BENCH_BENCH_COMMON_H_

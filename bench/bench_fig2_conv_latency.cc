@@ -1,0 +1,43 @@
+// Figure 2 (and appendix Figure 11 with --profile=scalar): latency of the
+// four main ResNet18 convolutions (A-D) in binary vs float32 vs int8.
+//
+// Paper shape to reproduce: binary is ~an order of magnitude faster than
+// float (12-17x on Pixel 1) and clearly faster than int8 (9-12x), with the
+// largest gains on the layers with the most channels (C, D).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lce;
+  using namespace lce::bench;
+  const auto profile = ParseProfile(argc, argv);
+  gemm::Context ctx(1, profile);
+
+  std::printf("=== Figure 2: conv latency by precision (profile=%s) ===\n\n",
+              ProfileName(profile));
+  std::printf("%-18s %10s %12s %12s %12s %9s %9s\n", "Convolution", "MMACs",
+              "float (ms)", "int8 (ms)", "binary (ms)", "bin/f32", "bin/i8");
+  CsvWriter csv("fig2_conv_latency",
+                "conv,mmacs,float_ms,int8_ms,binary_ms");
+
+  for (const auto& [name, dims] : ResNet18Convs()) {
+    ConvBench f = MakeFloatConv(dims, ctx);
+    ConvBench q = MakeInt8Conv(dims, ctx);
+    ConvBench b = MakeBinaryConv(dims, ctx);
+    const double tf = profiling::MeasureMedianSeconds(f.run);
+    const double tq = profiling::MeasureMedianSeconds(q.run);
+    const double tb = profiling::MeasureMedianSeconds(b.run);
+    std::printf("%-18s %10.1f %12.3f %12.3f %12.3f %8.1fx %8.1fx\n",
+                name.c_str(), dims.macs() / 1e6, tf * 1e3, tq * 1e3, tb * 1e3,
+                tf / tb, tq / tb);
+    char row[160];
+    std::snprintf(row, sizeof(row), "%s,%.2f,%.4f,%.4f,%.4f", name.c_str(),
+                  dims.macs() / 1e6, tf * 1e3, tq * 1e3, tb * 1e3);
+    csv.Row(row);
+  }
+  std::printf(
+      "\nPaper (Pixel 1): binary speedups 12-17x vs float, 9-12x vs int8,\n"
+      "largest gains in the layers with the most channels.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 3 (and appendix Figure 12 with --profile=scalar): MACs vs latency
+// for a large range of convolutions in binary, int8 and float32, with
+// log-log least-squares regression lines.
+//
+// Paper shape to reproduce: an approximately linear (slope ~1 in log-log)
+// relationship between MACs and latency in each precision, with substantial
+// per-convolution deviations -- i.e. no uniform speedup.
+//
+// By default the sweep skips convolutions above 400 MMACs so the whole
+// bench suite stays fast; pass --full for the complete paper grid.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lce;
+  using namespace lce::bench;
+  const auto profile = ParseProfile(argc, argv);
+  const std::int64_t cap = HasFlag(argc, argv, "--full")
+                               ? std::numeric_limits<std::int64_t>::max()
+                               : 400'000'000;
+  gemm::Context ctx(1, profile);
+
+  std::printf(
+      "=== Figure 3: MACs vs latency across conv dimensions (profile=%s) "
+      "===\n\n",
+      ProfileName(profile));
+  std::printf("%4s %4s %2s %10s %12s %12s %12s %9s %9s\n", "hw", "ch", "k",
+              "MMACs", "float (ms)", "int8 (ms)", "binary (ms)", "bin/f32",
+              "bin/i8");
+
+  const auto rows = RunConvSweep(ctx, cap);
+  CsvWriter csv("fig3_macs_vs_latency",
+                "hw,channels,kernel,macs,float_ms,int8_ms,binary_ms");
+  std::vector<double> log_macs, log_f, log_q, log_b;
+  for (const auto& r : rows) {
+    std::printf("%4d %4d %2d %10.2f %12.4f %12.4f %12.4f %8.1fx %8.1fx\n",
+                r.dims.hw, r.dims.channels, r.dims.kernel, r.dims.macs() / 1e6,
+                r.float_ms, r.int8_ms, r.binary_ms, r.float_ms / r.binary_ms,
+                r.int8_ms / r.binary_ms);
+    char row[160];
+    std::snprintf(row, sizeof(row), "%d,%d,%d,%lld,%.4f,%.4f,%.4f", r.dims.hw,
+                  r.dims.channels, r.dims.kernel,
+                  static_cast<long long>(r.dims.macs()), r.float_ms,
+                  r.int8_ms, r.binary_ms);
+    csv.Row(row);
+    log_macs.push_back(std::log10(static_cast<double>(r.dims.macs())));
+    log_f.push_back(std::log10(r.float_ms));
+    log_q.push_back(std::log10(r.int8_ms));
+    log_b.push_back(std::log10(r.binary_ms));
+  }
+
+  std::printf("\nLog-log least-squares fits (latency ~ MACs^slope):\n");
+  const auto ff = profiling::FitLeastSquares(log_macs, log_f);
+  const auto fq = profiling::FitLeastSquares(log_macs, log_q);
+  const auto fb = profiling::FitLeastSquares(log_macs, log_b);
+  std::printf("  float32: slope %.2f, R^2 %.3f\n", ff.slope, ff.r_squared);
+  std::printf("  int8   : slope %.2f, R^2 %.3f\n", fq.slope, fq.r_squared);
+  std::printf("  binary : slope %.2f, R^2 %.3f\n", fb.slope, fb.r_squared);
+  std::printf(
+      "\nPaper: approximately linear relationship in each precision\n"
+      "(slope ~1, high R^2), with clear per-convolution deviations.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 2 (and appendix Table 5 with --profile=scalar): speedup of binarized
+// convolutions vs float32 and int8 across the Figure 3 sweep -- mean,
+// latency-weighted mean (weights = full-precision latency) and range.
+//
+// Paper (Pixel 1): 1 vs 32: mean 15.0x, weighted 15.1x, range 8.5-18.5x;
+//                  1 vs 8 : mean 10.8x, weighted 11.6x, range 6.1-13.4x.
+// Shape to reproduce: binary is uniformly faster, with a wide (~2x) spread
+// across convolution dimensions; absolute factors are platform-dependent
+// (paper section 4.1 makes this caveat explicitly).
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lce;
+  using namespace lce::bench;
+  const auto profile = ParseProfile(argc, argv);
+  const std::int64_t cap = HasFlag(argc, argv, "--full")
+                               ? std::numeric_limits<std::int64_t>::max()
+                               : 400'000'000;
+  gemm::Context ctx(1, profile);
+  const auto rows = RunConvSweep(ctx, cap);
+
+  std::vector<double> vs_float, vs_int8, float_weights, int8_weights;
+  for (const auto& r : rows) {
+    vs_float.push_back(r.float_ms / r.binary_ms);
+    vs_int8.push_back(r.int8_ms / r.binary_ms);
+    float_weights.push_back(r.float_ms);
+    int8_weights.push_back(r.int8_ms);
+  }
+
+  std::printf(
+      "=== Table 2: binarization speedups over the conv sweep (profile=%s, "
+      "%zu convolutions) ===\n\n",
+      ProfileName(profile), rows.size());
+  std::printf("%-10s %8s %15s %18s\n", "Precision", "Mean", "Weighted mean",
+              "Range");
+  const auto print = [](const char* name, const std::vector<double>& s,
+                        const std::vector<double>& w) {
+    const auto mm = profiling::Range(s);
+    std::printf("%-10s %7.1fx %14.1fx %10.1f-%.1fx\n", name,
+                profiling::Mean(s), profiling::WeightedMean(s, w), mm.min,
+                mm.max);
+  };
+  print("1 vs 32", vs_float, float_weights);
+  print("1 vs 8", vs_int8, int8_weights);
+  std::printf(
+      "\nPaper (Pixel 1): 1 vs 32 mean 15.0x weighted 15.1x range 8.5-18.5x;\n"
+      "                 1 vs 8  mean 10.8x weighted 11.6x range 6.1-13.4x.\n");
+  return 0;
+}

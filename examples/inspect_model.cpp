@@ -1,0 +1,70 @@
+// Model inspector: prints the op-by-op summary (and optionally Graphviz
+// DOT) of a zoo model or a serialized .lcem file -- before and/or after
+// conversion. The tool that makes the converter's rewrites visible.
+//
+// Usage:
+//   ./build/examples/inspect_model QuickNetSmall            # converted view
+//   ./build/examples/inspect_model QuickNetSmall --training # Larq-style view
+//   ./build/examples/inspect_model model.lcem               # from disk
+//   ./build/examples/inspect_model QuickNetSmall --dot > quicknet.dot
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "converter/convert.h"
+#include "converter/serializer.h"
+#include "graph/printer.h"
+#include "models/zoo.h"
+
+using namespace lce;
+
+int main(int argc, char** argv) {
+  std::string target = "QuickNetSmall";
+  bool training_view = false, dot = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--training") == 0) {
+      training_view = true;
+    } else if (std::strcmp(argv[i], "--dot") == 0) {
+      dot = true;
+    } else {
+      target = argv[i];
+    }
+  }
+
+  Graph g;
+  if (target.size() > 5 && target.substr(target.size() - 5) == ".lcem") {
+    const Status s = LoadModel(target, &g);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", target.c_str(),
+                   s.message().c_str());
+      return 1;
+    }
+  } else {
+    const ZooModel* model = nullptr;
+    for (const auto& m : AllZooModels()) {
+      if (m.name == target) model = &m;
+    }
+    if (model == nullptr) {
+      std::fprintf(stderr, "unknown model '%s'; zoo models:\n", target.c_str());
+      for (const auto& m : AllZooModels()) {
+        std::fprintf(stderr, "  %s\n", m.name.c_str());
+      }
+      return 1;
+    }
+    g = model->build(224);
+    if (!training_view) {
+      const Status s = Convert(g);
+      if (!s.ok()) {
+        std::fprintf(stderr, "conversion failed: %s\n", s.message().c_str());
+        return 1;
+      }
+    }
+  }
+
+  if (dot) {
+    std::fputs(GraphToDot(g).c_str(), stdout);
+  } else {
+    std::fputs(GraphSummary(g).c_str(), stdout);
+  }
+  return 0;
+}

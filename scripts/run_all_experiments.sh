@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (plus the appendix via the
+# scalar profile and the extension ablations), collecting stdout and CSVs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+{
+  for b in build/bench/bench_*; do
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  done
+  echo "===== appendix (scalar profile, model-level) ====="
+  build/bench/bench_fig7_pareto --profile=scalar
+  build/bench/bench_fig8_shortcut_ablation --profile=scalar
+  build/bench/bench_fig10_emacs_vs_latency --profile=scalar
+} | tee results/all_experiments.txt
+echo "Done. Text in results/all_experiments.txt, data in results/*.csv"

@@ -1,0 +1,96 @@
+#include "converter/convert.h"
+
+#include "converter/passes.h"
+#include "core/macros.h"
+
+namespace lce {
+
+Graph CloneGraph(const Graph& g) {
+  Graph out;
+  // Values and nodes are recreated in id order so ids are preserved, which
+  // keeps cross-references (producers/consumers/inputs/outputs) valid.
+  std::vector<int> value_map(g.values().size(), -1);
+  // First pass: inputs and constants (values without producers).
+  // AddInput/AddConstant/AddNode allocate ids sequentially, so we must
+  // recreate values in exactly the original creation order. Walk ids in
+  // order and dispatch on what created them.
+  for (const auto& v : g.values()) {
+    if (v->producer >= 0) continue;  // created by AddNode below
+    if (v->is_constant) {
+      Tensor copy = v->constant_data;  // shares underlying storage
+      const int id = out.AddConstant(v->name, std::move(copy));
+      value_map[v->id] = id;
+    } else {
+      const int id = out.AddInput(v->name, v->dtype, v->shape);
+      value_map[v->id] = id;
+    }
+  }
+  // Nodes in topological (original) order.
+  for (const auto& n : g.nodes()) {
+    if (!n->alive) continue;
+    std::vector<int> inputs;
+    for (int in : n->inputs) {
+      LCE_CHECK_GE(value_map[in], 0);
+      inputs.push_back(value_map[in]);
+    }
+    const int out_val = out.AddNode(n->type, n->name, std::move(inputs),
+                                    n->attrs);
+    value_map[n->outputs[0]] = out_val;
+  }
+  for (int o : g.output_ids()) {
+    LCE_CHECK_GE(value_map[o], 0);
+    out.MarkOutput(value_map[o]);
+  }
+  return out;
+}
+
+Status Convert(Graph& g, const ConvertOptions& options, ConvertStats* stats) {
+  ConvertStats local;
+  ConvertStats& s = stats != nullptr ? *stats : local;
+
+  const auto validate = [&](const char* pass) -> Status {
+    Status st = g.Validate();
+    if (!st.ok()) {
+      return Status::Internal(std::string("validation failed after pass ") +
+                              pass + ": " + st.message());
+    }
+    return Status::Ok();
+  };
+
+  if (options.fuse_batch_norm) {
+    s.batch_norms_fused_into_float_conv = FuseBatchNormIntoFloatConv(g);
+    LCE_RETURN_IF_ERROR(validate("FuseBatchNormIntoFloatConv"));
+  }
+  if (options.fuse_activations) {
+    s.activations_fused = FuseActivationIntoFloatOps(g);
+    LCE_RETURN_IF_ERROR(validate("FuseActivationIntoFloatOps"));
+  }
+  s.bconvs_lowered = LowerBinarizedConvs(g);
+  LCE_RETURN_IF_ERROR(validate("LowerBinarizedConvs"));
+  s.bfcs_lowered = LowerBinarizedFullyConnected(g);
+  LCE_RETURN_IF_ERROR(validate("LowerBinarizedFullyConnected"));
+  // Remove the now-unused FakeSign nodes immediately: they would otherwise
+  // register as extra consumers and block the single-consumer patterns of
+  // the fusion passes below.
+  s.dead_nodes_removed += EliminateDeadNodes(g);
+  LCE_RETURN_IF_ERROR(validate("EliminateDeadNodes(post-lowering)"));
+  if (options.fuse_bconv_output_transform) {
+    s.bconv_transforms_fused = FuseBConvOutputTransform(g);
+    LCE_RETURN_IF_ERROR(validate("FuseBConvOutputTransform"));
+  }
+  if (options.swap_maxpool_sign) {
+    s.maxpools_binarized = SwapMaxPoolSign(g);
+    LCE_RETURN_IF_ERROR(validate("SwapMaxPoolSign"));
+  }
+  if (options.elide_quantize) {
+    s.quantizes_elided = ElideQuantize(g);
+    LCE_RETURN_IF_ERROR(validate("ElideQuantize"));
+    s.quantizes_elided += CancelLceQuantizeDequantize(g);
+    LCE_RETURN_IF_ERROR(validate("CancelLceQuantizeDequantize"));
+  }
+  s.dead_nodes_removed += EliminateDeadNodes(g);
+  LCE_RETURN_IF_ERROR(validate("EliminateDeadNodes"));
+  return Status::Ok();
+}
+
+}  // namespace lce

@@ -1,0 +1,55 @@
+// Individual converter passes. Each returns the number of rewrites applied.
+// All passes preserve graph semantics; tests verify this by executing the
+// graph before and after.
+#ifndef LCE_CONVERTER_PASSES_H_
+#define LCE_CONVERTER_PASSES_H_
+
+#include "graph/ir.h"
+
+namespace lce {
+
+// Conv2D/DepthwiseConv2D (float, non-binarized) followed by BatchNorm whose
+// input has no other use: folds the per-channel affine into the convolution
+// weights and bias ("the fused multiplication can be performed for free").
+int FuseBatchNormIntoFloatConv(Graph& g);
+
+// Conv2D / Add followed by a ReLU whose input has no other use: fuses the
+// activation into the producing op.
+int FuseActivationIntoFloatOps(Graph& g);
+
+// FakeSign -> FullyConnected[binarize_weights] patterns become LceQuantize
+// -> LceBFullyConnected with bitpacked weights.
+int LowerBinarizedFullyConnected(Graph& g);
+
+// FakeSign -> Conv2D[binarize_weights] patterns become LceQuantize ->
+// LceBConv2d with bitpacked weight constants. SAME_ZERO padding on the
+// emulated conv becomes a SAME_ZERO LceBConv2d (correction path); graphs
+// trained with one-padding carry kSameOne and need no correction.
+int LowerBinarizedConvs(Graph& g);
+
+// LceBConv2d (float output) followed by ReLU and/or BatchNorm chains with no
+// other uses: fuses into the output transform (pre-activation + per-channel
+// multiplier/bias).
+int FuseBConvOutputTransform(Graph& g);
+
+// MaxPool2D whose only consumer is LceQuantize: swaps to LceQuantize ->
+// LceBMaxPool2d (valid because max(sign(x)) == sign(max(x))).
+int SwapMaxPoolSign(Graph& g);
+
+// LceBConv2d with float output whose consumers are all LceQuantize: switch
+// the bconv to direct bitpacked output (threshold transform) and remove the
+// quantize nodes.
+int ElideQuantize(Graph& g);
+
+// LceQuantize whose input comes from LceDequantize: the pair is the
+// identity on bitpacked data, so consumers are rewired to the original
+// bitpacked value. (Arises when hand-built graphs round-trip through float
+// between binarized layers.)
+int CancelLceQuantizeDequantize(Graph& g);
+
+// Removes nodes whose outputs are unused and are not graph outputs.
+int EliminateDeadNodes(Graph& g);
+
+}  // namespace lce
+
+#endif  // LCE_CONVERTER_PASSES_H_

@@ -1,0 +1,44 @@
+// Lightweight check/assert macros used across the LCE reproduction.
+//
+// LCE_CHECK is always on (programmer-error contract violations abort with a
+// message); LCE_DCHECK compiles out in release builds and is used on hot
+// paths.
+#ifndef LCE_CORE_MACROS_H_
+#define LCE_CORE_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lce::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "LCE_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace lce::internal
+
+#define LCE_CHECK(expr)                                      \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::lce::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                        \
+  } while (0)
+
+#define LCE_CHECK_EQ(a, b) LCE_CHECK((a) == (b))
+#define LCE_CHECK_NE(a, b) LCE_CHECK((a) != (b))
+#define LCE_CHECK_LE(a, b) LCE_CHECK((a) <= (b))
+#define LCE_CHECK_LT(a, b) LCE_CHECK((a) < (b))
+#define LCE_CHECK_GE(a, b) LCE_CHECK((a) >= (b))
+#define LCE_CHECK_GT(a, b) LCE_CHECK((a) > (b))
+
+#ifdef NDEBUG
+#define LCE_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define LCE_DCHECK(expr) LCE_CHECK(expr)
+#endif
+
+#endif  // LCE_CORE_MACROS_H_

@@ -1,0 +1,53 @@
+#include "core/quantization.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/macros.h"
+
+namespace lce {
+
+void QuantizeMultiplier(double real_multiplier, std::int32_t* quantized,
+                        int* shift) {
+  LCE_CHECK(real_multiplier > 0.0);
+  if (real_multiplier == 0.0) {
+    *quantized = 0;
+    *shift = 0;
+    return;
+  }
+  const double q = std::frexp(real_multiplier, shift);
+  auto q_fixed = static_cast<std::int64_t>(std::round(q * (1LL << 31)));
+  LCE_CHECK_LE(q_fixed, (1LL << 31));
+  if (q_fixed == (1LL << 31)) {
+    q_fixed /= 2;
+    ++*shift;
+  }
+  LCE_CHECK_LE(q_fixed, std::numeric_limits<std::int32_t>::max());
+  *quantized = static_cast<std::int32_t>(q_fixed);
+}
+
+std::int32_t MultiplyByQuantizedMultiplier(std::int32_t x,
+                                           std::int32_t quantized_multiplier,
+                                           int shift) {
+  // Saturating rounding doubling high multiply.
+  const std::int64_t prod =
+      2 * static_cast<std::int64_t>(x) * static_cast<std::int64_t>(quantized_multiplier);
+  auto high = static_cast<std::int32_t>((prod + (1LL << 31)) >> 32);
+  // Rounding right shift by (-shift) when shift < 0; left shift otherwise.
+  if (shift >= 0) {
+    // The left shift can overflow for large accumulators; saturate.
+    const std::int64_t shifted = static_cast<std::int64_t>(high) << shift;
+    if (shifted > std::numeric_limits<std::int32_t>::max()) {
+      return std::numeric_limits<std::int32_t>::max();
+    }
+    if (shifted < std::numeric_limits<std::int32_t>::min()) {
+      return std::numeric_limits<std::int32_t>::min();
+    }
+    return static_cast<std::int32_t>(shifted);
+  }
+  const int right = -shift;
+  const std::int32_t rounding = 1 << (right - 1);
+  return (high + rounding) >> right;
+}
+
+}  // namespace lce

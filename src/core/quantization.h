@@ -1,0 +1,62 @@
+// Affine quantization parameters and helpers for the int8 path.
+//
+// The int8 kernels follow the standard TFLite scheme:
+//   real_value = scale * (quantized_value - zero_point)
+#ifndef LCE_CORE_QUANTIZATION_H_
+#define LCE_CORE_QUANTIZATION_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace lce {
+
+struct QuantParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+inline std::int8_t QuantizeValue(float v, const QuantParams& q) {
+  const float scaled = std::round(v / q.scale) + static_cast<float>(q.zero_point);
+  return static_cast<std::int8_t>(
+      std::clamp(scaled, -128.0f, 127.0f));
+}
+
+inline float DequantizeValue(std::int8_t v, const QuantParams& q) {
+  return q.scale * static_cast<float>(static_cast<std::int32_t>(v) - q.zero_point);
+}
+
+// Choose quantization parameters covering [min, max] (symmetric if
+// `symmetric` is set, as used for weights).
+inline QuantParams ChooseQuantParams(float min, float max,
+                                     bool symmetric = false) {
+  min = std::min(min, 0.0f);
+  max = std::max(max, 0.0f);
+  QuantParams q;
+  if (symmetric) {
+    const float bound = std::max(std::abs(min), std::abs(max));
+    q.scale = bound > 0 ? bound / 127.0f : 1.0f;
+    q.zero_point = 0;
+    return q;
+  }
+  const float range = max - min;
+  q.scale = range > 0 ? range / 255.0f : 1.0f;
+  q.zero_point = static_cast<std::int32_t>(
+      std::clamp(std::round(-128.0f - min / q.scale), -128.0f, 127.0f));
+  return q;
+}
+
+// Decompose a positive real multiplier into a Q31 fixed-point value and a
+// left shift, as TFLite does for requantization.
+void QuantizeMultiplier(double real_multiplier, std::int32_t* quantized,
+                        int* shift);
+
+// Rounding-doubling high multiply followed by rounding right shift --
+// the requantization primitive.
+std::int32_t MultiplyByQuantizedMultiplier(std::int32_t x,
+                                           std::int32_t quantized_multiplier,
+                                           int shift);
+
+}  // namespace lce
+
+#endif  // LCE_CORE_QUANTIZATION_H_

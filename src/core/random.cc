@@ -1,0 +1,45 @@
+#include "core/random.h"
+
+#include "core/bitpack.h"
+#include "core/macros.h"
+
+namespace lce {
+
+void FillUniform(Tensor& t, Rng& rng, float lo, float hi) {
+  LCE_CHECK(t.dtype() == DataType::kFloat32);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) p[i] = rng.Uniform(lo, hi);
+}
+
+void FillSigns(Tensor& t, Rng& rng) {
+  LCE_CHECK(t.dtype() == DataType::kFloat32);
+  float* p = t.data<float>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) p[i] = rng.Sign();
+}
+
+void FillInt8(Tensor& t, Rng& rng) {
+  LCE_CHECK(t.dtype() == DataType::kInt8);
+  std::int8_t* p = t.data<std::int8_t>();
+  for (std::int64_t i = 0; i < t.num_elements(); ++i) p[i] = rng.Int8();
+}
+
+void FillBitpacked(Tensor& t, Rng& rng) {
+  LCE_CHECK(t.dtype() == DataType::kBitpacked);
+  const int channels = static_cast<int>(t.shape().dim(t.shape().rank() - 1));
+  const int words = BitpackedWords(channels);
+  const std::int64_t outer = t.num_elements() / channels;
+  TBitpacked* p = t.data<TBitpacked>();
+  for (std::int64_t i = 0; i < outer; ++i) {
+    for (int w = 0; w < words; ++w) {
+      TBitpacked bits = static_cast<TBitpacked>(rng.Next());
+      // Mask out padding bits in the last word so they encode +1.0.
+      const int valid = (w == words - 1 && channels % kBitpackWordSize != 0)
+                            ? channels % kBitpackWordSize
+                            : kBitpackWordSize;
+      if (valid < kBitpackWordSize) bits &= (TBitpacked{1} << valid) - 1;
+      p[i * words + w] = bits;
+    }
+  }
+}
+
+}  // namespace lce

@@ -1,0 +1,65 @@
+// Deterministic random data generation for tests and benchmarks.
+#ifndef LCE_CORE_RANDOM_H_
+#define LCE_CORE_RANDOM_H_
+
+#include <cstdint>
+
+#include "core/tensor.h"
+
+namespace lce {
+
+// A small, fast, deterministic PRNG (xorshift128+). Not for cryptography.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    s0_ = seed ^ 0xDEADBEEFCAFEBABEull;
+    s1_ = seed * 0x2545F4914F6CDD1Dull + 1;
+    // Warm up.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  std::uint64_t Next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform float in [lo, hi).
+  float Uniform(float lo = -1.0f, float hi = 1.0f) {
+    const double u = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+    return lo + static_cast<float>(u * (hi - lo));
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t UniformInt(std::uint64_t n) { return Next() % n; }
+
+  // Random sign: +1.0f or -1.0f.
+  float Sign() { return (Next() & 1) ? 1.0f : -1.0f; }
+
+  std::int8_t Int8(int lo = -127, int hi = 127) {
+    return static_cast<std::int8_t>(lo + static_cast<int>(UniformInt(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t s0_, s1_;
+};
+
+// Fills a float tensor with uniform values in [lo, hi).
+void FillUniform(Tensor& t, Rng& rng, float lo = -1.0f, float hi = 1.0f);
+
+// Fills a float tensor with random +/-1 values.
+void FillSigns(Tensor& t, Rng& rng);
+
+// Fills an int8 tensor with uniform values.
+void FillInt8(Tensor& t, Rng& rng);
+
+// Fills a bitpacked tensor with random bits (respecting channel padding:
+// padding bits stay 0).
+void FillBitpacked(Tensor& t, Rng& rng);
+
+}  // namespace lce
+
+#endif  // LCE_CORE_RANDOM_H_

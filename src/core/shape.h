@@ -1,0 +1,76 @@
+// Tensor shapes. Activations are NHWC; convolution weights are OHWI
+// (output-channels, height, width, input-channels), matching TFLite.
+#ifndef LCE_CORE_SHAPE_H_
+#define LCE_CORE_SHAPE_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+
+#include "core/macros.h"
+
+namespace lce {
+
+// A small fixed-capacity shape (up to 6 dims), value semantic.
+class Shape {
+ public:
+  static constexpr int kMaxDims = 6;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) {
+    LCE_CHECK_LE(static_cast<int>(dims.size()), kMaxDims);
+    rank_ = static_cast<int>(dims.size());
+    int i = 0;
+    for (auto d : dims) dims_[i++] = d;
+  }
+
+  int rank() const { return rank_; }
+
+  std::int64_t dim(int i) const {
+    LCE_DCHECK(i >= 0 && i < rank_);
+    return dims_[i];
+  }
+
+  std::int64_t& dim(int i) {
+    LCE_DCHECK(i >= 0 && i < rank_);
+    return dims_[i];
+  }
+
+  std::int64_t operator[](int i) const { return dim(i); }
+
+  // Total number of logical elements.
+  std::int64_t num_elements() const {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    std::string s = "[";
+    for (int i = 0; i < rank_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  int rank_ = 0;
+  std::array<std::int64_t, kMaxDims> dims_{};
+};
+
+}  // namespace lce
+
+#endif  // LCE_CORE_SHAPE_H_

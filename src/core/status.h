@@ -1,0 +1,71 @@
+// Error handling for user-facing APIs (converter, serializer, runtime
+// construction). Internal invariants use LCE_CHECK instead.
+#ifndef LCE_CORE_STATUS_H_
+#define LCE_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace lce {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+};
+
+// A value-semantic status: either OK or a code plus a human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Propagate a non-OK status to the caller.
+#define LCE_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::lce::Status _status = (expr);        \
+    if (!_status.ok()) return _status;     \
+  } while (0)
+
+}  // namespace lce
+
+#endif  // LCE_CORE_STATUS_H_

@@ -1,0 +1,106 @@
+// Tensor: a typed, shaped view over aligned storage.
+//
+// Layout conventions (matching TFLite / the LCE paper):
+//   * Activations: NHWC.
+//   * Convolution weights: OHWI.
+//   * Bitpacked tensors store the *logical* shape; the innermost dimension is
+//     packed 32 values per TBitpacked word and padded up to a multiple of 32
+//     with 0 bits (which encode +1.0 -- the paper's one-padding convention).
+#ifndef LCE_CORE_TENSOR_H_
+#define LCE_CORE_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/aligned_buffer.h"
+#include "core/macros.h"
+#include "core/quantization.h"
+#include "core/shape.h"
+#include "core/types.h"
+
+namespace lce {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates owned storage for the given logical shape and type.
+  Tensor(DataType dtype, Shape shape) : dtype_(dtype), shape_(shape) {
+    buffer_ = std::make_shared<AlignedBuffer>(ByteSize(dtype, shape));
+    data_ = buffer_->data();
+  }
+
+  // Wraps external storage (not owned). The caller must keep `data` alive.
+  static Tensor View(DataType dtype, Shape shape, void* data) {
+    Tensor t;
+    t.dtype_ = dtype;
+    t.shape_ = shape;
+    t.data_ = static_cast<std::uint8_t*>(data);
+    return t;
+  }
+
+  DataType dtype() const { return dtype_; }
+  const Shape& shape() const { return shape_; }
+
+  // Number of *logical* elements (for bitpacked tensors, the number of bits
+  // before channel padding).
+  std::int64_t num_elements() const { return shape_.num_elements(); }
+
+  // Number of storage elements (words for bitpacked, scalars otherwise).
+  std::int64_t storage_elements() const {
+    return StorageElements(dtype_, shape_);
+  }
+
+  std::size_t byte_size() const { return ByteSize(dtype_, shape_); }
+
+  bool allocated() const { return data_ != nullptr; }
+
+  template <typename T>
+  T* data() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* data() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+  void* raw_data() { return data_; }
+  const void* raw_data() const { return data_; }
+
+  void Zero() {
+    LCE_CHECK(data_ != nullptr);
+    std::memset(data_, 0, byte_size());
+  }
+
+  QuantParams& quant() { return quant_; }
+  const QuantParams& quant() const { return quant_; }
+
+  // --- static layout helpers -------------------------------------------
+
+  // Storage element count for a (dtype, shape) pair. For bitpacked tensors
+  // the innermost dimension is packed into ceil(C/32) words.
+  static std::int64_t StorageElements(DataType dtype, const Shape& shape) {
+    if (dtype != DataType::kBitpacked) return shape.num_elements();
+    LCE_CHECK_GE(shape.rank(), 1);
+    std::int64_t outer = 1;
+    for (int i = 0; i + 1 < shape.rank(); ++i) outer *= shape.dim(i);
+    return outer * BitpackedWords(static_cast<int>(shape.dim(shape.rank() - 1)));
+  }
+
+  static std::size_t ByteSize(DataType dtype, const Shape& shape) {
+    return static_cast<std::size_t>(StorageElements(dtype, shape)) *
+           DataTypeByteSize(dtype);
+  }
+
+ private:
+  DataType dtype_ = DataType::kFloat32;
+  Shape shape_;
+  std::shared_ptr<AlignedBuffer> buffer_;  // null when viewing external data
+  std::uint8_t* data_ = nullptr;
+  QuantParams quant_;
+};
+
+}  // namespace lce
+
+#endif  // LCE_CORE_TENSOR_H_

@@ -1,0 +1,71 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+
+namespace lce {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (count <= 0) return;
+  const int shards = static_cast<int>(
+      std::min<std::int64_t>(num_threads_, count));
+  if (shards == 1) {
+    fn(0, count);
+    return;
+  }
+  std::atomic<int> remaining{shards - 1};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const std::int64_t per_shard = (count + shards - 1) / shards;
+  // Enqueue shards 1..n-1; run shard 0 on the caller.
+  for (int s = 1; s < shards; ++s) {
+    const std::int64_t begin = s * per_shard;
+    const std::int64_t end = std::min<std::int64_t>(count, begin + per_shard);
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(Task{[&, begin, end] {
+      if (begin < end) fn(begin, end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        done_cv.notify_one();
+      }
+    }});
+  }
+  cv_.notify_all();
+  fn(0, std::min<std::int64_t>(count, per_shard));
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+}  // namespace lce

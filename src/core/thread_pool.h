@@ -1,0 +1,55 @@
+// A small work-stealing-free thread pool used by the GEMM context for
+// multi-threaded inference (the feature the paper notes DaBNN lacks).
+//
+// Design: a fixed set of worker threads executes `ParallelFor` shards. With
+// num_threads == 1 everything runs inline on the caller, which keeps
+// single-threaded latency measurements free of synchronization noise.
+#ifndef LCE_CORE_THREAD_POOL_H_
+#define LCE_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lce {
+
+class ThreadPool {
+ public:
+  // Creates a pool with `num_threads` total workers. One of them is the
+  // calling thread, so `num_threads - 1` std::threads are spawned.
+  explicit ThreadPool(int num_threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(i) for i in [0, count), sharded across the pool. Blocks until
+  // all shards are done. fn must be safe to call concurrently.
+  void ParallelFor(std::int64_t count,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<Task> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace lce
+
+#endif  // LCE_CORE_THREAD_POOL_H_

@@ -1,0 +1,106 @@
+// Core scalar type definitions shared across the engine.
+#ifndef LCE_CORE_TYPES_H_
+#define LCE_CORE_TYPES_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace lce {
+
+// The word type used for bitpacked binary activations/weights. The paper's
+// LceQuantize packs 32 channel values per word; a 0 bit encodes +1.0 and a 1
+// bit encodes -1.0 (sign bit of the float value).
+using TBitpacked = std::uint32_t;
+inline constexpr int kBitpackWordSize = 32;
+
+// Number of 32-bit words needed to bitpack `channels` values.
+constexpr int BitpackedWords(int channels) {
+  return (channels + kBitpackWordSize - 1) / kBitpackWordSize;
+}
+
+enum class DataType : std::uint8_t {
+  kFloat32 = 0,
+  kInt8 = 1,
+  kInt32 = 2,
+  kBitpacked = 3,  // 1-bit values packed 32-per-uint32 along the channel dim.
+};
+
+// Size in bytes of one *storage element* of the given type. For kBitpacked
+// the storage element is a 32-bit word holding 32 logical values.
+constexpr std::size_t DataTypeByteSize(DataType t) {
+  switch (t) {
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kInt8:
+      return 1;
+    case DataType::kInt32:
+      return 4;
+    case DataType::kBitpacked:
+      return sizeof(TBitpacked);
+  }
+  return 0;
+}
+
+constexpr std::string_view DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kFloat32:
+      return "float32";
+    case DataType::kInt8:
+      return "int8";
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kBitpacked:
+      return "bitpacked";
+  }
+  return "unknown";
+}
+
+// Padding semantics for convolutions.
+//
+// kValid      : no padding.
+// kSameZero   : TensorFlow-style SAME padding with zeros. For binarized
+//               convolutions this needs a correction step (see
+//               kernels/bconv2d.h) because bitpacked data cannot represent 0.
+// kSameOne    : SAME padding with +1.0 values; the natural padding for
+//               bitpacked data (paper section 3.2, "one-padding").
+enum class Padding : std::uint8_t { kValid = 0, kSameZero = 1, kSameOne = 2 };
+
+constexpr std::string_view PaddingName(Padding p) {
+  switch (p) {
+    case Padding::kValid:
+      return "VALID";
+    case Padding::kSameZero:
+      return "SAME_ZERO";
+    case Padding::kSameOne:
+      return "SAME_ONE";
+  }
+  return "unknown";
+}
+
+// Fused activation functions supported by the output transform. kSigmoid is
+// used by the data-driven gating branches of RealToBinaryNet.
+enum class Activation : std::uint8_t {
+  kNone = 0,
+  kRelu = 1,
+  kRelu6 = 2,
+  kSigmoid = 3,
+};
+
+constexpr std::string_view ActivationName(Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kRelu6:
+      return "relu6";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+}  // namespace lce
+
+#endif  // LCE_CORE_TYPES_H_

@@ -1,0 +1,143 @@
+#include "costmodel/cortex_a76.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+
+namespace lce::costmodel {
+namespace {
+
+constexpr std::uint8_t kV0 = 1, kV1 = 2, kBoth = 3;
+
+}  // namespace
+
+// Arm Cortex-A76 Software Optimization Guide, ASIMD section. Dual-issue
+// instructions (throughput 2) can go to either pipe; throughput-1
+// instructions are restricted to a single pipe.
+const InstrSpec& Fmla() {
+  static const InstrSpec s{"fmla", 2.0, kBoth};
+  return s;
+}
+const InstrSpec& Sdot() {
+  static const InstrSpec s{"sdot", 2.0, kBoth};
+  return s;
+}
+const InstrSpec& Eor() {
+  static const InstrSpec s{"eor", 2.0, kBoth};
+  return s;
+}
+const InstrSpec& Cnt() {
+  static const InstrSpec s{"cnt", 1.0, kV1};
+  return s;
+}
+const InstrSpec& Addp() {
+  static const InstrSpec s{"addp", 2.0, kBoth};
+  return s;
+}
+const InstrSpec& Uadalp() {
+  static const InstrSpec s{"uadalp", 1.0, kV1};
+  return s;
+}
+
+double ScheduleCycles(const std::vector<const InstrSpec*>& sequence) {
+  // Greedy two-pipe list scheduler: each cycle each pipe issues at most one
+  // instruction; pipe-restricted instructions wait for their pipe. One
+  // drain cycle models the dependent reduction tail.
+  int remaining_v0_only = 0;  // none in the current table
+  int remaining_v1_only = 0;
+  int remaining_any = 0;
+  for (const InstrSpec* i : sequence) {
+    if (i->port_mask == kV0) {
+      ++remaining_v0_only;
+    } else if (i->port_mask == kV1) {
+      ++remaining_v1_only;
+    } else {
+      ++remaining_any;
+    }
+  }
+  int cycles = 0;
+  while (remaining_v0_only + remaining_v1_only + remaining_any > 0) {
+    ++cycles;
+    // Pipe V1 prefers its restricted instructions.
+    if (remaining_v1_only > 0) {
+      --remaining_v1_only;
+    } else if (remaining_any > 0) {
+      --remaining_any;
+    }
+    // Pipe V0 likewise.
+    if (remaining_v0_only > 0) {
+      --remaining_v0_only;
+    } else if (remaining_any > 0) {
+      --remaining_any;
+    }
+  }
+  return cycles + 1;  // +1 drain cycle for the dependent tail
+}
+
+MacSequenceAnalysis AnalyzeMacSequence(MacPrecision precision) {
+  MacSequenceAnalysis a;
+  a.precision = precision;
+  switch (precision) {
+    case MacPrecision::kFloat32: {
+      // fmla: 4 fp32 MACs per instruction, 2 instructions/cycle sustained.
+      a.instruction_names = {"fmla"};
+      a.instructions = 1;
+      a.macs = 4;
+      a.cycles = 1.0 / Fmla().throughput;
+      break;
+    }
+    case MacPrecision::kInt8: {
+      // sdot: 16 int8 MACs per instruction, 2 instructions/cycle sustained.
+      a.instruction_names = {"sdot"};
+      a.instructions = 1;
+      a.macs = 16;
+      a.cycles = 1.0 / Sdot().throughput;
+      break;
+    }
+    case MacPrecision::kBinary: {
+      // Per 8 x 128-bit registers = 1024 binary MACs (the paper's unit):
+      // 8 eor (multiply), 8 cnt (per-byte popcount), 4 addp (8-bit pairwise
+      // combine), 4 uadalp (accumulate into 16-bit) -- 24 instructions.
+      a.instruction_names = {"eor", "cnt", "addp", "uadalp"};
+      std::vector<const InstrSpec*> seq;
+      for (int i = 0; i < 8; ++i) seq.push_back(&Eor());
+      for (int i = 0; i < 8; ++i) seq.push_back(&Cnt());
+      for (int i = 0; i < 4; ++i) seq.push_back(&Addp());
+      for (int i = 0; i < 4; ++i) seq.push_back(&Uadalp());
+      a.instructions = static_cast<int>(seq.size());
+      a.macs = 1024;
+      a.cycles = ScheduleCycles(seq);
+      break;
+    }
+  }
+  a.macs_per_cycle = static_cast<double>(a.macs) / a.cycles;
+  return a;
+}
+
+namespace {
+
+double MacsPerCycle(MacPrecision p) { return AnalyzeMacSequence(p).macs_per_cycle; }
+
+double BitsPerValue(MacPrecision p) {
+  switch (p) {
+    case MacPrecision::kFloat32:
+      return 32.0;
+    case MacPrecision::kInt8:
+      return 8.0;
+    case MacPrecision::kBinary:
+      return 1.0;
+  }
+  return 32.0;
+}
+
+}  // namespace
+
+double TheoreticalSpeedup(MacPrecision slow, MacPrecision fast) {
+  return MacsPerCycle(fast) / MacsPerCycle(slow);
+}
+
+double MemoryTrafficRatio(MacPrecision slow, MacPrecision fast) {
+  return BitsPerValue(slow) / BitsPerValue(fast);
+}
+
+}  // namespace lce::costmodel

@@ -1,0 +1,64 @@
+// Analytical Cortex-A76 instruction cost model reproducing the paper's
+// Table 1: the Neon SIMD instruction sequences for float / 8-bit / binary
+// multiply-accumulate and their theoretical sustained throughput.
+//
+// Throughputs are taken from the Arm Cortex-A76 Software Optimization Guide
+// (the paper's source). The A76 dual-issues ASIMD operations across two
+// pipes (V0/V1); CNT and UADALP are restricted to one pipe, which is exactly
+// why the 24-instruction binary MAC sequence takes 13 cycles rather than 12.
+#ifndef LCE_COSTMODEL_CORTEX_A76_H_
+#define LCE_COSTMODEL_CORTEX_A76_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lce::costmodel {
+
+// One Neon instruction class with its issue constraints.
+struct InstrSpec {
+  std::string name;
+  double throughput;      // sustained instructions / cycle
+  std::uint8_t port_mask; // bit 0: pipe V0, bit 1: pipe V1
+};
+
+// The A76 ASIMD instruction table entries used by the MAC sequences.
+const InstrSpec& Fmla();    // float fused multiply-add, 4 fp32 lanes
+const InstrSpec& Sdot();    // int8 dot product, 16 int8 MACs
+const InstrSpec& Eor();     // binary multiply (XOR), 128 binary MACs
+const InstrSpec& Cnt();     // per-byte popcount
+const InstrSpec& Addp();    // pairwise add (8-bit -> 8-bit reduction)
+const InstrSpec& Uadalp();  // pairwise add-accumulate into wider lanes
+
+enum class MacPrecision { kFloat32, kInt8, kBinary };
+
+struct MacSequenceAnalysis {
+  MacPrecision precision;
+  std::vector<std::string> instruction_names;  // unique instruction classes
+  int instructions = 0;  // total instructions in the modeled sequence
+  int macs = 0;          // MACs computed by the sequence
+  double cycles = 0.0;   // port-scheduled cycle count
+  double macs_per_cycle = 0.0;
+};
+
+// Builds and schedules the canonical MAC sequence for a precision:
+//  * float : n fmla instructions (4 MACs each, throughput-limited)
+//  * int8  : n sdot instructions (16 MACs each)
+//  * binary: per 8 vector registers (1024 MACs): 8 eor + 8 cnt + 4 addp +
+//            4 uadalp = 24 instructions (the paper's sequence)
+MacSequenceAnalysis AnalyzeMacSequence(MacPrecision precision);
+
+// Cycle count of an arbitrary instruction sequence under the two-pipe
+// greedy scheduler (plus one drain cycle for the dependent tail).
+double ScheduleCycles(const std::vector<const InstrSpec*>& sequence);
+
+// Theoretical compute-bound speedups implied by the table (paper: 9.75x
+// binary vs float, 2.43x binary vs int8).
+double TheoreticalSpeedup(MacPrecision slow, MacPrecision fast);
+
+// Memory-traffic ratio between precisions (32x binary vs float, 8x vs int8).
+double MemoryTrafficRatio(MacPrecision slow, MacPrecision fast);
+
+}  // namespace lce::costmodel
+
+#endif  // LCE_COSTMODEL_CORTEX_A76_H_

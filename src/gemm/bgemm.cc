@@ -1,0 +1,312 @@
+#include "gemm/bgemm.h"
+
+#include <bit>
+#include <cstring>
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#endif
+
+#include "core/macros.h"
+
+namespace lce::gemm {
+namespace {
+
+// Number of 256-bit k-blocks for kw 32-bit words.
+int KBlocks(int kw) {
+  const int words_per_block = kBgemmKWords64 * 2;  // 8 x uint32
+  return (kw + words_per_block - 1) / words_per_block;
+}
+
+// Packs `tile_rows` rows (starting at `row0`, zero-padding beyond `n`) of a
+// [n][kw] bitpacked matrix into the panel layout [k_blocks][tile_rows][4]
+// uint64. Zero padding encodes +1 values, but padded k-words are 0 in both
+// operands so they never affect the popcount, and padded rows are never
+// written back.
+void PackTile(const TBitpacked* src, int n, int kw, int row0, int tile_rows,
+              int k_blocks, std::uint64_t* dst) {
+  std::memset(dst, 0,
+              static_cast<std::size_t>(k_blocks) * tile_rows * kBgemmKWords64 *
+                  sizeof(std::uint64_t));
+  for (int r = 0; r < tile_rows; ++r) {
+    const int row = row0 + r;
+    if (row >= n) continue;
+    const TBitpacked* s = src + static_cast<std::int64_t>(row) * kw;
+    for (int w = 0; w < kw; ++w) {
+      const int kb = w / 8;
+      const int w64 = (w % 8) / 2;
+      const int half = w % 2;
+      std::uint64_t& d =
+          dst[(static_cast<std::int64_t>(kb) * tile_rows + r) * kBgemmKWords64 +
+              w64];
+      d |= static_cast<std::uint64_t>(s[w]) << (half * 32);
+    }
+  }
+}
+
+// Scalar micro-kernel: 4x4 tile of accumulators over [k_blocks] panel steps.
+// Each k-block contributes 4x4x4 = 64 popcounts of 64 bits = 4096 MACs.
+void KernelScalar4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
+                     int k_blocks, std::int32_t acc[kBgemmMr][kBgemmNr]) {
+  std::memset(acc, 0, sizeof(std::int32_t) * kBgemmMr * kBgemmNr);
+  for (int kb = 0; kb < k_blocks; ++kb) {
+    const std::uint64_t* a = apanel + kb * kBgemmMr * kBgemmKWords64;
+    const std::uint64_t* b = bpanel + kb * kBgemmNr * kBgemmKWords64;
+    for (int i = 0; i < kBgemmMr; ++i) {
+      const std::uint64_t a0 = a[i * 4 + 0], a1 = a[i * 4 + 1];
+      const std::uint64_t a2 = a[i * 4 + 2], a3 = a[i * 4 + 3];
+      for (int j = 0; j < kBgemmNr; ++j) {
+        const std::uint64_t* bj = b + j * 4;
+        acc[i][j] += std::popcount(a0 ^ bj[0]) + std::popcount(a1 ^ bj[1]) +
+                     std::popcount(a2 ^ bj[2]) + std::popcount(a3 ^ bj[3]);
+      }
+    }
+  }
+}
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define LCE_BGEMM_NEON 1
+// NEON micro-kernel implementing exactly the paper's Table 1 sequence:
+// eor (multiply), cnt (per-byte popcount), and pairwise-add-accumulate
+// (vpadal) to widen the counts. Processes the 4x4 tile two 128-bit halves
+// per 256-bit k-block. Byte counters are widened every block, so no
+// overflow management is needed. (Compile-guarded: exercised on ARM builds;
+// x86 hosts use the AVX-512/AVX2 kernels below.)
+void KernelNeon4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
+                   int k_blocks, std::int32_t acc_out[kBgemmMr][kBgemmNr]) {
+  uint32x4_t acc[kBgemmMr][kBgemmNr];
+  for (int i = 0; i < kBgemmMr; ++i)
+    for (int j = 0; j < kBgemmNr; ++j) acc[i][j] = vdupq_n_u32(0);
+
+  for (int kb = 0; kb < k_blocks; ++kb) {
+    const std::uint64_t* a =
+        apanel + static_cast<std::int64_t>(kb) * kBgemmMr * kBgemmKWords64;
+    const std::uint64_t* b =
+        bpanel + static_cast<std::int64_t>(kb) * kBgemmNr * kBgemmKWords64;
+    for (int i = 0; i < kBgemmMr; ++i) {
+      const uint8x16_t a0 =
+          vreinterpretq_u8_u64(vld1q_u64(a + i * kBgemmKWords64));
+      const uint8x16_t a1 =
+          vreinterpretq_u8_u64(vld1q_u64(a + i * kBgemmKWords64 + 2));
+      for (int j = 0; j < kBgemmNr; ++j) {
+        const uint8x16_t b0 =
+            vreinterpretq_u8_u64(vld1q_u64(b + j * kBgemmKWords64));
+        const uint8x16_t b1 =
+            vreinterpretq_u8_u64(vld1q_u64(b + j * kBgemmKWords64 + 2));
+        // eor + cnt on both halves; byte counts <= 8 per lane.
+        const uint8x16_t c0 = vcntq_u8(veorq_u8(a0, b0));
+        const uint8x16_t c1 = vcntq_u8(veorq_u8(a1, b1));
+        // 8-bit -> 16-bit pairwise add, then accumulate into 32-bit lanes.
+        const uint16x8_t s = vaddq_u16(vpaddlq_u8(c0), vpaddlq_u8(c1));
+        acc[i][j] = vpadalq_u16(acc[i][j], s);
+      }
+    }
+  }
+  for (int i = 0; i < kBgemmMr; ++i) {
+    for (int j = 0; j < kBgemmNr; ++j) {
+      acc_out[i][j] = static_cast<std::int32_t>(
+          vgetq_lane_u32(acc[i][j], 0) + vgetq_lane_u32(acc[i][j], 1) +
+          vgetq_lane_u32(acc[i][j], 2) + vgetq_lane_u32(acc[i][j], 3));
+    }
+  }
+}
+#endif  // __ARM_NEON
+
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512VL__)
+#define LCE_BGEMM_AVX512 1
+// AVX-512 micro-kernel: full 4x4 register tile using the hardware vector
+// popcount (vpopcntq), the closest x86 analogue of the paper's NEON cnt
+// path -- one xor + one popcount + one add per 256 binary MACs.
+void KernelAvx512_4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
+                      int k_blocks, std::int32_t acc_out[kBgemmMr][kBgemmNr]) {
+  __m256i acc[kBgemmMr][kBgemmNr];
+  for (int i = 0; i < kBgemmMr; ++i)
+    for (int j = 0; j < kBgemmNr; ++j) acc[i][j] = _mm256_setzero_si256();
+
+  for (int kb = 0; kb < k_blocks; ++kb) {
+    const std::uint64_t* a =
+        apanel + static_cast<std::int64_t>(kb) * kBgemmMr * kBgemmKWords64;
+    const std::uint64_t* b =
+        bpanel + static_cast<std::int64_t>(kb) * kBgemmNr * kBgemmKWords64;
+    __m256i bv[kBgemmNr];
+    for (int j = 0; j < kBgemmNr; ++j) {
+      bv[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(b + j * 4));
+    }
+    for (int i = 0; i < kBgemmMr; ++i) {
+      const __m256i av =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(a + i * 4));
+      for (int j = 0; j < kBgemmNr; ++j) {
+        acc[i][j] = _mm256_add_epi64(
+            acc[i][j], _mm256_popcnt_epi64(_mm256_xor_si256(av, bv[j])));
+      }
+    }
+  }
+  for (int i = 0; i < kBgemmMr; ++i) {
+    for (int j = 0; j < kBgemmNr; ++j) {
+      alignas(32) std::uint64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[i][j]);
+      acc_out[i][j] =
+          static_cast<std::int32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+    }
+  }
+}
+#endif  // AVX512VPOPCNTDQ && AVX512VL
+
+#ifdef __AVX2__
+// AVX2 micro-kernel processing two LHS rows against four RHS rows. Popcount
+// of each 256-bit XOR result is computed with the classic nibble-LUT pshufb
+// sequence and accumulated via sad_epu8 into 64-bit lanes. This mirrors the
+// role of the paper's NEON eor/cnt/addp/uadalp sequence.
+void KernelAvx2_2x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
+                    int row_pair, int k_blocks,
+                    std::int32_t acc_out[2][kBgemmNr]) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc[2][kBgemmNr];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < kBgemmNr; ++j) acc[i][j] = zero;
+
+  for (int kb = 0; kb < k_blocks; ++kb) {
+    const std::uint64_t* a =
+        apanel + (static_cast<std::int64_t>(kb) * kBgemmMr + 2 * row_pair) *
+                     kBgemmKWords64;
+    const std::uint64_t* b =
+        bpanel + static_cast<std::int64_t>(kb) * kBgemmNr * kBgemmKWords64;
+    const __m256i a0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(a));
+    const __m256i a1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a + 4));
+    for (int j = 0; j < kBgemmNr; ++j) {
+      const __m256i bj =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(b + j * 4));
+      const __m256i x0 = _mm256_xor_si256(a0, bj);
+      const __m256i x1 = _mm256_xor_si256(a1, bj);
+      // popcount bytes of x0, x1.
+      const __m256i c0 = _mm256_add_epi8(
+          _mm256_shuffle_epi8(lut, _mm256_and_si256(x0, low_mask)),
+          _mm256_shuffle_epi8(
+              lut, _mm256_and_si256(_mm256_srli_epi32(x0, 4), low_mask)));
+      const __m256i c1 = _mm256_add_epi8(
+          _mm256_shuffle_epi8(lut, _mm256_and_si256(x1, low_mask)),
+          _mm256_shuffle_epi8(
+              lut, _mm256_and_si256(_mm256_srli_epi32(x1, 4), low_mask)));
+      acc[0][j] = _mm256_add_epi64(acc[0][j], _mm256_sad_epu8(c0, zero));
+      acc[1][j] = _mm256_add_epi64(acc[1][j], _mm256_sad_epu8(c1, zero));
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < kBgemmNr; ++j) {
+      alignas(32) std::uint64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[i][j]);
+      acc_out[i][j] =
+          static_cast<std::int32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+    }
+  }
+}
+#endif  // __AVX2__
+
+void ComputeTile(const std::uint64_t* apanel, const std::uint64_t* bpanel,
+                 int k_blocks, KernelProfile profile,
+                 std::int32_t acc[kBgemmMr][kBgemmNr]) {
+#ifdef LCE_BGEMM_AVX512
+  if (profile == KernelProfile::kSimd) {
+    KernelAvx512_4x4(apanel, bpanel, k_blocks, acc);
+    return;
+  }
+#endif
+#ifdef LCE_BGEMM_NEON
+  if (profile == KernelProfile::kSimd) {
+    KernelNeon4x4(apanel, bpanel, k_blocks, acc);
+    return;
+  }
+#endif
+#ifdef __AVX2__
+  if (profile == KernelProfile::kSimd) {
+    std::int32_t acc2[2][kBgemmNr];
+    KernelAvx2_2x4(apanel, bpanel, 0, k_blocks, acc2);
+    std::memcpy(acc[0], acc2, sizeof(acc2));
+    KernelAvx2_2x4(apanel, bpanel, 1, k_blocks, acc2);
+    std::memcpy(acc[2], acc2, sizeof(acc2));
+    return;
+  }
+#else
+  (void)profile;
+#endif
+  KernelScalar4x4(apanel, bpanel, k_blocks, acc);
+}
+
+}  // namespace
+
+PackedBinaryMatrix::PackedBinaryMatrix(const TBitpacked* rows, int n, int kw)
+    : n_(n), kw_(kw), k_blocks_(KBlocks(kw)) {
+  num_tiles_ = (n + kBgemmNr - 1) / kBgemmNr;
+  buf_ = AlignedBuffer(static_cast<std::size_t>(num_tiles_) * tile_elems() *
+                       sizeof(std::uint64_t));
+  auto* d = reinterpret_cast<std::uint64_t*>(buf_.data());
+  for (int t = 0; t < num_tiles_; ++t) {
+    PackTile(rows, n, kw, t * kBgemmNr, kBgemmNr, k_blocks_,
+             d + static_cast<std::int64_t>(t) * tile_elems());
+  }
+}
+
+void BGemm(const TBitpacked* lhs, int m, const PackedBinaryMatrix& rhs,
+           int k_bits, std::int32_t* out, int ldc, Context& ctx) {
+  const int kw = rhs.kw();
+  const int k_blocks = rhs.k_blocks();
+  const int m_tiles = (m + kBgemmMr - 1) / kBgemmMr;
+  const std::int64_t a_tile_elems =
+      static_cast<std::int64_t>(k_blocks) * kBgemmMr * kBgemmKWords64;
+
+  // Pack all LHS tiles into scratch (slot 0).
+  auto* apanels = reinterpret_cast<std::uint64_t*>(ctx.Scratch(
+      0, static_cast<std::size_t>(m_tiles) * a_tile_elems * sizeof(std::uint64_t)));
+  ctx.pool().ParallelFor(m_tiles, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t t = begin; t < end; ++t) {
+      PackTile(lhs, m, kw, static_cast<int>(t) * kBgemmMr, kBgemmMr, k_blocks,
+               apanels + t * a_tile_elems);
+    }
+  });
+
+  const KernelProfile profile = ctx.profile();
+  const int n = rhs.n();
+  // B-tile-outer loop order: each packed weight tile stays cache-resident
+  // across all activation tiles of the shard (see float_gemm.cc).
+  ctx.pool().ParallelFor(m_tiles, [&](std::int64_t begin, std::int64_t end) {
+    std::int32_t acc[kBgemmMr][kBgemmNr];
+    for (int nt = 0; nt < rhs.num_tiles(); ++nt) {
+      const int col0 = nt * kBgemmNr;
+      const int cols = std::min(kBgemmNr, n - col0);
+      for (std::int64_t mt = begin; mt < end; ++mt) {
+        const int row0 = static_cast<int>(mt) * kBgemmMr;
+        const int rows = std::min(kBgemmMr, m - row0);
+        ComputeTile(apanels + mt * a_tile_elems, rhs.tile(nt), k_blocks,
+                    profile, acc);
+        for (int i = 0; i < rows; ++i) {
+          std::int32_t* o = out + static_cast<std::int64_t>(row0 + i) * ldc + col0;
+          for (int j = 0; j < cols; ++j) o[j] = k_bits - 2 * acc[i][j];
+        }
+      }
+    }
+  });
+}
+
+void BGemm(const TBitpacked* lhs, int m, const TBitpacked* rhs, int n, int kw,
+           int k_bits, std::int32_t* out, int ldc, Context& ctx) {
+  PackedBinaryMatrix packed(rhs, n, kw);
+  BGemm(lhs, m, packed, k_bits, out, ldc, ctx);
+}
+
+bool HasSimdBGemm() {
+#ifdef __AVX2__
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace lce::gemm

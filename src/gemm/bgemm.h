@@ -1,0 +1,80 @@
+// BGEMM: binary matrix multiplication via XOR + POPCOUNT (paper section 3.2).
+//
+// Computes, for bitpacked LHS rows l_i and RHS rows r_j of `k_bits` logical
+// +/-1 values each:
+//
+//   out[i][j] = dot(l_i, r_j) = k_bits - 2 * popcount(l_i XOR r_j)
+//
+// Channel-padding bits are 0 in both operands so they contribute nothing to
+// the popcount, and using the logical k_bits cancels their +1 products
+// exactly; no separate correction is needed.
+//
+// The implementation follows the Ruy-style structure described in the paper:
+// both operands are packed into register-tile-friendly panels, the inner
+// micro-kernel keeps a 4x4 tile of int32 accumulators, and work is sharded
+// across threads over LHS row tiles. On x86 the `kSimd` profile uses an AVX2
+// nibble-LUT popcount kernel (standing in for the paper's hand-tuned NEON
+// eor/cnt/addp sequence); `kScalar` uses portable 64-bit hardware popcounts.
+#ifndef LCE_GEMM_BGEMM_H_
+#define LCE_GEMM_BGEMM_H_
+
+#include <cstdint>
+
+#include "core/aligned_buffer.h"
+#include "core/types.h"
+#include "gemm/context.h"
+
+namespace lce::gemm {
+
+// Micro-tile sizes of the BGEMM kernel. K is processed in 256-bit blocks.
+inline constexpr int kBgemmMr = 4;
+inline constexpr int kBgemmNr = 4;
+inline constexpr int kBgemmKWords64 = 4;  // 4 x uint64 = 256 bits per k-block
+
+// A weights-side matrix packed once at op-preparation time (the paper's
+// "weight packing to optimize memory access patterns").
+class PackedBinaryMatrix {
+ public:
+  PackedBinaryMatrix() = default;
+
+  // rows: [n][kw] bitpacked row-major, n rows of kw TBitpacked words.
+  PackedBinaryMatrix(const TBitpacked* rows, int n, int kw);
+
+  int n() const { return n_; }
+  int kw() const { return kw_; }
+  int k_blocks() const { return k_blocks_; }
+  int num_tiles() const { return num_tiles_; }
+  // Packed data for tile t: [k_blocks][NR][4] uint64.
+  const std::uint64_t* tile(int t) const {
+    return data() + static_cast<std::int64_t>(t) * tile_elems();
+  }
+  std::int64_t tile_elems() const {
+    return static_cast<std::int64_t>(k_blocks_) * kBgemmNr * kBgemmKWords64;
+  }
+
+ private:
+  const std::uint64_t* data() const {
+    return reinterpret_cast<const std::uint64_t*>(buf_.data());
+  }
+  int n_ = 0;
+  int kw_ = 0;
+  int k_blocks_ = 0;
+  int num_tiles_ = 0;
+  AlignedBuffer buf_;
+};
+
+// out[i][j] = k_bits - 2*popcount(lhs_i ^ rhs_j); out is row-major MxN with
+// leading dimension ldc. LHS is packed into context scratch per call.
+void BGemm(const TBitpacked* lhs, int m, const PackedBinaryMatrix& rhs,
+           int k_bits, std::int32_t* out, int ldc, Context& ctx);
+
+// Convenience overload packing the RHS internally (tests, one-shot use).
+void BGemm(const TBitpacked* lhs, int m, const TBitpacked* rhs, int n, int kw,
+           int k_bits, std::int32_t* out, int ldc, Context& ctx);
+
+// True when the binary was compiled with the AVX2 kernel available.
+bool HasSimdBGemm();
+
+}  // namespace lce::gemm
+
+#endif  // LCE_GEMM_BGEMM_H_

@@ -1,0 +1,56 @@
+// Execution context shared by all GEMM kernels: thread pool, kernel-profile
+// selection and reusable scratch memory (packing buffers).
+//
+// The kernel profile mirrors the paper's two benchmark devices: `kSimd`
+// corresponds to the hand-tuned NEON path (here: AVX2 / hardware-popcount
+// x86 kernels) and `kScalar` to a portable fallback, giving a second "device"
+// for the appendix experiments.
+#ifndef LCE_GEMM_CONTEXT_H_
+#define LCE_GEMM_CONTEXT_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "core/aligned_buffer.h"
+#include "core/thread_pool.h"
+
+namespace lce::gemm {
+
+enum class KernelProfile {
+  kSimd = 0,    // best available vectorized kernels (AVX2 when compiled in)
+  kScalar = 1,  // portable scalar kernels
+};
+
+class Context {
+ public:
+  explicit Context(int num_threads = 1,
+                   KernelProfile profile = KernelProfile::kSimd)
+      : pool_(num_threads), profile_(profile) {}
+
+  ThreadPool& pool() { return pool_; }
+  int num_threads() const { return pool_.num_threads(); }
+
+  KernelProfile profile() const { return profile_; }
+  void set_profile(KernelProfile p) { profile_ = p; }
+
+  // Returns scratch memory of at least `bytes` bytes, reused across calls.
+  // Slot 0 and 1 are independent (LHS / RHS packing buffers).
+  std::uint8_t* Scratch(int slot, std::size_t bytes) {
+    auto& buf = scratch_[slot];
+    if (!buf || buf->size() < bytes) {
+      buf = std::make_unique<AlignedBuffer>(bytes);
+    }
+    return buf->data();
+  }
+
+  static constexpr int kNumScratchSlots = 4;
+
+ private:
+  ThreadPool pool_;
+  KernelProfile profile_;
+  std::unique_ptr<AlignedBuffer> scratch_[kNumScratchSlots];
+};
+
+}  // namespace lce::gemm
+
+#endif  // LCE_GEMM_CONTEXT_H_

@@ -1,0 +1,96 @@
+#include "gemm/indirect_bgemm.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/macros.h"
+
+namespace lce::gemm {
+
+IndirectionBuffer::IndirectionBuffer(const TBitpacked* input,
+                                     const Conv2DGeometry& g) {
+  words_ = BitpackedWords(g.in_c);
+  taps_ = g.filter_h * g.filter_w;
+  const int out_h = g.out_h(), out_w = g.out_w();
+  rows_ = g.batch * out_h * out_w;
+  zero_row_.assign(words_, 0);  // 0 bits = +1.0 one-padding
+  pointers_.resize(static_cast<std::size_t>(rows_) * taps_);
+
+  const int pad_h = g.pad_h_begin(), pad_w = g.pad_w_begin();
+  std::size_t idx = 0;
+  for (int b = 0; b < g.batch; ++b) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        const int iy0 = oy * g.stride_h - pad_h;
+        const int ix0 = ox * g.stride_w - pad_w;
+        for (int ky = 0; ky < g.filter_h; ++ky) {
+          const int iy = iy0 + ky;
+          for (int kx = 0; kx < g.filter_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) {
+              pointers_[idx++] = zero_row_.data();
+            } else {
+              pointers_[idx++] =
+                  input +
+                  ((static_cast<std::int64_t>(b) * g.in_h + iy) * g.in_w + ix) *
+                      words_;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void IndirectBGemm(const IndirectionBuffer& ind, const TBitpacked* weight_rows,
+                   int n, int k_bits, std::int32_t* out, int ldc) {
+  const int taps = ind.taps();
+  const int words = ind.words();
+  const int row_words = taps * words;
+
+  // 1x4 output-channel blocking: each loaded activation word is reused
+  // against four weight rows.
+  for (int r = 0; r < ind.rows(); ++r) {
+    const TBitpacked* const* tap_ptrs =
+        ind.data() + static_cast<std::size_t>(r) * taps;
+    int n0 = 0;
+    for (; n0 + 4 <= n; n0 += 4) {
+      std::int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+      const TBitpacked* w0 = weight_rows + static_cast<std::int64_t>(n0) * row_words;
+      const TBitpacked* w1 = w0 + row_words;
+      const TBitpacked* w2 = w1 + row_words;
+      const TBitpacked* w3 = w2 + row_words;
+      int wi = 0;
+      for (int t = 0; t < taps; ++t) {
+        const TBitpacked* a = tap_ptrs[t];
+        for (int w = 0; w < words; ++w, ++wi) {
+          const TBitpacked av = a[w];
+          acc0 += std::popcount(av ^ w0[wi]);
+          acc1 += std::popcount(av ^ w1[wi]);
+          acc2 += std::popcount(av ^ w2[wi]);
+          acc3 += std::popcount(av ^ w3[wi]);
+        }
+      }
+      std::int32_t* o = out + static_cast<std::int64_t>(r) * ldc + n0;
+      o[0] = k_bits - 2 * acc0;
+      o[1] = k_bits - 2 * acc1;
+      o[2] = k_bits - 2 * acc2;
+      o[3] = k_bits - 2 * acc3;
+    }
+    for (; n0 < n; ++n0) {
+      std::int32_t acc = 0;
+      const TBitpacked* wr =
+          weight_rows + static_cast<std::int64_t>(n0) * row_words;
+      int wi = 0;
+      for (int t = 0; t < taps; ++t) {
+        const TBitpacked* a = tap_ptrs[t];
+        for (int w = 0; w < words; ++w, ++wi) {
+          acc += std::popcount(a[w] ^ wr[wi]);
+        }
+      }
+      out[static_cast<std::int64_t>(r) * ldc + n0] = k_bits - 2 * acc;
+    }
+  }
+}
+
+}  // namespace lce::gemm

@@ -1,0 +1,53 @@
+// Indirect BGEMM: binarized convolution without im2col (the second kernel
+// family in the upstream LCE codebase).
+//
+// Instead of materializing [out_pixels][fh*fw*words] patch rows, a setup
+// step builds an *indirection buffer* of pointers -- one per (output pixel,
+// filter tap) -- into the bitpacked input feature map, with padded taps
+// pointing at a shared zero (one-padding) row. The kernel then walks the
+// pointers, XOR-popcounting words straight out of the feature map. This
+// trades the im2col copy for indirect loads; it wins when the patch buffer
+// would not fit in cache and for small output tiles.
+#ifndef LCE_GEMM_INDIRECT_BGEMM_H_
+#define LCE_GEMM_INDIRECT_BGEMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "gemm/context.h"
+#include "kernels/conv_params.h"
+
+namespace lce::gemm {
+
+// Precomputed per-convolution indirection state: rebuild only when the
+// input pointer or geometry changes.
+class IndirectionBuffer {
+ public:
+  IndirectionBuffer() = default;
+
+  // Builds pointers for every (output position, filter tap) into `input`
+  // (bitpacked NHWC). Padded taps point at an internal zero row.
+  IndirectionBuffer(const TBitpacked* input, const Conv2DGeometry& geo);
+
+  int rows() const { return rows_; }       // output positions
+  int taps() const { return taps_; }       // filter_h * filter_w
+  int words() const { return words_; }     // words(in_c)
+  const TBitpacked* const* data() const { return pointers_.data(); }
+
+ private:
+  int rows_ = 0, taps_ = 0, words_ = 0;
+  std::vector<const TBitpacked*> pointers_;  // [rows][taps]
+  std::vector<TBitpacked> zero_row_;         // one-padding source
+};
+
+// out[r][n] = k_bits - 2 * popcount over the r-th output position's taps
+// against weight row n. Weights layout: [n][taps][words] (the BConv2D
+// packed_rows_ layout). Single-threaded (the caller shards if needed).
+void IndirectBGemm(const IndirectionBuffer& indirection,
+                   const TBitpacked* weight_rows, int n, int k_bits,
+                   std::int32_t* out, int ldc);
+
+}  // namespace lce::gemm
+
+#endif  // LCE_GEMM_INDIRECT_BGEMM_H_

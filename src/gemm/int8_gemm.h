@@ -1,0 +1,65 @@
+// Packed int8 GEMM with int32 accumulation, standing in for TFLite's
+// quantized Ruy path (the paper's "sdot" column in Table 1).
+//
+// Computes exact int8 dot products:
+//   out[m][n] = sum_k (int32)lhs[m][k] * (int32)rhs[n][k]
+// Zero-point handling (offsets, requantization) is done by the calling
+// convolution kernel.
+//
+// The AVX2 kernel uses the maddubs trick: activations are biased to uint8 by
+// XOR 0x80 during packing and the 128*rowsum(rhs) correction (precomputed at
+// RHS pack time) is subtracted at the end, so the public contract stays an
+// exact signed dot product.
+#ifndef LCE_GEMM_INT8_GEMM_H_
+#define LCE_GEMM_INT8_GEMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aligned_buffer.h"
+#include "gemm/context.h"
+
+namespace lce::gemm {
+
+inline constexpr int kInt8Mr = 2;
+inline constexpr int kInt8Nr = 4;
+inline constexpr int kInt8Kc = 32;  // k-block: 32 bytes per step
+
+class PackedInt8Matrix {
+ public:
+  PackedInt8Matrix() = default;
+  PackedInt8Matrix(const std::int8_t* rows, int n, int k);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int k_blocks() const { return k_blocks_; }
+  int num_tiles() const { return num_tiles_; }
+  const std::int8_t* tile(int t) const {
+    return reinterpret_cast<const std::int8_t*>(buf_.data()) +
+           static_cast<std::int64_t>(t) * tile_elems();
+  }
+  std::int64_t tile_elems() const {
+    return static_cast<std::int64_t>(k_blocks_) * kInt8Nr * kInt8Kc;
+  }
+  // Row sums of the original matrix (used both for the maddubs correction
+  // and by conv kernels for input zero-point handling).
+  const std::vector<std::int32_t>& row_sums() const { return row_sums_; }
+
+ private:
+  int n_ = 0;
+  int k_ = 0;
+  int k_blocks_ = 0;
+  int num_tiles_ = 0;
+  AlignedBuffer buf_;
+  std::vector<std::int32_t> row_sums_;
+};
+
+void Int8Gemm(const std::int8_t* lhs, int m, const PackedInt8Matrix& rhs,
+              std::int32_t* out, int ldc, Context& ctx);
+
+void Int8Gemm(const std::int8_t* lhs, int m, const std::int8_t* rhs, int n,
+              int k, std::int32_t* out, int ldc, Context& ctx);
+
+}  // namespace lce::gemm
+
+#endif  // LCE_GEMM_INT8_GEMM_H_

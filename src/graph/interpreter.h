@@ -1,0 +1,105 @@
+// Graph interpreter: the runtime that plays TFLite's role in the paper.
+//
+// Prepare() runs shape checking, plans one static arena for all intermediate
+// tensors (lifetime-based sharing) and instantiates kernel objects with
+// pre-packed weights. Invoke() executes nodes in topological order. Per-op
+// profiling (latencies + LceBConv2d stage breakdown) supports the paper's
+// Figure 5 / Table 4 experiments.
+#ifndef LCE_GRAPH_INTERPRETER_H_
+#define LCE_GRAPH_INTERPRETER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aligned_buffer.h"
+#include "core/status.h"
+#include "core/tensor.h"
+#include "gemm/context.h"
+#include "graph/ir.h"
+#include "kernels/bconv2d.h"
+#include "kernels/bfully_connected.h"
+#include "kernels/conv2d_float.h"
+#include "kernels/conv2d_int8.h"
+#include "kernels/depthwise_conv.h"
+#include "kernels/fully_connected.h"
+
+namespace lce {
+
+struct InterpreterOptions {
+  int num_threads = 1;
+  gemm::KernelProfile kernel_profile = gemm::KernelProfile::kSimd;
+  bool enable_profiling = false;
+  // Called after each node executes with its output tensor (still valid at
+  // that point; the arena may reuse it later). Used by the post-training
+  // quantizer's range calibration.
+  std::function<void(const Node&, const Tensor&)> observer;
+};
+
+// One executed node's latency record.
+struct OpProfile {
+  int node_id = -1;
+  std::string name;
+  OpType type = OpType::kConv2D;
+  double seconds = 0.0;
+  BConvStageTimes bconv;  // only meaningful for kLceBConv2d
+  // True for the binary operators (LceQuantize/LceBConv2d/LceBMaxPool2d).
+  bool is_binary_op = false;
+};
+
+class Interpreter {
+ public:
+  // The graph must outlive the interpreter.
+  Interpreter(const Graph& graph, InterpreterOptions options = {});
+
+  // Plans memory and prepares kernels. Must be called before Invoke.
+  Status Prepare();
+
+  // Tensor views into the arena; write inputs before Invoke, read outputs
+  // after. Indices follow the graph's input/output declaration order.
+  Tensor input(int i);
+  Tensor output(int i);
+  int num_inputs() const;
+  int num_outputs() const;
+
+  void Invoke();
+
+  // Per-op profile of the last Invoke (empty unless profiling enabled).
+  const std::vector<OpProfile>& profile() const { return profile_; }
+
+  std::size_t arena_bytes() const { return arena_size_; }
+  gemm::Context& context() { return ctx_; }
+
+ private:
+  Tensor ValueTensor(int value_id);
+  void RunNode(const Node& node, OpProfile* prof);
+
+  const Graph& graph_;
+  InterpreterOptions options_;
+  gemm::Context ctx_;
+
+  bool prepared_ = false;
+  std::vector<int> order_;                // topological node order
+  std::vector<std::size_t> offsets_;      // per-value arena offset
+  std::vector<bool> in_arena_;            // per-value: placed in arena?
+  AlignedBuffer arena_;
+  std::size_t arena_size_ = 0;
+
+  // Prepared kernel objects, indexed by node id (only one is non-null).
+  struct PreparedKernels {
+    std::unique_ptr<BConv2D> bconv;
+    std::unique_ptr<BFullyConnected> bfc;
+    std::unique_ptr<Conv2DFloat> conv;
+    std::unique_ptr<Conv2DInt8> conv_int8;
+    std::unique_ptr<DepthwiseConv2DFloat> dwconv;
+    std::unique_ptr<FullyConnectedFloat> fc;
+  };
+  std::vector<PreparedKernels> kernels_;
+
+  std::vector<OpProfile> profile_;
+};
+
+}  // namespace lce
+
+#endif  // LCE_GRAPH_INTERPRETER_H_

@@ -1,0 +1,56 @@
+#include "graph/memory_planner.h"
+
+#include <algorithm>
+
+namespace lce {
+
+std::vector<BufferPlacement> PlanMemory(std::vector<BufferRequest> requests,
+                                        std::size_t alignment,
+                                        std::size_t* arena_size) {
+  // Greedy by size: place large buffers first, each at the lowest offset
+  // that doesn't collide with an already-placed, lifetime-overlapping buffer.
+  std::sort(requests.begin(), requests.end(),
+            [](const BufferRequest& a, const BufferRequest& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.id < b.id;
+            });
+
+  struct Placed {
+    std::size_t offset, size;
+    int first_use, last_use;
+    int id;
+  };
+  std::vector<Placed> placed;
+  std::vector<BufferPlacement> result;
+  std::size_t high_water = 0;
+
+  const auto align_up = [alignment](std::size_t x) {
+    return (x + alignment - 1) / alignment * alignment;
+  };
+
+  for (const BufferRequest& req : requests) {
+    // Collect live conflicts, sorted by offset.
+    std::vector<const Placed*> conflicts;
+    for (const Placed& p : placed) {
+      if (p.first_use <= req.last_use && req.first_use <= p.last_use) {
+        conflicts.push_back(&p);
+      }
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const Placed* a, const Placed* b) {
+                return a->offset < b->offset;
+              });
+    std::size_t offset = 0;
+    for (const Placed* c : conflicts) {
+      if (offset + req.size <= c->offset) break;  // fits in the gap
+      offset = std::max(offset, align_up(c->offset + c->size));
+    }
+    placed.push_back({offset, req.size, req.first_use, req.last_use, req.id});
+    result.push_back({req.id, offset});
+    high_water = std::max(high_water, offset + req.size);
+  }
+  *arena_size = high_water;
+  return result;
+}
+
+}  // namespace lce

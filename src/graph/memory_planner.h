@@ -1,0 +1,34 @@
+// Static arena memory planner for intermediate tensors, in the style of
+// TFLite's greedy-by-size planner: values with non-overlapping lifetimes
+// share arena space.
+#ifndef LCE_GRAPH_MEMORY_PLANNER_H_
+#define LCE_GRAPH_MEMORY_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lce {
+
+struct BufferRequest {
+  int id = 0;            // caller-defined identifier (value id)
+  std::size_t size = 0;  // bytes
+  int first_use = 0;     // step index where the buffer is written
+  int last_use = 0;      // last step index where the buffer is read
+};
+
+struct BufferPlacement {
+  int id = 0;
+  std::size_t offset = 0;
+};
+
+// Assigns arena offsets (aligned to `alignment`) so that any two buffers
+// with overlapping [first_use, last_use] lifetimes do not overlap in memory.
+// Returns the placements and sets `arena_size` to the total bytes needed.
+std::vector<BufferPlacement> PlanMemory(std::vector<BufferRequest> requests,
+                                        std::size_t alignment,
+                                        std::size_t* arena_size);
+
+}  // namespace lce
+
+#endif  // LCE_GRAPH_MEMORY_PLANNER_H_

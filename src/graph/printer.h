@@ -1,0 +1,23 @@
+// Human-readable graph rendering: a per-op summary table (the `lcem` model
+// inspector) and Graphviz DOT export for architecture diagrams like the
+// paper's Figures 6, 8 and 9.
+#ifndef LCE_GRAPH_PRINTER_H_
+#define LCE_GRAPH_PRINTER_H_
+
+#include <string>
+
+#include "graph/ir.h"
+
+namespace lce {
+
+// A fixed-width table of every live node in execution order: op type, name,
+// output dtype/shape, MACs and parameter count.
+std::string GraphSummary(const Graph& g);
+
+// Graphviz DOT. Binary operators are drawn filled; constants are omitted
+// (their shapes annotate the consuming node).
+std::string GraphToDot(const Graph& g);
+
+}  // namespace lce
+
+#endif  // LCE_GRAPH_PRINTER_H_

@@ -1,0 +1,379 @@
+#include "kernels/bconv2d.h"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/bitpack.h"
+#include "core/macros.h"
+#include "gemm/indirect_bgemm.h"
+#include "kernels/im2col.h"
+
+namespace lce {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The channel-wise transform applied to the accumulator for channel n:
+//   f(d) = mult[n] * pre_act(d) + bias[n]
+// f is monotone (non-decreasing for mult >= 0, non-increasing otherwise)
+// because pre_act is non-decreasing, which is what makes threshold-based
+// bitpacked output possible.
+float TransformValue(std::int32_t d, float mult, float bias, Activation pre) {
+  float v = static_cast<float>(d);
+  v = ApplyActivation(v, pre);
+  return v * mult + bias;
+}
+
+}  // namespace
+
+BConv2D::BConv2D(const float* weights_ohwi, BConv2DAttrs attrs)
+    : attrs_(std::move(attrs)) {
+  const Conv2DGeometry& g = attrs_.geo;
+  const int in_c_pg = g.in_c / std::max(1, attrs_.groups);
+  const int words = BitpackedWords(in_c_pg);
+  // Bitpack the weights: per (output channel, filter position), pack the
+  // input-channel vector. This is the 32x weight compression.
+  packed_rows_.assign(
+      static_cast<std::size_t>(g.out_c) * g.filter_h * g.filter_w * words, 0);
+  for (int n = 0; n < g.out_c; ++n) {
+    for (int p = 0; p < g.filter_h * g.filter_w; ++p) {
+      const float* src =
+          weights_ohwi +
+          (static_cast<std::int64_t>(n) * g.filter_h * g.filter_w + p) * in_c_pg;
+      BitpackRow(src, in_c_pg,
+                 packed_rows_.data() +
+                     (static_cast<std::int64_t>(n) * g.filter_h * g.filter_w + p) * words);
+    }
+  }
+  Init();
+}
+
+BConv2D::BConv2D(const TBitpacked* packed_weights_ohwi, BConv2DAttrs attrs)
+    : attrs_(std::move(attrs)) {
+  const Conv2DGeometry& g = attrs_.geo;
+  const int in_c_pg = g.in_c / std::max(1, attrs_.groups);
+  const int words = BitpackedWords(in_c_pg);
+  const std::size_t total =
+      static_cast<std::size_t>(g.out_c) * g.filter_h * g.filter_w * words;
+  packed_rows_.assign(packed_weights_ohwi, packed_weights_ohwi + total);
+  Init();
+}
+
+void BConv2D::Init() {
+  const Conv2DGeometry& g = attrs_.geo;
+  LCE_CHECK_GT(g.in_c, 0);
+  LCE_CHECK_GT(g.out_c, 0);
+  if (!attrs_.multiplier.empty()) {
+    LCE_CHECK_EQ(static_cast<int>(attrs_.multiplier.size()), g.out_c);
+  }
+  if (!attrs_.bias.empty()) {
+    LCE_CHECK_EQ(static_cast<int>(attrs_.bias.size()), g.out_c);
+  }
+
+  const int groups = std::max(1, attrs_.groups);
+  LCE_CHECK_EQ(g.in_c % groups, 0);
+  LCE_CHECK_EQ(g.out_c % groups, 0);
+  const int in_c_pg = g.in_c / groups;
+  if (groups > 1) {
+    // Group boundaries must fall on bitpacked word boundaries.
+    LCE_CHECK_EQ(in_c_pg % kBitpackWordSize, 0);
+  }
+  const int words = BitpackedWords(in_c_pg);
+  const int patch_words = g.filter_h * g.filter_w * words;
+  k_bits_ = g.filter_h * g.filter_w * in_c_pg;
+
+  const int out_c_pg = g.out_c / groups;
+  group_weights_.clear();
+  group_weights_.reserve(groups);
+  for (int grp = 0; grp < groups; ++grp) {
+    group_weights_.emplace_back(
+        packed_rows_.data() +
+            static_cast<std::int64_t>(grp) * out_c_pg * patch_words,
+        out_c_pg, patch_words);
+  }
+
+  // Zero-padding correction table: sum of +/-1 weights per filter position,
+  // recovered from the bitpacked rows (wsum = in_c - 2 * popcount since a 1
+  // bit encodes -1 and padding bits are 0 but excluded via in_c).
+  if (g.padding == Padding::kSameZero) {
+    filter_pos_weight_sums_.assign(
+        static_cast<std::size_t>(g.filter_h) * g.filter_w * g.out_c, 0);
+    for (int n = 0; n < g.out_c; ++n) {
+      for (int p = 0; p < g.filter_h * g.filter_w; ++p) {
+        const TBitpacked* row =
+            packed_rows_.data() +
+            (static_cast<std::int64_t>(n) * g.filter_h * g.filter_w + p) * words;
+        std::int32_t neg = 0;
+        for (int w = 0; w < words; ++w) neg += std::popcount(row[w]);
+        filter_pos_weight_sums_[static_cast<std::size_t>(p) * g.out_c + n] =
+            in_c_pg - 2 * neg;
+      }
+    }
+  }
+
+  // Precompute bitpacked-output thresholds by binary search over the
+  // monotone transform (the converter's "thresholds pre-computed ... to
+  // decide whether each output value is a one or zero bit").
+  if (attrs_.output_type == BConvOutputType::kBitpacked) {
+    threshold_cmp_.resize(g.out_c);
+    threshold_flip_.resize(g.out_c);
+    for (int n = 0; n < g.out_c; ++n) {
+      const float mult = attrs_.multiplier.empty() ? 1.0f : attrs_.multiplier[n];
+      const float bias = attrs_.bias.empty() ? 0.0f : attrs_.bias[n];
+      if (mult == 0.0f) {
+        // Constant bit: cmp never fires; flip carries the constant.
+        threshold_cmp_[n] = std::numeric_limits<std::int32_t>::min();
+        threshold_flip_[n] = bias < 0.0f ? 1u : 0u;
+        continue;
+      }
+      const bool increasing = mult > 0.0f;
+      // Search d in [-k_bits, k_bits] for the transition point of
+      // sign(f(d)). For increasing f: threshold = min{d : f(d) >= 0}; the
+      // output bit is set (value -1.0) iff d < threshold. For decreasing f:
+      // threshold = max{d : f(d) >= 0}; bit set iff d > threshold.
+      std::int32_t lo = -k_bits_ - 1, hi = k_bits_ + 1;
+      if (increasing) {
+        // Find the smallest d with f(d) >= 0 (may be hi if none); the
+        // output bit (-1.0) is set iff acc < that threshold.
+        while (lo < hi) {
+          const std::int32_t mid = lo + (hi - lo) / 2;
+          if (TransformValue(mid, mult, bias, attrs_.pre_activation) >= 0.0f) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        threshold_cmp_[n] = lo;
+        threshold_flip_[n] = 0u;
+      } else {
+        // Find the largest d with f(d) >= 0 (may be lo if none); bit set
+        // iff acc > t, i.e. !(acc < t + 1).
+        while (lo < hi) {
+          const std::int32_t mid = lo + (hi - lo + 1) / 2;
+          if (TransformValue(mid, mult, bias, attrs_.pre_activation) >= 0.0f) {
+            lo = mid;
+          } else {
+            hi = mid - 1;
+          }
+        }
+        threshold_cmp_[n] = lo + 1;
+        threshold_flip_[n] = 1u;
+      }
+    }
+  }
+}
+
+void BConv2D::ApplyZeroPaddingCorrection(std::int32_t* acc) const {
+  const Conv2DGeometry& g = attrs_.geo;
+  const int out_h = g.out_h(), out_w = g.out_w();
+  const int pad_h = g.pad_h_begin(), pad_w = g.pad_w_begin();
+  for (int b = 0; b < g.batch; ++b) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      const int iy0 = oy * g.stride_h - pad_h;
+      const bool y_interior = iy0 >= 0 && iy0 + g.filter_h <= g.in_h;
+      for (int ox = 0; ox < out_w; ++ox) {
+        const int ix0 = ox * g.stride_w - pad_w;
+        const bool x_interior = ix0 >= 0 && ix0 + g.filter_w <= g.in_w;
+        if (y_interior && x_interior) continue;  // no padded taps
+        std::int32_t* row =
+            acc + ((static_cast<std::int64_t>(b) * out_h + oy) * out_w + ox) *
+                      g.out_c;
+        for (int ky = 0; ky < g.filter_h; ++ky) {
+          const int iy = iy0 + ky;
+          for (int kx = 0; kx < g.filter_w; ++kx) {
+            const int ix = ix0 + kx;
+            if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) continue;
+            // This tap read one-padding (+1) but should contribute 0:
+            // subtract the weight value at this position, per channel.
+            const std::int32_t* wsum =
+                filter_pos_weight_sums_.data() +
+                static_cast<std::size_t>(ky * g.filter_w + kx) * g.out_c;
+            for (int n = 0; n < g.out_c; ++n) row[n] -= wsum[n];
+          }
+        }
+      }
+    }
+  }
+}
+
+void BConv2D::OutputTransformFloat(const std::int32_t* acc, std::int64_t rows,
+                                   float* out) const {
+  const int out_c = attrs_.geo.out_c;
+  const bool has_mult = !attrs_.multiplier.empty();
+  const bool has_bias = !attrs_.bias.empty();
+  const float* mult = has_mult ? attrs_.multiplier.data() : nullptr;
+  const float* bias = has_bias ? attrs_.bias.data() : nullptr;
+  const std::int64_t total = rows * out_c;
+
+  // Specialized branch-free inner loops so the compiler vectorizes the
+  // int->float conversion and the fused affine (this transform runs on
+  // every output element; see Table 4).
+  const bool relu = attrs_.pre_activation == Activation::kRelu;
+  if (!has_mult && !has_bias) {
+    if (relu) {
+      for (std::int64_t i = 0; i < total; ++i) {
+        out[i] = static_cast<float>(acc[i] > 0 ? acc[i] : 0);
+      }
+    } else {
+      for (std::int64_t i = 0; i < total; ++i) {
+        out[i] = static_cast<float>(acc[i]);
+      }
+    }
+    return;
+  }
+  if (attrs_.pre_activation == Activation::kNone || relu) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::int32_t* a = acc + r * out_c;
+      float* o = out + r * out_c;
+      if (relu) {
+        for (int n = 0; n < out_c; ++n) {
+          const float v = static_cast<float>(a[n] > 0 ? a[n] : 0);
+          o[n] = v * (mult != nullptr ? mult[n] : 1.0f) +
+                 (bias != nullptr ? bias[n] : 0.0f);
+        }
+      } else {
+        for (int n = 0; n < out_c; ++n) {
+          o[n] = static_cast<float>(a[n]) * (mult != nullptr ? mult[n] : 1.0f) +
+                 (bias != nullptr ? bias[n] : 0.0f);
+        }
+      }
+    }
+    return;
+  }
+  // General (rare) activations: the straightforward loop.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int32_t* a = acc + r * out_c;
+    float* o = out + r * out_c;
+    for (int n = 0; n < out_c; ++n) {
+      float v = ApplyActivation(static_cast<float>(a[n]),
+                                attrs_.pre_activation);
+      if (has_mult) v *= mult[n];
+      if (has_bias) v += bias[n];
+      o[n] = v;
+    }
+  }
+}
+
+void BConv2D::OutputTransformBitpacked(const std::int32_t* acc,
+                                       std::int64_t rows,
+                                       TBitpacked* out) const {
+  const int out_c = attrs_.geo.out_c;
+  const int words = BitpackedWords(out_c);
+  const std::int32_t* cmp = threshold_cmp_.data();
+  const std::uint32_t* flip = threshold_flip_.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int32_t* a = acc + r * out_c;
+    TBitpacked* o = out + r * words;
+    for (int w = 0; w < words; ++w) {
+      const int base = w * kBitpackWordSize;
+      const int valid = std::min(kBitpackWordSize, out_c - base);
+      TBitpacked bits = 0;
+      // Branch-free: bit = (acc < cmp) XOR flip; auto-vectorizable.
+      for (int b = 0; b < valid; ++b) {
+        const std::uint32_t bit =
+            static_cast<std::uint32_t>(a[base + b] < cmp[base + b]) ^
+            flip[base + b];
+        bits |= static_cast<TBitpacked>(bit) << b;
+      }
+      o[w] = bits;
+    }
+  }
+}
+
+void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
+                  BConvStageTimes* times) const {
+  const Conv2DGeometry& g = attrs_.geo;
+  LCE_CHECK(input.dtype() == DataType::kBitpacked);
+  LCE_CHECK_EQ(input.shape().dim(3), g.in_c);
+
+  const std::int64_t rows = Im2ColRows(g);
+  const int patch_words = Im2ColDepthBitpacked(g);
+
+  const int groups = std::max(1, attrs_.groups);
+  const int in_c_pg = g.in_c / groups;
+  const int out_c_pg = g.out_c / groups;
+  const int group_words = BitpackedWords(in_c_pg);
+  const int total_words = groups * group_words;
+
+  // Fast path: a 1x1 stride-1 convolution's im2col is the identity, so the
+  // bitpacked input feeds the BGEMM directly (no patch materialization).
+  const bool pointwise = groups == 1 && g.filter_h == 1 && g.filter_w == 1 &&
+                         g.stride_h == 1 && g.stride_w == 1;
+
+  const double t0 = NowSeconds();
+  TBitpacked* patches = nullptr;
+  if (pointwise) {
+    patches = const_cast<TBitpacked*>(input.data<TBitpacked>());
+  } else {
+    patches = reinterpret_cast<TBitpacked*>(ctx.Scratch(
+        1, static_cast<std::size_t>(rows) * patch_words * sizeof(TBitpacked)));
+    if (groups == 1 && !attrs_.use_indirect_bgemm) {
+      Im2ColBitpacked(input.data<TBitpacked>(), g, patches);
+    }
+  }
+
+  double t1 = NowSeconds();
+  auto* acc = reinterpret_cast<std::int32_t*>(ctx.Scratch(
+      2, static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t)));
+  if (groups == 1 && attrs_.use_indirect_bgemm) {
+    // Indirect path: pointer setup replaces im2col entirely.
+    const gemm::IndirectionBuffer ind(input.data<TBitpacked>(), g);
+    t1 = NowSeconds();
+    gemm::IndirectBGemm(ind, packed_rows_.data(), g.out_c, k_bits_, acc,
+                        g.out_c);
+  } else if (groups == 1) {
+    gemm::BGemm(patches, static_cast<int>(rows), group_weights_[0], k_bits_,
+                acc, g.out_c, ctx);
+  } else {
+    double im2col_total = t1 - t0;
+    double gemm_total = 0.0;
+    for (int grp = 0; grp < groups; ++grp) {
+      const double g0 = NowSeconds();
+      Im2ColBitpackedGroup(input.data<TBitpacked>(), g, total_words,
+                           grp * group_words, group_words, patches);
+      const double g1 = NowSeconds();
+      gemm::BGemm(patches, static_cast<int>(rows), group_weights_[grp],
+                  k_bits_, acc + static_cast<std::int64_t>(grp) * out_c_pg,
+                  g.out_c, ctx);
+      im2col_total += g1 - g0;
+      gemm_total += NowSeconds() - g1;
+    }
+    // Fold the per-group stage timings into the im2col/gemm boundary.
+    t1 = t0 + im2col_total;
+    // The accumulated gemm time ends "now".
+    (void)gemm_total;
+  }
+
+  const double t2 = NowSeconds();
+  if (g.padding == Padding::kSameZero) ApplyZeroPaddingCorrection(acc);
+
+  switch (attrs_.output_type) {
+    case BConvOutputType::kFloat:
+      LCE_CHECK(output.dtype() == DataType::kFloat32);
+      OutputTransformFloat(acc, rows, output.data<float>());
+      break;
+    case BConvOutputType::kBitpacked:
+      LCE_CHECK(output.dtype() == DataType::kBitpacked);
+      OutputTransformBitpacked(acc, rows, output.data<TBitpacked>());
+      break;
+    case BConvOutputType::kInt32:
+      LCE_CHECK(output.dtype() == DataType::kInt32);
+      std::memcpy(output.data<std::int32_t>(), acc,
+                  static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t));
+      break;
+  }
+  const double t3 = NowSeconds();
+  if (times != nullptr) {
+    times->im2col = t1 - t0;
+    times->gemm = t2 - t1;
+    times->transform = t3 - t2;
+  }
+}
+
+}  // namespace lce

@@ -1,0 +1,122 @@
+// LceBConv2d: the primary binarized operator (paper section 3.2).
+//
+// Three-stage pipeline, exactly as described in the paper:
+//   1. im2col on bitpacked activations (one-padding falls out naturally);
+//   2. BGEMM (XOR + POPCOUNT) accumulating into int32;
+//   3. an output-type-specific output transform that applies the fused
+//      channel-wise multiplier/bias (from batch-norm fusion), the fused
+//      activation, and writes float output -- or compares the accumulator
+//      against precomputed per-channel thresholds and writes bitpacked
+//      output directly (enabling binarized-layer chaining without
+//      materializing full-precision values).
+//
+// Zero-padding support: bitpacked data cannot represent 0, so SAME_ZERO
+// convolutions are computed with one-padding and then corrected by
+// subtracting, per output position, the sum of the +/-1 weights that overlap
+// the padded region (precomputed per (filter position, output channel)).
+// This is the paper's "extra correction step [which] is therefore slower".
+#ifndef LCE_KERNELS_BCONV2D_H_
+#define LCE_KERNELS_BCONV2D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+#include "core/types.h"
+#include "gemm/bgemm.h"
+#include "gemm/context.h"
+#include "kernels/conv_params.h"
+
+namespace lce {
+
+enum class BConvOutputType : std::uint8_t {
+  kFloat = 0,      // full-precision output with fused mult/bias/activation
+  kBitpacked = 1,  // thresholded, bitpacked output (binarized chaining)
+  kInt32 = 2,      // raw accumulator output (tests / debugging)
+};
+
+struct BConv2DAttrs {
+  Conv2DGeometry geo;
+  BConvOutputType output_type = BConvOutputType::kFloat;
+  // Grouped convolution: input and output channels are split into `groups`
+  // independent convolutions. Both in_c/groups and out_c/groups must be
+  // whole, and in_c/groups must be a multiple of 32 so that group
+  // boundaries fall on bitpacked word boundaries.
+  int groups = 1;
+  // Use the indirect BGEMM kernel (pointer indirection instead of im2col;
+  // see gemm/indirect_bgemm.h). Only honored for groups == 1.
+  bool use_indirect_bgemm = false;
+  // Fused activation applied to the integer accumulator *before* the
+  // channel-wise transform (matches conv -> ReLU -> BatchNorm graphs, the
+  // QuickNet pattern).
+  Activation pre_activation = Activation::kNone;
+  // Per-output-channel fused multiplier/bias (empty means 1 / 0).
+  std::vector<float> multiplier;
+  std::vector<float> bias;
+};
+
+// Wall-clock seconds spent in each stage of the last Run() call; used by the
+// profiler for the Table 4 accumulation-loop vs output-transform breakdown.
+struct BConvStageTimes {
+  double im2col = 0.0;
+  double gemm = 0.0;
+  double transform = 0.0;
+};
+
+class BConv2D {
+ public:
+  // weights: float OHWI with +/-1 values (only the sign is used); for
+  // grouped convolutions the innermost dimension is in_c/groups. The
+  // weights are bitpacked and Ruy-packed once here -- the converter's
+  // "binary weight compression" plus the kernel's weight pre-packing.
+  BConv2D(const float* weights_ohwi, BConv2DAttrs attrs);
+
+  // weights already bitpacked (the converter's compressed form): layout
+  // [out_c][filter_h*filter_w][words(in_c)], i.e. an OHWI tensor packed
+  // along the innermost dimension.
+  BConv2D(const TBitpacked* packed_weights_ohwi, BConv2DAttrs attrs);
+
+  // input: bitpacked NHWC [batch, in_h, in_w, in_c(packed)].
+  // output: dtype matching attrs.output_type, shape [batch, oh, ow, out_c].
+  // scratch usage: context slots 1 (im2col) and 2 (accumulators).
+  void Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
+           BConvStageTimes* times = nullptr) const;
+
+  const BConv2DAttrs& attrs() const { return attrs_; }
+
+  // Size in bytes of the bitpacked weights (32x smaller than float).
+  std::size_t packed_weights_bytes() const {
+    return packed_rows_.size() * sizeof(TBitpacked);
+  }
+
+ private:
+  // Shared setup once packed_rows_ and filter_pos_weight_sums_ are filled.
+  void Init();
+  void OutputTransformFloat(const std::int32_t* acc, std::int64_t rows,
+                            float* out) const;
+  void OutputTransformBitpacked(const std::int32_t* acc, std::int64_t rows,
+                                TBitpacked* out) const;
+  void ApplyZeroPaddingCorrection(std::int32_t* acc) const;
+
+  BConv2DAttrs attrs_;
+  // [out_c][fh*fw*words(in_c/groups)]
+  std::vector<TBitpacked> packed_rows_;
+  // One packed weight matrix per group (a single entry when groups == 1).
+  std::vector<gemm::PackedBinaryMatrix> group_weights_;
+  int k_bits_ = 0;  // logical K per group: fh*fw*(in_c/groups)
+
+  // Bitpacked-output thresholds in branch-free canonical form:
+  //   bit = (acc < cmp[n]) XOR flip[n]
+  // Flipped channels (negative multiplier) store cmp = threshold+1 and
+  // flip = 1 (a > t  <=>  !(a < t+1)); constant channels use
+  // cmp = INT32_MIN with flip carrying the constant bit.
+  std::vector<std::int32_t> threshold_cmp_;
+  std::vector<std::uint32_t> threshold_flip_;
+
+  // Zero-padding correction: weight sums per (filter position, channel).
+  std::vector<std::int32_t> filter_pos_weight_sums_;  // [fh*fw][out_c]
+};
+
+}  // namespace lce
+
+#endif  // LCE_KERNELS_BCONV2D_H_

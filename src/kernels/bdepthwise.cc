@@ -1,0 +1,115 @@
+#include "kernels/bdepthwise.h"
+
+#include "core/bitpack.h"
+#include "core/macros.h"
+
+namespace lce {
+namespace {
+
+// Bit-sliced counter over up to 15 taps: four bit-planes of 32 lane-wise
+// counters. Incrementing by the bits of `x` is a ripple-carry add of a
+// one-bit number into the 4-bit planes.
+struct SlicedCounter {
+  TBitpacked plane[4] = {0, 0, 0, 0};
+
+  inline void Add(TBitpacked x) {
+    TBitpacked carry = x;
+    for (int p = 0; p < 4 && carry != 0; ++p) {
+      const TBitpacked sum = plane[p] ^ carry;
+      carry &= plane[p];
+      plane[p] = sum;
+    }
+  }
+
+  inline int Count(int bit) const {
+    return static_cast<int>((plane[0] >> bit) & 1u) |
+           (static_cast<int>((plane[1] >> bit) & 1u) << 1) |
+           (static_cast<int>((plane[2] >> bit) & 1u) << 2) |
+           (static_cast<int>((plane[3] >> bit) & 1u) << 3);
+  }
+};
+
+}  // namespace
+
+BDepthwiseConv2D::BDepthwiseConv2D(const float* weights,
+                                   BDepthwiseConv2DAttrs attrs)
+    : attrs_(std::move(attrs)) {
+  const Conv2DGeometry& g = attrs_.geo;
+  LCE_CHECK_EQ(g.in_c, g.out_c);
+  // Zero padding would need a correction step (cf. LceBConv2d); the
+  // depthwise kernel supports one-padding and VALID only.
+  LCE_CHECK(g.padding != Padding::kSameZero);
+  // 4 counter bit-planes hold tap counts up to 15.
+  LCE_CHECK_LE(g.filter_h * g.filter_w, 15);
+  if (!attrs_.multiplier.empty()) {
+    LCE_CHECK_EQ(static_cast<int>(attrs_.multiplier.size()), g.in_c);
+  }
+  if (!attrs_.bias.empty()) {
+    LCE_CHECK_EQ(static_cast<int>(attrs_.bias.size()), g.in_c);
+  }
+  const int words = BitpackedWords(g.in_c);
+  packed_weights_.assign(
+      static_cast<std::size_t>(g.filter_h) * g.filter_w * words, 0);
+  for (int p = 0; p < g.filter_h * g.filter_w; ++p) {
+    BitpackRow(weights + static_cast<std::int64_t>(p) * g.in_c, g.in_c,
+               packed_weights_.data() + static_cast<std::int64_t>(p) * words);
+  }
+}
+
+void BDepthwiseConv2D::Run(const Tensor& input, Tensor& output) const {
+  const Conv2DGeometry& g = attrs_.geo;
+  LCE_CHECK(input.dtype() == DataType::kBitpacked);
+  LCE_CHECK(output.dtype() == DataType::kFloat32);
+  const int words = BitpackedWords(g.in_c);
+  const int out_h = g.out_h(), out_w = g.out_w();
+  const int pad_h = g.pad_h_begin(), pad_w = g.pad_w_begin();
+  const int taps = g.filter_h * g.filter_w;
+  const TBitpacked* in = input.data<TBitpacked>();
+  float* out = output.data<float>();
+  const bool has_mult = !attrs_.multiplier.empty();
+  const bool has_bias = !attrs_.bias.empty();
+
+  for (int b = 0; b < g.batch; ++b) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        float* o =
+            out + ((static_cast<std::int64_t>(b) * out_h + oy) * out_w + ox) *
+                      g.in_c;
+        for (int w = 0; w < words; ++w) {
+          SlicedCounter counter;
+          for (int ky = 0; ky < g.filter_h; ++ky) {
+            const int iy = oy * g.stride_h - pad_h + ky;
+            for (int kx = 0; kx < g.filter_w; ++kx) {
+              const int ix = ox * g.stride_w - pad_w + kx;
+              const TBitpacked wv =
+                  packed_weights_[static_cast<std::size_t>(
+                                      ky * g.filter_w + kx) *
+                                      words +
+                                  w];
+              TBitpacked av = 0;  // one-padding: +1.0 = 0 bits
+              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                av = in[((static_cast<std::int64_t>(b) * g.in_h + iy) *
+                             g.in_w +
+                         ix) *
+                            words +
+                        w];
+              }
+              counter.Add(av ^ wv);
+            }
+          }
+          const int base = w * kBitpackWordSize;
+          const int valid = std::min(kBitpackWordSize, g.in_c - base);
+          for (int bit = 0; bit < valid; ++bit) {
+            const int c = base + bit;
+            float v = static_cast<float>(taps - 2 * counter.Count(bit));
+            if (has_mult) v *= attrs_.multiplier[c];
+            if (has_bias) v += attrs_.bias[c];
+            o[c] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lce

@@ -1,0 +1,49 @@
+// LceBFullyConnected: binarized fully-connected layer, the operator behind
+// the classic binary MLP classifiers (Binary AlexNet's FC layers). A
+// fully-connected layer is a BGEMM with one row per batch element, so this
+// reuses the packed BGEMM stack directly and supports the same fused
+// per-output multiplier/bias transform as LceBConv2d.
+#ifndef LCE_KERNELS_BFULLY_CONNECTED_H_
+#define LCE_KERNELS_BFULLY_CONNECTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+#include "gemm/bgemm.h"
+#include "gemm/context.h"
+
+namespace lce {
+
+struct BFullyConnectedAttrs {
+  int in_features = 0;   // logical input features (bitpacked in words)
+  int out_features = 0;
+  // Fused per-output-feature transform: y = pre_act(dot) * mult + bias.
+  Activation pre_activation = Activation::kNone;
+  std::vector<float> multiplier;
+  std::vector<float> bias;
+};
+
+class BFullyConnected {
+ public:
+  // weights: float [out_features][in_features] with +/-1 values.
+  BFullyConnected(const float* weights, BFullyConnectedAttrs attrs);
+  // weights already bitpacked: [out_features][words(in_features)].
+  BFullyConnected(const TBitpacked* packed_weights, BFullyConnectedAttrs attrs);
+
+  // input: bitpacked [batch, in_features]; output: float [batch, out].
+  void Run(const Tensor& input, Tensor& output, gemm::Context& ctx) const;
+
+  const BFullyConnectedAttrs& attrs() const { return attrs_; }
+
+ private:
+  void Init();
+
+  BFullyConnectedAttrs attrs_;
+  std::vector<TBitpacked> packed_rows_;
+  gemm::PackedBinaryMatrix packed_weights_;
+};
+
+}  // namespace lce
+
+#endif  // LCE_KERNELS_BFULLY_CONNECTED_H_

@@ -1,0 +1,50 @@
+#include "kernels/bmaxpool.h"
+
+#include "core/bitpack.h"
+#include "core/macros.h"
+
+namespace lce {
+
+void LceBMaxPool2d(const Tensor& input, const Pool2DGeometry& g,
+                   Tensor& output) {
+  LCE_CHECK(input.dtype() == DataType::kBitpacked);
+  LCE_CHECK(output.dtype() == DataType::kBitpacked);
+  const int words = BitpackedWords(g.channels);
+  const int out_h = g.out_h(), out_w = g.out_w();
+  const int pad_h = g.pad_h_begin(), pad_w = g.pad_w_begin();
+  const TBitpacked* in = input.data<TBitpacked>();
+  TBitpacked* out = output.data<TBitpacked>();
+
+  for (int b = 0; b < g.batch; ++b) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        TBitpacked* o =
+            out + ((static_cast<std::int64_t>(b) * out_h + oy) * out_w + ox) *
+                      words;
+        // Start from all-ones (-1.0, the identity for binary max under the
+        // AND formulation) and AND in every valid window element.
+        for (int w = 0; w < words; ++w) o[w] = ~TBitpacked{0};
+        for (int ky = 0; ky < g.filter_h; ++ky) {
+          const int iy = oy * g.stride_h - pad_h + ky;
+          if (iy < 0 || iy >= g.in_h) continue;
+          for (int kx = 0; kx < g.filter_w; ++kx) {
+            const int ix = ox * g.stride_w - pad_w + kx;
+            if (ix < 0 || ix >= g.in_w) continue;
+            const TBitpacked* src =
+                in + ((static_cast<std::int64_t>(b) * g.in_h + iy) * g.in_w +
+                      ix) *
+                         words;
+            for (int w = 0; w < words; ++w) o[w] &= src[w];
+          }
+        }
+        // Keep channel-padding bits at 0 (+1.0) as the format requires.
+        if (g.channels % kBitpackWordSize != 0) {
+          const int valid = g.channels % kBitpackWordSize;
+          o[words - 1] &= (TBitpacked{1} << valid) - 1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lce

@@ -1,0 +1,23 @@
+// LceBMaxPool2d: binary max pooling on bitpacked data (paper section 3.2).
+//
+// Since max(sign(X)) == sign(max(X)), a MaxPool directly followed by a
+// binarized convolution can be computed on bitpacked data. With the 0-bit =
+// +1.0 encoding, the max over a window is +1 iff any input is +1, i.e. the
+// output word is the bitwise AND of the input words.
+#ifndef LCE_KERNELS_BMAXPOOL_H_
+#define LCE_KERNELS_BMAXPOOL_H_
+
+#include "core/tensor.h"
+#include "kernels/conv_params.h"
+
+namespace lce {
+
+// input: bitpacked NHWC; output: bitpacked NHWC with pooled spatial dims.
+// Padded window positions are ignored (TF semantics); a window entirely in
+// padding would be ill-defined, but cannot occur with TF SAME/VALID geometry.
+void LceBMaxPool2d(const Tensor& input, const Pool2DGeometry& geo,
+                   Tensor& output);
+
+}  // namespace lce
+
+#endif  // LCE_KERNELS_BMAXPOOL_H_

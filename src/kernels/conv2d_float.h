@@ -1,0 +1,38 @@
+// Full-precision Conv2D (im2col + packed float GEMM), the role TFLite's
+// float convolution plays for the non-binary layers of the models.
+#ifndef LCE_KERNELS_CONV2D_FLOAT_H_
+#define LCE_KERNELS_CONV2D_FLOAT_H_
+
+#include <vector>
+
+#include "core/tensor.h"
+#include "gemm/context.h"
+#include "gemm/float_gemm.h"
+#include "kernels/conv_params.h"
+
+namespace lce {
+
+struct Conv2DFloatAttrs {
+  Conv2DGeometry geo;
+  Activation activation = Activation::kNone;
+  std::vector<float> bias;  // per out channel; empty means 0
+};
+
+class Conv2DFloat {
+ public:
+  // weights: float OHWI, packed once for the GEMM.
+  Conv2DFloat(const float* weights_ohwi, Conv2DFloatAttrs attrs);
+
+  // input: float NHWC; output: float NHWC [batch, oh, ow, out_c].
+  void Run(const Tensor& input, Tensor& output, gemm::Context& ctx) const;
+
+  const Conv2DFloatAttrs& attrs() const { return attrs_; }
+
+ private:
+  Conv2DFloatAttrs attrs_;
+  gemm::PackedFloatMatrix packed_weights_;
+};
+
+}  // namespace lce
+
+#endif  // LCE_KERNELS_CONV2D_FLOAT_H_

@@ -1,0 +1,107 @@
+#include "kernels/conv2d_int8.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.h"
+#include "kernels/im2col.h"
+
+namespace lce {
+
+Conv2DInt8::Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs)
+    : attrs_(std::move(attrs)) {
+  const Conv2DGeometry& g = attrs_.geo;
+  LCE_CHECK(g.padding != Padding::kSameOne);
+  LCE_CHECK_EQ(attrs_.weight_quant.zero_point, 0);  // symmetric weights
+  if (!attrs_.bias.empty()) {
+    LCE_CHECK_EQ(static_cast<int>(attrs_.bias.size()), g.out_c);
+  }
+  packed_weights_ =
+      gemm::PackedInt8Matrix(weights_ohwi, g.out_c, Im2ColDepthFloat(g));
+
+  per_channel_ = !attrs_.weight_scales.empty();
+  if (per_channel_) {
+    LCE_CHECK_EQ(static_cast<int>(attrs_.weight_scales.size()), g.out_c);
+    requant_multiplier_.resize(g.out_c);
+    requant_shift_.resize(g.out_c);
+    for (int n = 0; n < g.out_c; ++n) {
+      const double real_multiplier =
+          static_cast<double>(attrs_.input_quant.scale) *
+          attrs_.weight_scales[n] / attrs_.output_quant.scale;
+      QuantizeMultiplier(real_multiplier, &requant_multiplier_[n],
+                         &requant_shift_[n]);
+    }
+  } else {
+    requant_multiplier_.resize(1);
+    requant_shift_.resize(1);
+    const double real_multiplier =
+        static_cast<double>(attrs_.input_quant.scale) *
+        attrs_.weight_quant.scale / attrs_.output_quant.scale;
+    QuantizeMultiplier(real_multiplier, &requant_multiplier_[0],
+                       &requant_shift_[0]);
+  }
+
+  // Fused activation becomes clamping in the quantized domain.
+  const auto quantize_clamp = [&](float real) {
+    return static_cast<std::int32_t>(
+        std::round(real / attrs_.output_quant.scale) +
+        attrs_.output_quant.zero_point);
+  };
+  switch (attrs_.activation) {
+    case Activation::kNone:
+    case Activation::kSigmoid:  // not supported fused in the int8 path
+      break;
+    case Activation::kRelu:
+      act_min_ = std::clamp(quantize_clamp(0.0f), -128, 127);
+      break;
+    case Activation::kRelu6:
+      act_min_ = std::clamp(quantize_clamp(0.0f), -128, 127);
+      act_max_ = std::clamp(quantize_clamp(6.0f), -128, 127);
+      break;
+  }
+}
+
+void Conv2DInt8::Run(const Tensor& input, Tensor& output,
+                     gemm::Context& ctx) const {
+  const Conv2DGeometry& g = attrs_.geo;
+  LCE_CHECK(input.dtype() == DataType::kInt8);
+  LCE_CHECK(output.dtype() == DataType::kInt8);
+
+  const std::int64_t rows = Im2ColRows(g);
+  const int depth = Im2ColDepthFloat(g);
+  auto* patches = reinterpret_cast<std::int8_t*>(
+      ctx.Scratch(1, static_cast<std::size_t>(rows) * depth));
+  // Pad with the input zero point so padding contributes zero after offset
+  // subtraction.
+  Im2ColInt8(input.data<std::int8_t>(), g,
+             static_cast<std::int8_t>(std::clamp(
+                 attrs_.input_quant.zero_point, -128, 127)),
+             patches);
+
+  auto* acc = reinterpret_cast<std::int32_t*>(ctx.Scratch(
+      2, static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t)));
+  gemm::Int8Gemm(patches, static_cast<int>(rows), packed_weights_, acc,
+                 g.out_c, ctx);
+
+  // Requantize: out = z_out + M * (acc - z_in * rowsum(w) + bias).
+  const std::int32_t z_in = attrs_.input_quant.zero_point;
+  const std::int32_t z_out = attrs_.output_quant.zero_point;
+  const auto& row_sums = packed_weights_.row_sums();
+  std::int8_t* out = output.data<std::int8_t>();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int32_t* a = acc + r * g.out_c;
+    std::int8_t* o = out + r * g.out_c;
+    for (int n = 0; n < g.out_c; ++n) {
+      std::int32_t v = a[n] - z_in * row_sums[n];
+      if (!attrs_.bias.empty()) v += attrs_.bias[n];
+      const int q = per_channel_ ? n : 0;
+      v = MultiplyByQuantizedMultiplier(v, requant_multiplier_[q],
+                                        requant_shift_[q]);
+      v += z_out;
+      v = std::clamp(v, act_min_, act_max_);
+      o[n] = static_cast<std::int8_t>(v);
+    }
+  }
+}
+
+}  // namespace lce

@@ -1,0 +1,53 @@
+// 8-bit quantized Conv2D (im2col + packed int8 GEMM + requantization),
+// standing in for TFLite's quantized convolution in the paper's int8
+// comparisons. Per-tensor affine quantization, symmetric weights.
+#ifndef LCE_KERNELS_CONV2D_INT8_H_
+#define LCE_KERNELS_CONV2D_INT8_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quantization.h"
+#include "core/tensor.h"
+#include "gemm/context.h"
+#include "gemm/int8_gemm.h"
+#include "kernels/conv_params.h"
+
+namespace lce {
+
+struct Conv2DInt8Attrs {
+  Conv2DGeometry geo;
+  Activation activation = Activation::kNone;
+  QuantParams input_quant;        // scale s_in, zero point z_in
+  QuantParams weight_quant;       // symmetric: zero point 0 (per-tensor)
+  QuantParams output_quant;       // scale s_out, zero point z_out
+  std::vector<std::int32_t> bias;  // int32, scale s_in*s_w[c]; empty means 0
+  // Optional per-output-channel weight scales (TFLite-style per-channel
+  // quantization). When non-empty, overrides weight_quant.scale; bias[c]
+  // must then be at scale s_in * weight_scales[c].
+  std::vector<float> weight_scales;
+};
+
+class Conv2DInt8 {
+ public:
+  Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs);
+
+  // input: int8 NHWC; output: int8 NHWC.
+  void Run(const Tensor& input, Tensor& output, gemm::Context& ctx) const;
+
+  const Conv2DInt8Attrs& attrs() const { return attrs_; }
+
+ private:
+  Conv2DInt8Attrs attrs_;
+  gemm::PackedInt8Matrix packed_weights_;
+  // Per-output-channel requantization (single entry broadcast when using
+  // per-tensor weight quantization).
+  std::vector<std::int32_t> requant_multiplier_;
+  std::vector<int> requant_shift_;
+  bool per_channel_ = false;
+  std::int32_t act_min_ = -128, act_max_ = 127;
+};
+
+}  // namespace lce
+
+#endif  // LCE_KERNELS_CONV2D_INT8_H_

@@ -1,0 +1,95 @@
+// Shared 2D convolution/pooling geometry: strides, padding arithmetic and
+// output-size computation (TensorFlow SAME/VALID semantics).
+#ifndef LCE_KERNELS_CONV_PARAMS_H_
+#define LCE_KERNELS_CONV_PARAMS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/macros.h"
+#include "core/types.h"
+
+namespace lce {
+
+struct Conv2DGeometry {
+  int batch = 1;
+  int in_h = 0, in_w = 0, in_c = 0;
+  int filter_h = 0, filter_w = 0;
+  int out_c = 0;
+  int stride_h = 1, stride_w = 1;
+  Padding padding = Padding::kValid;
+
+  int out_h() const { return OutSize(in_h, filter_h, stride_h); }
+  int out_w() const { return OutSize(in_w, filter_w, stride_w); }
+
+  // Top/left padding amounts (zero for VALID).
+  int pad_h_begin() const { return PadBegin(in_h, filter_h, stride_h); }
+  int pad_w_begin() const { return PadBegin(in_w, filter_w, stride_w); }
+
+  // MACs for a standard convolution: out_positions * filter_volume * out_c.
+  std::int64_t macs() const {
+    return static_cast<std::int64_t>(batch) * out_h() * out_w() * filter_h *
+           filter_w * in_c * out_c;
+  }
+
+ private:
+  int OutSize(int in, int filter, int stride) const {
+    if (padding == Padding::kValid) {
+      return (in - filter + stride) / stride;
+    }
+    return (in + stride - 1) / stride;
+  }
+  int PadBegin(int in, int filter, int stride) const {
+    if (padding == Padding::kValid) return 0;
+    const int out = OutSize(in, filter, stride);
+    const int total = std::max(0, (out - 1) * stride + filter - in);
+    return total / 2;
+  }
+};
+
+struct Pool2DGeometry {
+  int batch = 1;
+  int in_h = 0, in_w = 0, channels = 0;
+  int filter_h = 2, filter_w = 2;
+  int stride_h = 2, stride_w = 2;
+  Padding padding = Padding::kValid;
+
+  int out_h() const { return OutSize(in_h, filter_h, stride_h); }
+  int out_w() const { return OutSize(in_w, filter_w, stride_w); }
+  int pad_h_begin() const { return PadBegin(in_h, filter_h, stride_h); }
+  int pad_w_begin() const { return PadBegin(in_w, filter_w, stride_w); }
+
+ private:
+  int OutSize(int in, int filter, int stride) const {
+    if (padding == Padding::kValid) {
+      return (in - filter + stride) / stride;
+    }
+    return (in + stride - 1) / stride;
+  }
+  int PadBegin(int in, int filter, int stride) const {
+    if (padding == Padding::kValid) return 0;
+    const int out = OutSize(in, filter, stride);
+    const int total = std::max(0, (out - 1) * stride + filter - in);
+    return total / 2;
+  }
+};
+
+// Applies a fused activation to a float value.
+inline float ApplyActivation(float v, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return v;
+    case Activation::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kRelu6:
+      return v < 0.0f ? 0.0f : (v > 6.0f ? 6.0f : v);
+    case Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+  }
+  return v;
+}
+
+}  // namespace lce
+
+#endif  // LCE_KERNELS_CONV_PARAMS_H_

@@ -1,0 +1,39 @@
+#include "kernels/fully_connected.h"
+
+#include "core/macros.h"
+#include "kernels/conv_params.h"
+
+namespace lce {
+
+FullyConnectedFloat::FullyConnectedFloat(const float* weights,
+                                         FullyConnectedAttrs attrs)
+    : attrs_(std::move(attrs)) {
+  LCE_CHECK_GT(attrs_.in_features, 0);
+  LCE_CHECK_GT(attrs_.out_features, 0);
+  if (!attrs_.bias.empty()) {
+    LCE_CHECK_EQ(static_cast<int>(attrs_.bias.size()), attrs_.out_features);
+  }
+  packed_weights_ = gemm::PackedFloatMatrix(weights, attrs_.out_features,
+                                            attrs_.in_features);
+}
+
+void FullyConnectedFloat::Run(const Tensor& input, Tensor& output,
+                              gemm::Context& ctx) const {
+  LCE_CHECK(input.dtype() == DataType::kFloat32);
+  const int batch = static_cast<int>(input.shape().dim(0));
+  float* out = output.data<float>();
+  gemm::FloatGemm(input.data<float>(), batch, packed_weights_, out,
+                  attrs_.out_features, ctx);
+  if (!attrs_.bias.empty() || attrs_.activation != Activation::kNone) {
+    for (int b = 0; b < batch; ++b) {
+      float* o = out + static_cast<std::int64_t>(b) * attrs_.out_features;
+      for (int n = 0; n < attrs_.out_features; ++n) {
+        float v = o[n];
+        if (!attrs_.bias.empty()) v += attrs_.bias[n];
+        o[n] = ApplyActivation(v, attrs_.activation);
+      }
+    }
+  }
+}
+
+}  // namespace lce

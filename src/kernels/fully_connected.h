@@ -1,0 +1,38 @@
+// Full-precision fully connected layer (the final classifier layer in every
+// model the paper benchmarks).
+#ifndef LCE_KERNELS_FULLY_CONNECTED_H_
+#define LCE_KERNELS_FULLY_CONNECTED_H_
+
+#include <vector>
+
+#include "core/tensor.h"
+#include "gemm/context.h"
+#include "gemm/float_gemm.h"
+
+namespace lce {
+
+struct FullyConnectedAttrs {
+  int in_features = 0;
+  int out_features = 0;
+  Activation activation = Activation::kNone;
+  std::vector<float> bias;  // empty means 0
+};
+
+class FullyConnectedFloat {
+ public:
+  // weights: [out_features][in_features] row-major.
+  FullyConnectedFloat(const float* weights, FullyConnectedAttrs attrs);
+
+  // input: [batch, in_features]; output: [batch, out_features].
+  void Run(const Tensor& input, Tensor& output, gemm::Context& ctx) const;
+
+  const FullyConnectedAttrs& attrs() const { return attrs_; }
+
+ private:
+  FullyConnectedAttrs attrs_;
+  gemm::PackedFloatMatrix packed_weights_;
+};
+
+}  // namespace lce
+
+#endif  // LCE_KERNELS_FULLY_CONNECTED_H_

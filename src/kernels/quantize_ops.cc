@@ -1,0 +1,16 @@
+#include "kernels/quantize_ops.h"
+
+#include "core/bitpack.h"
+#include "core/macros.h"
+
+namespace lce {
+
+void LceQuantize(const Tensor& input, Tensor& output) {
+  BitpackTensor(input, output);
+}
+
+void LceDequantize(const Tensor& input, Tensor& output) {
+  UnpackTensor(input, output);
+}
+
+}  // namespace lce

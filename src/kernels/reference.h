@@ -1,0 +1,32 @@
+// Naive reference implementations used as ground truth in tests. These are
+// deliberately simple loop nests with no packing or fusion.
+#ifndef LCE_KERNELS_REFERENCE_H_
+#define LCE_KERNELS_REFERENCE_H_
+
+#include <cstdint>
+
+#include "kernels/conv_params.h"
+
+namespace lce {
+
+// Plain float convolution, NHWC input, OHWI weights. Padded locations use
+// pad_value (0.0 for SAME_ZERO, +1.0 for SAME_ONE). If multiplier/bias are
+// non-null they are applied per output channel: y = act(conv * mult + bias).
+void RefConv2DFloat(const float* input, const float* weights,
+                    const Conv2DGeometry& geo, float pad_value,
+                    const float* multiplier, const float* bias,
+                    Activation act, float* output);
+
+// Plain float depthwise convolution; weights are [1][fh][fw][channels]
+// (channel multiplier 1).
+void RefDepthwiseConv2DFloat(const float* input, const float* weights,
+                             const Conv2DGeometry& geo, const float* bias,
+                             Activation act, float* output);
+
+// Plain float max pooling (padded locations are ignored, TF semantics).
+void RefMaxPool2DFloat(const float* input, const Pool2DGeometry& geo,
+                       float* output);
+
+}  // namespace lce
+
+#endif  // LCE_KERNELS_REFERENCE_H_

@@ -1,0 +1,66 @@
+// AlexNet-based binarized models: Binary AlexNet (Hubara et al. 2016) and
+// XNOR-Net (Rastegari et al. 2016). Both keep the first convolution in full
+// precision and binarize everything else; the classic binary fully-connected
+// layers are expressed as binarized convolutions (a flatten+FC over a 7x7
+// feature map is exactly a 7x7 VALID convolution), which is also how an
+// inference engine would execute them.
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+namespace {
+
+Graph BuildAlexNetFamily(std::uint64_t seed, int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, seed);
+
+  // Features. Spatial sizes for 224 input: 56 -> 28 -> 14 -> 7.
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 96, 11, 4, Padding::kSameZero);  // full-precision first layer
+  x = b.BatchNorm(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  x = b.BinaryConv(x, 256, 5, 1, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  x = b.BinaryConv(x, 384, 3, 1, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.BinaryConv(x, 384, 3, 1, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.BinaryConv(x, 256, 3, 1, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.MaxPool(x, 2, 2, Padding::kValid);
+
+  // Binary classifier: flatten+binary-FC as VALID binarized convolutions.
+  const int fm = b.HeightOf(x);
+  x = b.BinaryConv(x, 4096, fm, 1, Padding::kValid);  // -> [1,1,1,4096]
+  x = b.BatchNorm(x);
+  x = b.BinaryConv(x, 4096, 1, 1, Padding::kValid);
+  x = b.BatchNorm(x);
+
+  x = b.GlobalAvgPool(x);  // [1,1,4096] -> [1,4096]
+  x = b.Dense(x, 1000);    // full-precision final layer
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace
+
+Graph BuildBinaryAlexNet(int input_hw) {
+  return BuildAlexNetFamily(/*seed=*/2016, input_hw);
+}
+
+// XNOR-Net shares the AlexNet topology; its distinguishing feature --
+// per-channel weight scaling factors -- shows up at inference as the fused
+// per-channel multiplier on each binarized convolution, which our converter
+// produces from the BatchNorm fusion. Different seed, same latency shape.
+Graph BuildXnorNet(int input_hw) {
+  return BuildAlexNetFamily(/*seed=*/2726, input_hw);
+}
+
+}  // namespace lce

@@ -1,0 +1,52 @@
+// BinaryResNetE18 (Bethge et al. 2019, "Back to Simplicity"): a ResNet18
+// variant tuned for binarization -- full-precision shortcuts on every
+// binarized layer like Bi-Real Net, but with the downsampling shortcut
+// implemented as 2x2 *average* pooling followed by channel duplication
+// (concatenation), avoiding the full-precision pointwise convolution
+// entirely. That makes it the cheapest-glue ResNet in the zoo.
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+
+Graph BuildBinaryResNetE18(int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, /*seed=*/583);
+
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 64, 7, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  const int stage_channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int c = stage_channels[stage];
+    for (int layer = 0; layer < 4; ++layer) {
+      const bool downsample = stage > 0 && layer == 0;
+      const int stride = downsample ? 2 : 1;
+      int y = b.BinaryConv(x, c, 3, stride, Padding::kSameZero);
+      y = b.BatchNorm(y);
+      int shortcut = x;
+      if (downsample) {
+        // Parameter-free downsampling shortcut: average pool then duplicate
+        // the channels to double the width.
+        shortcut = b.AvgPool(shortcut, 2, 2, Padding::kValid);
+        shortcut = b.Concat({shortcut, shortcut});
+      }
+      x = b.Add(y, shortcut);
+    }
+  }
+
+  x = b.Relu(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace lce

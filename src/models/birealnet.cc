@@ -1,0 +1,51 @@
+// Bi-Real Net 18 (Liu et al. 2018): ResNet18 topology in which every 3x3
+// convolution is binarized and every binarized layer has its own
+// full-precision shortcut. Downsampling shortcuts are 2x2 average pooling
+// followed by a full-precision pointwise convolution.
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+
+Graph BuildBiRealNet18(int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, /*seed=*/18);
+
+  // Stem: 7x7/2 full-precision conv + BN + 3x3/2 max pool (hw -> hw/4).
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 64, 7, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  // Four stages of four binarized layers each; each layer has a shortcut:
+  //   x = BN(bconv3x3(sign(x))) + shortcut(x)
+  const int stage_channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int c = stage_channels[stage];
+    for (int layer = 0; layer < 4; ++layer) {
+      const bool downsample = stage > 0 && layer == 0;
+      const int stride = downsample ? 2 : 1;
+      int y = b.BinaryConv(x, c, 3, stride, Padding::kSameZero);
+      y = b.BatchNorm(y);
+      int shortcut = x;
+      if (downsample) {
+        shortcut = b.AvgPool(shortcut, 2, 2, Padding::kValid);
+        shortcut = b.Conv(shortcut, c, 1, 1, Padding::kValid);
+        shortcut = b.BatchNorm(shortcut);
+      }
+      x = b.Add(y, shortcut);
+    }
+  }
+
+  x = b.Relu(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace lce

@@ -1,0 +1,235 @@
+#include "models/builder.h"
+
+#include <cmath>
+
+#include "core/macros.h"
+#include "kernels/depthwise_conv.h"
+
+namespace lce {
+
+std::string ModelBuilder::Name(const std::string& base) {
+  return base + "_" + std::to_string(counter_++);
+}
+
+std::vector<float> ModelBuilder::RandomVector(int n, float lo, float hi) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng_.Uniform(lo, hi);
+  return v;
+}
+
+int ModelBuilder::FloatWeightsOHWI(int out_c, int k, int in_c) {
+  Tensor w(DataType::kFloat32, Shape{out_c, k, k, in_c});
+  const float scale = std::sqrt(2.0f / static_cast<float>(k * k * in_c));
+  float* p = w.data<float>();
+  for (std::int64_t i = 0; i < w.num_elements(); ++i) {
+    p[i] = rng_.Uniform(-scale, scale);
+  }
+  return g_.AddConstant(Name("w"), std::move(w));
+}
+
+int ModelBuilder::LatentBinaryWeightsOHWI(int out_c, int k, int in_c) {
+  Tensor w(DataType::kFloat32, Shape{out_c, k, k, in_c});
+  float* p = w.data<float>();
+  for (std::int64_t i = 0; i < w.num_elements(); ++i) {
+    p[i] = rng_.Uniform(-1.0f, 1.0f);
+  }
+  return g_.AddConstant(Name("bw"), std::move(w));
+}
+
+int ModelBuilder::Input(int h, int w, int c) {
+  return g_.AddInput(Name("input"), DataType::kFloat32, Shape{1, h, w, c});
+}
+
+int ModelBuilder::Conv(int x, int out_c, int k, int stride, Padding pad,
+                       Activation act) {
+  const int w = FloatWeightsOHWI(out_c, k, ChannelsOf(x));
+  OpAttrs attrs;
+  attrs.conv.stride_h = attrs.conv.stride_w = stride;
+  attrs.conv.padding = pad;
+  attrs.activation = act;
+  attrs.bias = RandomVector(out_c, -0.1f, 0.1f);
+  return g_.AddNode(OpType::kConv2D, Name("conv"), {x, w}, attrs);
+}
+
+int ModelBuilder::Sign(int x) {
+  for (const auto& [in, out] : sign_cache_) {
+    if (in == x) return out;
+  }
+  OpAttrs attrs;
+  const int out = g_.AddNode(OpType::kFakeSign, Name("sign"), {x}, attrs);
+  sign_cache_.emplace_back(x, out);
+  return out;
+}
+
+int ModelBuilder::BinaryConv(int x, int out_c, int k, int stride,
+                             Padding pad) {
+  const int s = Sign(x);
+  const int w = LatentBinaryWeightsOHWI(out_c, k, ChannelsOf(x));
+  OpAttrs attrs;
+  attrs.conv.stride_h = attrs.conv.stride_w = stride;
+  attrs.conv.padding = pad;
+  attrs.binarize_weights = true;
+  return g_.AddNode(OpType::kConv2D, Name("bconv"), {s, w}, attrs);
+}
+
+int ModelBuilder::BatchNorm(int x) {
+  const int c = ChannelsOf(x);
+  OpAttrs attrs;
+  // Scales sized so post-BN activations of integer-valued binary conv
+  // accumulators stay O(1); offsets keep sign patterns non-degenerate.
+  attrs.bn_scale = RandomVector(c, 0.01f, 0.08f);
+  attrs.bn_offset = RandomVector(c, -0.4f, 0.4f);
+  return g_.AddNode(OpType::kBatchNorm, Name("bn"), {x}, attrs);
+}
+
+int ModelBuilder::Relu(int x) {
+  OpAttrs attrs;
+  return g_.AddNode(OpType::kRelu, Name("relu"), {x}, attrs);
+}
+
+int ModelBuilder::PRelu(int x) {
+  OpAttrs attrs;
+  const int c = ChannelsOf(x);
+  attrs.prelu_slope = RandomVector(c, 0.1f, 0.4f);
+  return g_.AddNode(OpType::kPRelu, Name("prelu"), {x}, attrs);
+}
+
+int ModelBuilder::ChannelShift(int x) {
+  const int c = ChannelsOf(x);
+  OpAttrs attrs;
+  attrs.bn_scale.assign(c, 1.0f);
+  attrs.bn_offset = RandomVector(c, -0.3f, 0.3f);
+  return g_.AddNode(OpType::kBatchNorm, Name("shift"), {x}, attrs);
+}
+
+int ModelBuilder::RPRelu(int x) {
+  x = ChannelShift(x);
+  x = PRelu(x);
+  return ChannelShift(x);
+}
+
+int ModelBuilder::MaxPool(int x, int k, int stride, Padding pad) {
+  OpAttrs attrs;
+  attrs.pool.filter_h = attrs.pool.filter_w = k;
+  attrs.pool.stride_h = attrs.pool.stride_w = stride;
+  attrs.pool.padding = pad;
+  return g_.AddNode(OpType::kMaxPool2D, Name("maxpool"), {x}, attrs);
+}
+
+int ModelBuilder::AvgPool(int x, int k, int stride, Padding pad) {
+  OpAttrs attrs;
+  attrs.pool.filter_h = attrs.pool.filter_w = k;
+  attrs.pool.stride_h = attrs.pool.stride_w = stride;
+  attrs.pool.padding = pad;
+  return g_.AddNode(OpType::kAvgPool2D, Name("avgpool"), {x}, attrs);
+}
+
+int ModelBuilder::DepthwiseConv(int x, int k, int stride, Padding pad,
+                                Activation act) {
+  const int c = ChannelsOf(x);
+  Tensor w(DataType::kFloat32, Shape{k, k, c});
+  const float scale = std::sqrt(2.0f / static_cast<float>(k * k));
+  float* p = w.data<float>();
+  for (std::int64_t i = 0; i < w.num_elements(); ++i) {
+    p[i] = rng_.Uniform(-scale, scale);
+  }
+  const int w_id = g_.AddConstant(Name("dw_w"), std::move(w));
+  OpAttrs attrs;
+  attrs.conv.stride_h = attrs.conv.stride_w = stride;
+  attrs.conv.padding = pad;
+  attrs.activation = act;
+  return g_.AddNode(OpType::kDepthwiseConv2D, Name("dwconv"), {x, w_id}, attrs);
+}
+
+int ModelBuilder::BlurPool(int x) {
+  const int pooled = MaxPool(x, 3, 1, Padding::kSameZero);
+  const int c = ChannelsOf(x);
+  const auto blur = MakeBlurKernel3x3(c);
+  Tensor w(DataType::kFloat32, Shape{3, 3, c});
+  std::memcpy(w.data<float>(), blur.data(), blur.size() * sizeof(float));
+  const int w_id = g_.AddConstant(Name("blur_w"), std::move(w));
+  OpAttrs attrs;
+  attrs.conv.stride_h = attrs.conv.stride_w = 2;
+  attrs.conv.padding = Padding::kSameZero;
+  return g_.AddNode(OpType::kDepthwiseConv2D, Name("blurpool"), {pooled, w_id},
+                    attrs);
+}
+
+int ModelBuilder::GlobalAvgPool(int x) {
+  OpAttrs attrs;
+  return g_.AddNode(OpType::kGlobalAvgPool, Name("gap"), {x}, attrs);
+}
+
+int ModelBuilder::Add(int a, int b) {
+  OpAttrs attrs;
+  return g_.AddNode(OpType::kAdd, Name("add"), {a, b}, attrs);
+}
+
+int ModelBuilder::Concat(const std::vector<int>& xs) {
+  OpAttrs attrs;
+  return g_.AddNode(OpType::kConcat, Name("concat"), xs, attrs);
+}
+
+int ModelBuilder::Slice(int x, int begin, int count) {
+  OpAttrs attrs;
+  attrs.slice_begin = begin;
+  attrs.slice_count = count;
+  return g_.AddNode(OpType::kSlice, Name("slice"), {x}, attrs);
+}
+
+int ModelBuilder::Dense(int x, int out_features, Activation act) {
+  const int in = ChannelsOf(x);
+  Tensor w(DataType::kFloat32, Shape{out_features, in});
+  const float scale = std::sqrt(2.0f / static_cast<float>(in));
+  float* p = w.data<float>();
+  for (std::int64_t i = 0; i < w.num_elements(); ++i) {
+    p[i] = rng_.Uniform(-scale, scale);
+  }
+  const int w_id = g_.AddConstant(Name("fc_w"), std::move(w));
+  OpAttrs attrs;
+  attrs.activation = act;
+  attrs.bias = RandomVector(out_features, -0.1f, 0.1f);
+  return g_.AddNode(OpType::kFullyConnected, Name("fc"), {x, w_id}, attrs);
+}
+
+int ModelBuilder::BinaryDense(int x, int out_features) {
+  const int s = Sign(x);
+  const int in = ChannelsOf(x);
+  Tensor w(DataType::kFloat32, Shape{out_features, in});
+  float* p = w.data<float>();
+  for (std::int64_t i = 0; i < w.num_elements(); ++i) {
+    p[i] = rng_.Uniform(-1.0f, 1.0f);
+  }
+  const int w_id = g_.AddConstant(Name("bfc_w"), std::move(w));
+  OpAttrs attrs;
+  attrs.binarize_weights = true;
+  return g_.AddNode(OpType::kFullyConnected, Name("bfc"), {s, w_id}, attrs);
+}
+
+int ModelBuilder::Softmax(int x) {
+  OpAttrs attrs;
+  return g_.AddNode(OpType::kSoftmax, Name("softmax"), {x}, attrs);
+}
+
+int ModelBuilder::ChannelGate(int x, int reduction) {
+  const int c = ChannelsOf(x);
+  const int squeezed = std::max(1, c / reduction);
+  const int pooled = GlobalAvgPool(x);
+  const int fc1 = Dense(pooled, squeezed, Activation::kRelu);
+  const int fc2 = Dense(fc1, c, Activation::kSigmoid);
+  OpAttrs attrs;
+  return g_.AddNode(OpType::kMulChannel, Name("gate"), {x, fc2}, attrs);
+}
+
+int ModelBuilder::ChannelsOf(int v) const {
+  const Shape& s = g_.value(v).shape;
+  return static_cast<int>(s.dim(s.rank() - 1));
+}
+
+int ModelBuilder::HeightOf(int v) const {
+  const Shape& s = g_.value(v).shape;
+  LCE_CHECK_EQ(s.rank(), 4);
+  return static_cast<int>(s.dim(1));
+}
+
+}  // namespace lce

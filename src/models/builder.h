@@ -1,0 +1,90 @@
+// ModelBuilder: convenience layer for constructing training-dialect graphs
+// (the graphs Larq would produce) with randomly initialized weights. All
+// zoo models are built through this interface and then run through the
+// converter to obtain inference graphs.
+//
+// Weight values are random but statistically sensible (He-style fan-in
+// scaling for float convolutions, uniform latent weights for binarized
+// ones), so that end-to-end numerics stay finite and sign patterns are
+// non-degenerate -- we reproduce *latency* experiments, not trained
+// accuracy (see DESIGN.md).
+#ifndef LCE_MODELS_BUILDER_H_
+#define LCE_MODELS_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "graph/ir.h"
+
+namespace lce {
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(Graph& g, std::uint64_t seed = 42) : g_(g), rng_(seed) {}
+
+  Graph& graph() { return g_; }
+
+  // Graph input [1, h, w, c] float.
+  int Input(int h, int w, int c);
+
+  // Full-precision convolution with random weights; bias included.
+  int Conv(int x, int out_c, int k, int stride, Padding pad,
+           Activation act = Activation::kNone);
+
+  // Emulated binarized convolution: FakeSign(x) -> Conv2D[binarize_weights].
+  // Reuses an existing FakeSign if `x` already has one (via SignOf).
+  int BinaryConv(int x, int out_c, int k, int stride, Padding pad);
+
+  // Explicit sign node (when several convs share one binarized input).
+  int Sign(int x);
+
+  int BatchNorm(int x);  // random per-channel scale/offset
+  int Relu(int x);
+  // Per-channel parametric ReLU with random slopes around 0.25, plus the
+  // per-channel input/output shifts of ReActNet's RPReLU (expressed as
+  // scale-1 BatchNorm ops around the PReLU).
+  int PRelu(int x);
+  int RPRelu(int x);
+  // ReActNet's RSign: per-channel shift then sign; the shift is a scale-1
+  // BatchNorm, the sign comes from the following BinaryConv.
+  int ChannelShift(int x);
+  int MaxPool(int x, int k, int stride, Padding pad);
+  int AvgPool(int x, int k, int stride, Padding pad);
+  // Antialiased downsampling (paper Figure 6b): 3x3 stride-1 max pool
+  // followed by a stride-2 depthwise convolution with a fixed blur kernel.
+  int BlurPool(int x);
+  int DepthwiseConv(int x, int k, int stride, Padding pad,
+                    Activation act = Activation::kNone);
+  int GlobalAvgPool(int x);
+  int Add(int a, int b);
+  int Concat(const std::vector<int>& xs);
+  int Slice(int x, int begin, int count);
+  int Dense(int x, int out_features, Activation act = Activation::kNone);
+  // Emulated binarized fully-connected layer (sign(x) @ sign(W)).
+  int BinaryDense(int x, int out_features);
+  int Softmax(int x);
+  // RealToBinaryNet data-driven gating: GAP -> FC(c/r) relu -> FC(c) sigmoid
+  // -> channel-wise multiply.
+  int ChannelGate(int x, int reduction = 8);
+
+  // Channel count of a value (innermost dimension).
+  int ChannelsOf(int v) const;
+  int HeightOf(int v) const;
+
+ private:
+  std::string Name(const std::string& base);
+  std::vector<float> RandomVector(int n, float lo, float hi);
+  int FloatWeightsOHWI(int out_c, int k, int in_c);  // He-scaled
+  int LatentBinaryWeightsOHWI(int out_c, int k, int in_c);  // uniform [-1,1]
+
+  Graph& g_;
+  Rng rng_;
+  int counter_ = 0;
+  // x value id -> FakeSign output (so convs sharing an input share the sign).
+  std::vector<std::pair<int, int>> sign_cache_;
+};
+
+}  // namespace lce
+
+#endif  // LCE_MODELS_BUILDER_H_

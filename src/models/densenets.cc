@@ -1,0 +1,67 @@
+// BinaryDenseNets (Bethge et al. 2019): dense connectivity with binarized
+// 3x3 convolutions of growth rate 64, full-precision transition layers
+// (pooling + channel-halving 1x1 convolution). These models trade latency
+// for accuracy via heavy full-precision glue -- the bottleneck the paper's
+// Figure 5 breakdown makes visible.
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+namespace {
+
+Graph BuildBinaryDenseNet(const int layers_per_block[4], int growth,
+                          std::uint64_t seed, int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, seed);
+
+  // Stem: 7x7/2 conv + BN + 3x3/2 max pool.
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 64, 7, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  for (int block = 0; block < 4; ++block) {
+    // Dense layers: x = concat(x, BN(bconv3x3_growth(sign(x)))).
+    for (int layer = 0; layer < layers_per_block[block]; ++layer) {
+      int y = b.BinaryConv(x, growth, 3, 1, Padding::kSameZero);
+      y = b.BatchNorm(y);
+      x = b.Concat({x, y});
+    }
+    if (block < 3) {
+      // Transition: 2x2 max pool + full-precision channel-halving 1x1 conv.
+      x = b.MaxPool(x, 2, 2, Padding::kValid);
+      x = b.Relu(x);
+      x = b.Conv(x, b.ChannelsOf(x) / 2, 1, 1, Padding::kValid);
+      x = b.BatchNorm(x);
+    }
+  }
+
+  x = b.Relu(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace
+
+Graph BuildBinaryDenseNet28(int input_hw) {
+  static constexpr int kLayers[4] = {6, 6, 6, 5};
+  return BuildBinaryDenseNet(kLayers, /*growth=*/64, /*seed=*/28, input_hw);
+}
+
+Graph BuildBinaryDenseNet37(int input_hw) {
+  static constexpr int kLayers[4] = {6, 8, 12, 6};
+  return BuildBinaryDenseNet(kLayers, /*growth=*/64, /*seed=*/37, input_hw);
+}
+
+Graph BuildBinaryDenseNet45(int input_hw) {
+  static constexpr int kLayers[4] = {6, 12, 14, 8};
+  return BuildBinaryDenseNet(kLayers, /*growth=*/64, /*seed=*/45, input_hw);
+}
+
+}  // namespace lce

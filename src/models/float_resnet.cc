@@ -1,0 +1,50 @@
+// Full-precision ResNet18: the float baseline for the model-level precision
+// comparison (float vs int8-PTQ vs binarized) and the source architecture
+// of the paper's Figure 2 convolutions.
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+
+Graph BuildFloatResNet18(int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, /*seed=*/32);
+
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 64, 7, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  const int stage_channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int c = stage_channels[stage];
+    for (int block = 0; block < 2; ++block) {
+      const bool downsample = stage > 0 && block == 0;
+      const int stride = downsample ? 2 : 1;
+      int y = b.Conv(x, c, 3, stride, Padding::kSameZero);
+      y = b.BatchNorm(y);
+      y = b.Relu(y);
+      y = b.Conv(y, c, 3, 1, Padding::kSameZero);
+      y = b.BatchNorm(y);
+      int shortcut = x;
+      if (downsample) {
+        shortcut = b.Conv(shortcut, c, 1, 2, Padding::kSameZero);
+        shortcut = b.BatchNorm(shortcut);
+      }
+      x = b.Add(y, shortcut);
+      x = b.Relu(x);
+    }
+  }
+
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace lce

@@ -1,0 +1,63 @@
+#include "models/macs.h"
+
+namespace lce {
+
+ModelStats ComputeModelStats(const Graph& g) {
+  ModelStats stats;
+  for (const auto& n : g.nodes()) {
+    if (!n->alive) continue;
+    switch (n->type) {
+      case OpType::kConv2D: {
+        const std::int64_t macs = n->attrs.conv.macs();
+        if (n->attrs.binarize_weights) {
+          stats.binary_macs += macs;
+        } else {
+          stats.float_macs += macs;
+        }
+        break;
+      }
+      case OpType::kLceBConv2d:
+        stats.binary_macs += n->attrs.conv.macs();
+        break;
+      case OpType::kDepthwiseConv2D: {
+        const Conv2DGeometry& c = n->attrs.conv;
+        stats.float_macs += static_cast<std::int64_t>(c.batch) * c.out_h() *
+                            c.out_w() * c.filter_h * c.filter_w * c.in_c;
+        break;
+      }
+      case OpType::kFullyConnected: {
+        const std::int64_t macs =
+            static_cast<std::int64_t>(n->attrs.fc_in_features) *
+            n->attrs.fc_out_features;
+        if (n->attrs.binarize_weights) {
+          stats.binary_macs += macs;
+        } else {
+          stats.float_macs += macs;
+        }
+        break;
+      }
+      case OpType::kLceBFullyConnected:
+        stats.binary_macs += static_cast<std::int64_t>(n->attrs.fc_in_features) *
+                             n->attrs.fc_out_features;
+        break;
+      default:
+        break;
+    }
+    // Attribute-side parameters (biases, batch-norm affine, fused
+    // multipliers).
+    stats.params += static_cast<std::int64_t>(n->attrs.bias.size()) +
+                    n->attrs.bn_scale.size() + n->attrs.bn_offset.size() +
+                    n->attrs.multiplier.size();
+  }
+  // Constant-side parameters (weights).
+  for (const auto& v : g.values()) {
+    if (!v->is_constant) continue;
+    bool used = false;
+    for (int c : v->consumers) used |= g.node(c).alive;
+    if (used) stats.params += v->constant_data.num_elements();
+  }
+  stats.model_bytes = g.ConstantBytes();
+  return stats;
+}
+
+}  // namespace lce

@@ -1,0 +1,32 @@
+// MAC / parameter / model-size accounting for graphs (Figures 3, 10 and
+// Table 3 report these quantities).
+#ifndef LCE_MODELS_MACS_H_
+#define LCE_MODELS_MACS_H_
+
+#include <cstdint>
+
+#include "graph/ir.h"
+
+namespace lce {
+
+struct ModelStats {
+  std::int64_t binary_macs = 0;   // MACs executed by binarized convolutions
+  std::int64_t float_macs = 0;    // full-precision MACs (conv, dwconv, fc)
+  std::int64_t params = 0;        // weight + bias + norm parameters
+  std::size_t model_bytes = 0;    // serialized constant storage
+
+  // The paper's eMAC metric: binary MACs discounted by `binary_speedup`
+  // (Figure 10 uses 15, the appendix Figure 15 uses 17).
+  double emacs(double binary_speedup) const {
+    return static_cast<double>(float_macs) +
+           static_cast<double>(binary_macs) / binary_speedup;
+  }
+};
+
+// Works on both dialects: emulated binarized convolutions (training graphs)
+// and LceBConv2d (inference graphs) count as binary MACs.
+ModelStats ComputeModelStats(const Graph& g);
+
+}  // namespace lce
+
+#endif  // LCE_MODELS_MACS_H_

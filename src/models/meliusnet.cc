@@ -1,0 +1,81 @@
+// MeliusNet22 (Bethge et al. 2020): alternating Dense Blocks (binarized
+// 3x3 conv appending 64 channels) and Improvement Blocks (binarized 3x3
+// conv whose 64 outputs are added onto the last 64 channels), with grouped
+// full-precision stem and transition convolutions approximated by standard
+// ones. The slice/add/concat glue of the improvement blocks is exactly the
+// full-precision overhead the paper attributes to this family.
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+
+namespace {
+
+Graph BuildMeliusNet(const int pairs[4], const int transition_channels[3],
+                     std::uint64_t seed, int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, seed);
+
+  // Stem (approximating the grouped-stem with standard convolutions):
+  // 3x3/2 conv 32 + BN + 3x3 conv 64 + BN + 3x3/2 max pool.
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 32, 3, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  x = b.Conv(x, 64, 3, 1, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  for (int block = 0; block < 4; ++block) {
+    for (int p = 0; p < pairs[block]; ++p) {
+      // Dense Block: c -> c + 64.
+      int d = b.BinaryConv(x, 64, 3, 1, Padding::kSameZero);
+      d = b.BatchNorm(d);
+      x = b.Concat({x, d});
+      // Improvement Block: add 64 new features onto the last 64 channels.
+      int imp = b.BinaryConv(x, 64, 3, 1, Padding::kSameZero);
+      imp = b.BatchNorm(imp);
+      const int c = b.ChannelsOf(x);
+      const int head = b.Slice(x, 0, c - 64);
+      const int tail = b.Slice(x, c - 64, 64);
+      const int improved = b.Add(tail, imp);
+      x = b.Concat({head, improved});
+    }
+    if (block < 3) {
+      // Transition: 2x2 max pool + full-precision 1x1 channel reduction.
+      x = b.MaxPool(x, 2, 2, Padding::kValid);
+      x = b.Relu(x);
+      x = b.Conv(x, transition_channels[block], 1, 1, Padding::kValid);
+      x = b.BatchNorm(x);
+    }
+  }
+
+  x = b.Relu(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace
+
+// MeliusNet22: (4, 5, 4, 4) Dense+Improvement pairs, growth 64, transition
+// channels (160, 224, 256).
+Graph BuildMeliusNet22(int input_hw) {
+  static constexpr int kPairs[4] = {4, 5, 4, 4};
+  static constexpr int kTransitions[3] = {160, 224, 256};
+  return BuildMeliusNet(kPairs, kTransitions, /*seed=*/22, input_hw);
+}
+
+// MeliusNet29: (4, 6, 8, 6) pairs with wider transitions (128, 256, 288).
+Graph BuildMeliusNet29(int input_hw) {
+  static constexpr int kPairs[4] = {4, 6, 8, 6};
+  static constexpr int kTransitions[3] = {128, 256, 288};
+  return BuildMeliusNet(kPairs, kTransitions, /*seed=*/29, input_hw);
+}
+
+}  // namespace lce

@@ -1,0 +1,67 @@
+// QuickNet (paper section 5.1): four residual blocks of one-padded 3x3
+// binarized convolutions, an efficient depthwise-separable stem (Figure 6a)
+// and antialiased-max-pool transition blocks (Figure 6b).
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+
+QuickNetConfig QuickNetSmallConfig() {
+  return {"QuickNetSmall", {4, 4, 4, 4}, {32, 64, 256, 512}, 59.9f, 59.4f};
+}
+QuickNetConfig QuickNetMediumConfig() {
+  return {"QuickNet", {4, 4, 4, 4}, {64, 128, 256, 512}, 64.3f, 63.3f};
+}
+QuickNetConfig QuickNetLargeConfig() {
+  return {"QuickNetLarge", {6, 8, 12, 6}, {64, 128, 256, 512}, 59.1f, 66.9f};
+}
+
+Graph BuildQuickNet(const QuickNetConfig& cfg, int input_hw,
+                    Padding binary_padding) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, /*seed=*/7 + cfg.filters[0]);
+
+  // --- Stem (Figure 6a): 3x3 conv (16 filters, stride 2) + depthwise
+  // separable convolution; input_hw -> input_hw/4 spatial, k_0 channels.
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 16, 3, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  x = b.DepthwiseConv(x, 3, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.Conv(x, cfg.filters[0], 1, 1, Padding::kValid);
+  x = b.BatchNorm(x);
+
+  // --- Four blocks of N_i binarized residual layers. Each layer (paper):
+  // one-padded binarized 3x3 conv -> ReLU -> BatchNorm, with a residual
+  // connection over the layer.
+  for (int block = 0; block < 4; ++block) {
+    for (int layer = 0; layer < cfg.layers[block]; ++layer) {
+      int y = b.BinaryConv(x, cfg.filters[block], 3, 1, binary_padding);
+      y = b.Relu(y);
+      y = b.BatchNorm(y);
+      x = b.Add(x, y);
+    }
+    if (block < 3) {
+      // --- Transition (Figure 6b): 3x3 antialiased max pooling (max pool +
+      // strided depthwise blur) followed by a 1x1 full-precision convolution
+      // increasing the filter count to k_{i+1}.
+      x = b.BlurPool(x);
+      x = b.Conv(x, cfg.filters[block + 1], 1, 1, Padding::kValid);
+      x = b.BatchNorm(x);
+    }
+  }
+
+  // --- Head: global average pooling and a full-precision classifier.
+  x = b.Relu(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace lce

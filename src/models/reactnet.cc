@@ -1,0 +1,78 @@
+// ReActNet-A (Liu et al. 2020, cited by the paper as the nonlinearity-based
+// route to MobileNet-level BNN accuracy): a MobileNetV1-shaped network in
+// which every convolution except the stem is binarized, with RSign
+// (per-channel shift + sign) before each binarized convolution and RPReLU
+// (shift + per-channel PReLU + shift) after each block.
+//
+// Channel-doubling blocks use ReActNet's parameter-free duplication trick:
+// the shortcut average-pools and concatenates with itself, avoiding
+// full-precision pointwise convolutions entirely. (We realize the doubled
+// 1x1 convolution as a single conv with 2c outputs; the original runs two
+// parallel c-output convs -- identical MACs and latency profile.)
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+namespace {
+
+// One ReActNet block: binary 3x3 (spatial, stride s) then binary 1x1
+// (channel mixing, possibly doubling), each with shortcut + RPReLU.
+int ReActBlock(ModelBuilder& b, int x, int out_c, int stride) {
+  const int in_c = b.ChannelsOf(x);
+
+  // --- 3x3 stage (keeps channel count).
+  int shortcut = x;
+  if (stride == 2) shortcut = b.AvgPool(shortcut, 2, 2, Padding::kValid);
+  int y = b.ChannelShift(x);  // RSign shift; sign lives in BinaryConv
+  y = b.BinaryConv(y, in_c, 3, stride, Padding::kSameZero);
+  y = b.BatchNorm(y);
+  y = b.Add(y, shortcut);
+  y = b.RPRelu(y);
+
+  // --- 1x1 stage (channel mixing / doubling).
+  int pw_shortcut = y;
+  if (out_c == 2 * in_c) {
+    pw_shortcut = b.Concat({y, y});  // duplication shortcut
+  }
+  LCE_CHECK(out_c == in_c || out_c == 2 * in_c);
+  int z = b.ChannelShift(y);
+  z = b.BinaryConv(z, out_c, 1, 1, Padding::kValid);
+  z = b.BatchNorm(z);
+  z = b.Add(z, pw_shortcut);
+  z = b.RPRelu(z);
+  return z;
+}
+
+}  // namespace
+
+Graph BuildReActNetA(int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, /*seed=*/694);
+
+  // Full-precision stem (the only non-binary convolution).
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 32, 3, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+
+  // MobileNetV1 channel/stride schedule.
+  x = ReActBlock(b, x, 64, 1);
+  x = ReActBlock(b, x, 128, 2);
+  x = ReActBlock(b, x, 128, 1);
+  x = ReActBlock(b, x, 256, 2);
+  x = ReActBlock(b, x, 256, 1);
+  x = ReActBlock(b, x, 512, 2);
+  for (int i = 0; i < 5; ++i) x = ReActBlock(b, x, 512, 1);
+  x = ReActBlock(b, x, 1024, 2);
+  x = ReActBlock(b, x, 1024, 1);
+
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace lce

@@ -1,0 +1,52 @@
+// Real-to-Binary Net (Martinez et al. 2020): ResNet18 topology with
+// per-layer shortcuts like Bi-Real Net, plus a data-driven channel gating
+// branch on every binarized convolution (GAP -> bottleneck FC -> sigmoid ->
+// channel-wise multiply). The gating branches are cheap in MACs but are
+// full-precision glue, which is why the paper's Figure 5 shows significant
+// non-binary runtime for this model.
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+
+Graph BuildRealToBinaryNet(int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, /*seed=*/2020);
+
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 64, 7, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  const int stage_channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int c = stage_channels[stage];
+    for (int layer = 0; layer < 4; ++layer) {
+      const bool downsample = stage > 0 && layer == 0;
+      const int stride = downsample ? 2 : 1;
+      int y = b.BinaryConv(x, c, 3, stride, Padding::kSameZero);
+      y = b.BatchNorm(y);
+      // Data-driven scaling computed from the block input.
+      y = b.ChannelGate(y);
+      int shortcut = x;
+      if (downsample) {
+        shortcut = b.AvgPool(shortcut, 2, 2, Padding::kValid);
+        shortcut = b.Conv(shortcut, c, 1, 1, Padding::kValid);
+        shortcut = b.BatchNorm(shortcut);
+      }
+      x = b.Add(y, shortcut);
+    }
+  }
+
+  x = b.Relu(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace lce

@@ -1,0 +1,59 @@
+// The binarized ResNet18 shortcut-ablation variants of Figures 8 and 9:
+//   (A) shortcuts in every block (downsampling shortcuts carry the extra
+//       full-precision pointwise convolution of Figure 9, right);
+//   (B) shortcuts in regular blocks only;
+//   (C) no shortcuts anywhere (element-wise glue collapses to binarization,
+//       as in fully-binarized architectures like Binary AlexNet).
+#include "models/zoo.h"
+
+#include "core/macros.h"
+#include "models/builder.h"
+
+namespace lce {
+
+Graph BuildBinarizedResNet18(ShortcutMode mode, int input_hw) {
+  LCE_CHECK_EQ(input_hw % 32, 0);
+  Graph g;
+  ModelBuilder b(g, /*seed=*/1818 + static_cast<int>(mode));
+
+  int x = b.Input(input_hw, input_hw, 3);
+  x = b.Conv(x, 64, 7, 2, Padding::kSameZero);  // full-precision first layer
+  x = b.BatchNorm(x);
+  x = b.MaxPool(x, 3, 2, Padding::kSameZero);
+
+  const int stage_channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int c = stage_channels[stage];
+    for (int layer = 0; layer < 4; ++layer) {
+      const bool downsample = stage > 0 && layer == 0;
+      const int stride = downsample ? 2 : 1;
+      int y = b.BinaryConv(x, c, 3, stride, Padding::kSameZero);
+      y = b.BatchNorm(y);
+      const bool want_shortcut =
+          mode == ShortcutMode::kAllBlocks ||
+          (mode == ShortcutMode::kRegularOnly && !downsample);
+      if (want_shortcut) {
+        int shortcut = x;
+        if (downsample) {
+          // Figure 9 (right): channel-doubling full-precision pointwise
+          // convolution in the downsampling shortcut.
+          shortcut = b.AvgPool(shortcut, 2, 2, Padding::kValid);
+          shortcut = b.Conv(shortcut, c, 1, 1, Padding::kValid);
+          shortcut = b.BatchNorm(shortcut);
+        }
+        x = b.Add(y, shortcut);
+      } else {
+        x = y;
+      }
+    }
+  }
+
+  x = b.Relu(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 1000);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+}  // namespace lce

@@ -1,0 +1,40 @@
+#include "models/zoo.h"
+
+namespace lce {
+
+const std::vector<ZooModel>& AllZooModels() {
+  // Published top-1 ImageNet accuracies from Larq Zoo / the original papers
+  // (paper Table 3 for the QuickNets); latency is measured by this repo.
+  static const std::vector<ZooModel> kModels = {
+      {"BinaryAlexNet", "AlexNet", 36.3f,
+       [](int hw) { return BuildBinaryAlexNet(hw); }},
+      {"XNORNet", "AlexNet", 44.9f, [](int hw) { return BuildXnorNet(hw); }},
+      {"BiRealNet", "ResNet", 57.5f,
+       [](int hw) { return BuildBiRealNet18(hw); }},
+      {"BinaryResNetE18", "ResNet", 58.3f,
+       [](int hw) { return BuildBinaryResNetE18(hw); }},
+      {"BinaryDenseNet28", "DenseNet", 60.7f,
+       [](int hw) { return BuildBinaryDenseNet28(hw); }},
+      {"BinaryDenseNet37", "DenseNet", 62.5f,
+       [](int hw) { return BuildBinaryDenseNet37(hw); }},
+      {"BinaryDenseNet45", "DenseNet", 63.7f,
+       [](int hw) { return BuildBinaryDenseNet45(hw); }},
+      {"MeliusNet22", "MeliusNet", 63.6f,
+       [](int hw) { return BuildMeliusNet22(hw); }},
+      {"MeliusNet29", "MeliusNet", 65.8f,
+       [](int hw) { return BuildMeliusNet29(hw); }},
+      {"RealToBinaryNet", "ResNet", 65.0f,
+       [](int hw) { return BuildRealToBinaryNet(hw); }},
+      {"ReActNetA", "MobileNet", 69.4f,
+       [](int hw) { return BuildReActNetA(hw); }},
+      {"QuickNetSmall", "QuickNet", 59.4f,
+       [](int hw) { return BuildQuickNet(QuickNetSmallConfig(), hw); }},
+      {"QuickNet", "QuickNet", 63.3f,
+       [](int hw) { return BuildQuickNet(QuickNetMediumConfig(), hw); }},
+      {"QuickNetLarge", "QuickNet", 66.9f,
+       [](int hw) { return BuildQuickNet(QuickNetLargeConfig(), hw); }},
+  };
+  return kModels;
+}
+
+}  // namespace lce

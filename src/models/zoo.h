@@ -1,0 +1,81 @@
+// The model zoo: builders for QuickNet and the literature BNNs the paper
+// benchmarks (Figures 5, 7, 8, 10; Tables 3, 4).
+//
+// Architectures follow the original papers / Larq Zoo reference
+// implementations; where a paper under-specifies a detail we document the
+// approximation in DESIGN.md. Published top-1 ImageNet accuracies are
+// attached as metadata (we reproduce latency measurements, not training).
+#ifndef LCE_MODELS_ZOO_H_
+#define LCE_MODELS_ZOO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/ir.h"
+
+namespace lce {
+
+// ---- QuickNet (paper section 5.1, Figure 6, Table 3) ----------------------
+
+struct QuickNetConfig {
+  std::string name;
+  int layers[4];   // N_i: binarized 3x3 convolutions per block
+  int filters[4];  // k_i
+  float train_accuracy;  // Table 3
+  float eval_accuracy;   // Table 3
+};
+
+QuickNetConfig QuickNetSmallConfig();   // (4,4,4,4) / (32,64,256,512)
+QuickNetConfig QuickNetMediumConfig();  // (4,4,4,4) / (64,128,256,512)
+QuickNetConfig QuickNetLargeConfig();   // (6,8,12,6) / (64,128,256,512)
+
+// `binary_padding` selects the binarized layers' padding mode; the paper
+// trains QuickNet with one-padding (kSameOne), and the zero-padded variant
+// exists for the padding ablation.
+Graph BuildQuickNet(const QuickNetConfig& config, int input_hw = 224,
+                    Padding binary_padding = Padding::kSameOne);
+
+// ---- Literature baselines --------------------------------------------------
+
+Graph BuildBiRealNet18(int input_hw = 224);
+Graph BuildBinaryAlexNet(int input_hw = 224);
+Graph BuildXnorNet(int input_hw = 224);
+Graph BuildBinaryResNetE18(int input_hw = 224);
+Graph BuildBinaryDenseNet28(int input_hw = 224);
+Graph BuildBinaryDenseNet37(int input_hw = 224);
+Graph BuildBinaryDenseNet45(int input_hw = 224);
+Graph BuildMeliusNet22(int input_hw = 224);
+Graph BuildMeliusNet29(int input_hw = 224);
+Graph BuildRealToBinaryNet(int input_hw = 224);
+Graph BuildReActNetA(int input_hw = 224);
+
+// ---- Shortcut-ablation ResNet18 variants (Figures 8 and 9) -----------------
+
+enum class ShortcutMode {
+  kAllBlocks = 0,     // (A) shortcuts in every block incl. downsampling
+  kRegularOnly = 1,   // (B) shortcuts in regular blocks only
+  kNone = 2,          // (C) no shortcuts anywhere
+};
+
+Graph BuildBinarizedResNet18(ShortcutMode mode, int input_hw = 224);
+
+// Full-precision ResNet18 (float baseline for the precision-comparison
+// experiments; also the PTQ int8 source model).
+Graph BuildFloatResNet18(int input_hw = 224);
+
+// ---- Registry ---------------------------------------------------------------
+
+struct ZooModel {
+  std::string name;
+  std::string family;     // grouping for the Figure 10 eMACs analysis
+  float top1_accuracy;    // published top-1 (%) on ImageNet
+  std::function<Graph(int)> build;  // input_hw -> training graph
+};
+
+// All models benchmarked in Figures 7 and 10.
+const std::vector<ZooModel>& AllZooModels();
+
+}  // namespace lce
+
+#endif  // LCE_MODELS_ZOO_H_

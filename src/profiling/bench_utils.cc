@@ -1,0 +1,102 @@
+#include "profiling/bench_utils.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/macros.h"
+
+namespace lce::profiling {
+
+double MeasureMedianSeconds(const std::function<void()>& fn, int warmup,
+                            int min_reps, int max_reps, double min_seconds) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  double total = 0.0;
+  while (static_cast<int>(samples.size()) < max_reps &&
+         (static_cast<int>(samples.size()) < min_reps || total < min_seconds)) {
+    const double t0 = NowSeconds();
+    fn();
+    const double dt = NowSeconds() - t0;
+    samples.push_back(dt);
+    total += dt;
+  }
+  return Median(std::move(samples));
+}
+
+double Median(std::vector<double> xs) {
+  LCE_CHECK(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double Percentile(std::vector<double> xs, double q) {
+  LCE_CHECK(!xs.empty());
+  LCE_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * (xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - lo;
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Mean(const std::vector<double>& xs) {
+  LCE_CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double WeightedMean(const std::vector<double>& xs,
+                    const std::vector<double>& weights) {
+  LCE_CHECK_EQ(xs.size(), weights.size());
+  LCE_CHECK(!xs.empty());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += xs[i] * weights[i];
+    den += weights[i];
+  }
+  LCE_CHECK(den > 0.0);
+  return num / den;
+}
+
+MinMax Range(const std::vector<double>& xs) {
+  LCE_CHECK(!xs.empty());
+  MinMax mm{xs[0], xs[0]};
+  for (double x : xs) {
+    mm.min = std::min(mm.min, x);
+    mm.max = std::max(mm.max, x);
+  }
+  return mm;
+}
+
+LinearFit FitLeastSquares(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  LCE_CHECK_EQ(x.size(), y.size());
+  LCE_CHECK_GE(x.size(), 2u);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  fit.slope = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  // R^2.
+  const double mean_y = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace lce::profiling

@@ -1,0 +1,55 @@
+// Benchmark timing utilities shared by the bench/ harnesses: robust repeated
+// timing, summary statistics and the latency-weighted speedup aggregation
+// used by Table 2 / Table 5.
+#ifndef LCE_PROFILING_BENCH_UTILS_H_
+#define LCE_PROFILING_BENCH_UTILS_H_
+
+#include <chrono>
+#include <functional>
+#include <vector>
+
+namespace lce::profiling {
+
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs `fn` repeatedly (after `warmup` unrecorded runs) until either
+// `min_reps` repetitions are collected and at least `min_seconds` of total
+// measured time has elapsed, or `max_reps` is reached. Returns the median
+// single-run latency in seconds.
+double MeasureMedianSeconds(const std::function<void()>& fn, int warmup = 1,
+                            int min_reps = 3, int max_reps = 50,
+                            double min_seconds = 0.05);
+
+double Median(std::vector<double> xs);
+double Mean(const std::vector<double>& xs);
+
+// q in [0, 1]; linear interpolation between order statistics.
+double Percentile(std::vector<double> xs, double q);
+
+// Weighted mean: sum(w*x)/sum(w). Used for the latency-weighted mean
+// speedup, where weights are the full-precision latencies.
+double WeightedMean(const std::vector<double>& xs,
+                    const std::vector<double>& weights);
+
+struct MinMax {
+  double min = 0.0, max = 0.0;
+};
+MinMax Range(const std::vector<double>& xs);
+
+// Least-squares fit y = a + b*x; used on (log MACs, log latency) for the
+// Figure 3 / Figure 12 regression lines.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit FitLeastSquares(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace lce::profiling
+
+#endif  // LCE_PROFILING_BENCH_UTILS_H_

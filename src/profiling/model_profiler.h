@@ -1,0 +1,45 @@
+// Aggregations over interpreter per-op profiles for the paper's model-level
+// analyses: the Table 4 operator breakdown and the Figure 5 per-layer
+// latency series.
+#ifndef LCE_PROFILING_MODEL_PROFILER_H_
+#define LCE_PROFILING_MODEL_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/interpreter.h"
+
+namespace lce::profiling {
+
+// Table 4 categories. LceBConv2d is split into the accumulation loop
+// (im2col + BGEMM) and the output transform, exactly as the paper reports.
+struct OpBreakdownRow {
+  std::string category;
+  double seconds = 0.0;
+  double percent = 0.0;
+};
+
+std::vector<OpBreakdownRow> OperatorBreakdown(
+    const std::vector<lce::OpProfile>& profile);
+
+double TotalSeconds(const std::vector<lce::OpProfile>& profile);
+
+// Figure 5 series: cumulative latency per executed op, with a binary /
+// full-precision tag, in execution order.
+struct LayerLatency {
+  std::string name;
+  std::string op;
+  double seconds = 0.0;
+  bool is_binary = false;
+};
+
+std::vector<LayerLatency> PerLayerLatency(
+    const std::vector<lce::OpProfile>& profile);
+
+// Runs `iters` profiled inferences and returns the per-op profile with
+// median-of-iterations latencies (robust against scheduler noise).
+std::vector<lce::OpProfile> ProfileModel(lce::Interpreter& interp, int iters);
+
+}  // namespace lce::profiling
+
+#endif  // LCE_PROFILING_MODEL_PROFILER_H_

@@ -1,0 +1,109 @@
+// LceBMaxPool2d tests: the bitwise-AND binary max pool must satisfy
+// max(sign(X)) == sign(max(X)) against the float reference.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/bitpack.h"
+#include "core/random.h"
+#include "kernels/bmaxpool.h"
+#include "kernels/reference.h"
+
+namespace lce {
+namespace {
+
+class BMaxPoolGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, Padding>> {};
+
+TEST_P(BMaxPoolGeometry, MatchesSignOfFloatMaxPool) {
+  const auto [hw, channels, k, stride, pad] = GetParam();
+  Pool2DGeometry geo;
+  geo.in_h = geo.in_w = hw;
+  geo.channels = channels;
+  geo.filter_h = geo.filter_w = k;
+  geo.stride_h = geo.stride_w = stride;
+  geo.padding = pad;
+
+  Rng rng(hw * 3 + channels + k + stride);
+  Tensor input_f(DataType::kFloat32, Shape{1, hw, hw, channels});
+  FillSigns(input_f, rng);
+  Tensor input_b(DataType::kBitpacked, input_f.shape());
+  BitpackTensor(input_f, input_b);
+
+  Tensor out_b(DataType::kBitpacked,
+               Shape{1, geo.out_h(), geo.out_w(), channels});
+  LceBMaxPool2d(input_b, geo, out_b);
+
+  // Reference: float max pool then sign.
+  std::vector<float> pooled(out_b.num_elements());
+  RefMaxPool2DFloat(input_f.data<float>(), geo, pooled.data());
+  Tensor unpacked(DataType::kFloat32, out_b.shape());
+  UnpackTensor(out_b, unpacked);
+  for (std::int64_t i = 0; i < out_b.num_elements(); ++i) {
+    ASSERT_EQ(unpacked.data<float>()[i], SignValue(pooled[i])) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BMaxPoolGeometry,
+    ::testing::Values(std::make_tuple(8, 32, 2, 2, Padding::kValid),
+                      std::make_tuple(8, 64, 3, 2, Padding::kSameZero),
+                      std::make_tuple(7, 40, 2, 2, Padding::kSameZero),
+                      std::make_tuple(9, 33, 3, 1, Padding::kSameZero),
+                      std::make_tuple(10, 100, 3, 3, Padding::kValid)));
+
+TEST(BMaxPool, AllMinusOneStaysMinusOne) {
+  Pool2DGeometry geo;
+  geo.in_h = geo.in_w = 4;
+  geo.channels = 32;
+  geo.filter_h = geo.filter_w = 2;
+  geo.stride_h = geo.stride_w = 2;
+  geo.padding = Padding::kValid;
+
+  Tensor in(DataType::kBitpacked, Shape{1, 4, 4, 32});
+  for (std::int64_t i = 0; i < in.storage_elements(); ++i) {
+    in.data<TBitpacked>()[i] = 0xffffffffu;
+  }
+  Tensor out(DataType::kBitpacked, Shape{1, 2, 2, 32});
+  LceBMaxPool2d(in, geo, out);
+  for (std::int64_t i = 0; i < out.storage_elements(); ++i) {
+    EXPECT_EQ(out.data<TBitpacked>()[i], 0xffffffffu);
+  }
+}
+
+TEST(BMaxPool, SinglePlusOneDominatesWindow) {
+  Pool2DGeometry geo;
+  geo.in_h = geo.in_w = 2;
+  geo.channels = 32;
+  geo.filter_h = geo.filter_w = 2;
+  geo.stride_h = geo.stride_w = 2;
+  geo.padding = Padding::kValid;
+
+  Tensor in(DataType::kBitpacked, Shape{1, 2, 2, 32});
+  TBitpacked* p = in.data<TBitpacked>();
+  p[0] = p[1] = p[2] = 0xffffffffu;  // -1
+  p[3] = 0xfffffffeu;                // channel 0 is +1 in one position
+  Tensor out(DataType::kBitpacked, Shape{1, 1, 1, 32});
+  LceBMaxPool2d(in, geo, out);
+  EXPECT_EQ(out.data<TBitpacked>()[0], 0xfffffffeu);
+}
+
+TEST(BMaxPool, ChannelPaddingBitsStayZero) {
+  Pool2DGeometry geo;
+  geo.in_h = geo.in_w = 2;
+  geo.channels = 5;  // 27 padding bits
+  geo.filter_h = geo.filter_w = 2;
+  geo.stride_h = geo.stride_w = 2;
+  geo.padding = Padding::kValid;
+
+  Rng rng(5);
+  Tensor in(DataType::kBitpacked, Shape{1, 2, 2, 5});
+  FillBitpacked(in, rng);
+  Tensor out(DataType::kBitpacked, Shape{1, 1, 1, 5});
+  LceBMaxPool2d(in, geo, out);
+  EXPECT_EQ(out.data<TBitpacked>()[0] >> 5, 0u);
+}
+
+}  // namespace
+}  // namespace lce

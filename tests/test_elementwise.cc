@@ -1,0 +1,105 @@
+// Element-wise operator tests: Add, ReLU, BatchNorm folding, Softmax.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random.h"
+#include "kernels/elementwise.h"
+
+namespace lce {
+namespace {
+
+TEST(AddFloat, ElementwiseSumWithActivation) {
+  Rng rng(1);
+  Tensor a(DataType::kFloat32, Shape{1, 2, 2, 3});
+  Tensor b(DataType::kFloat32, a.shape());
+  FillUniform(a, rng, -1.0f, 1.0f);
+  FillUniform(b, rng, -1.0f, 1.0f);
+  Tensor out(DataType::kFloat32, a.shape());
+  AddFloat(a, b, Activation::kRelu, out);
+  for (std::int64_t i = 0; i < a.num_elements(); ++i) {
+    const float expected =
+        std::max(0.0f, a.data<float>()[i] + b.data<float>()[i]);
+    EXPECT_FLOAT_EQ(out.data<float>()[i], expected);
+  }
+}
+
+TEST(ReluFloat, ClampsNegatives) {
+  Tensor x(DataType::kFloat32, Shape{4});
+  x.data<float>()[0] = -1.0f;
+  x.data<float>()[1] = 0.0f;
+  x.data<float>()[2] = 2.5f;
+  x.data<float>()[3] = -0.0f;
+  Tensor out(DataType::kFloat32, Shape{4});
+  ReluFloat(x, out);
+  EXPECT_EQ(out.data<float>()[0], 0.0f);
+  EXPECT_EQ(out.data<float>()[1], 0.0f);
+  EXPECT_EQ(out.data<float>()[2], 2.5f);
+  EXPECT_EQ(out.data<float>()[3], 0.0f);
+}
+
+TEST(BatchNorm, PerChannelAffine) {
+  Tensor x(DataType::kFloat32, Shape{1, 1, 2, 2});
+  x.data<float>()[0] = 1.0f;
+  x.data<float>()[1] = 2.0f;
+  x.data<float>()[2] = 3.0f;
+  x.data<float>()[3] = 4.0f;
+  Tensor out(DataType::kFloat32, x.shape());
+  BatchNormFloat(x, {2.0f, -1.0f}, {0.5f, 10.0f}, out);
+  EXPECT_FLOAT_EQ(out.data<float>()[0], 2.5f);
+  EXPECT_FLOAT_EQ(out.data<float>()[1], 8.0f);
+  EXPECT_FLOAT_EQ(out.data<float>()[2], 6.5f);
+  EXPECT_FLOAT_EQ(out.data<float>()[3], 6.0f);
+}
+
+TEST(BatchNorm, FoldMatchesDefinition) {
+  // scale = gamma / sqrt(var + eps); offset = beta - mean * scale.
+  std::vector<float> gamma{1.0f, 2.0f}, beta{0.5f, -0.5f}, mean{1.0f, -2.0f},
+      var{4.0f, 0.25f};
+  std::vector<float> scale, offset;
+  FoldBatchNorm(gamma, beta, mean, var, /*epsilon=*/0.0f, &scale, &offset);
+  EXPECT_FLOAT_EQ(scale[0], 0.5f);
+  EXPECT_FLOAT_EQ(scale[1], 4.0f);
+  EXPECT_FLOAT_EQ(offset[0], 0.0f);
+  EXPECT_FLOAT_EQ(offset[1], 7.5f);
+
+  // The folded affine must equal normalize-then-scale-shift.
+  for (float x : {-3.0f, 0.0f, 1.7f}) {
+    for (int c = 0; c < 2; ++c) {
+      const float direct =
+          gamma[c] * (x - mean[c]) / std::sqrt(var[c]) + beta[c];
+      EXPECT_NEAR(x * scale[c] + offset[c], direct, 1e-5f);
+    }
+  }
+}
+
+TEST(Softmax, NormalizesAndOrders) {
+  Tensor x(DataType::kFloat32, Shape{2, 3});
+  const float vals[6] = {1.0f, 2.0f, 3.0f, -1.0f, -1.0f, -1.0f};
+  std::copy(vals, vals + 6, x.data<float>());
+  Tensor out(DataType::kFloat32, x.shape());
+  SoftmaxFloat(x, out);
+  float sum0 = 0.0f;
+  for (int i = 0; i < 3; ++i) sum0 += out.data<float>()[i];
+  EXPECT_NEAR(sum0, 1.0f, 1e-6f);
+  EXPECT_LT(out.data<float>()[0], out.data<float>()[1]);
+  EXPECT_LT(out.data<float>()[1], out.data<float>()[2]);
+  // Uniform row -> uniform probabilities.
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_NEAR(out.data<float>()[i], 1.0f / 3.0f, 1e-6f);
+  }
+}
+
+TEST(Softmax, LargeLogitsAreStable) {
+  Tensor x(DataType::kFloat32, Shape{1, 2});
+  x.data<float>()[0] = 1000.0f;
+  x.data<float>()[1] = 999.0f;
+  Tensor out(DataType::kFloat32, x.shape());
+  SoftmaxFloat(x, out);
+  EXPECT_FALSE(std::isnan(out.data<float>()[0]));
+  EXPECT_NEAR(out.data<float>()[0] + out.data<float>()[1], 1.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace lce

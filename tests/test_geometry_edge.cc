@@ -1,0 +1,182 @@
+// Geometry edge cases: rectangular inputs, strides larger than filters,
+// degenerate output sizes, batch > 1 on the float path, and the IR guards
+// against empty outputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bitpack.h"
+#include "core/random.h"
+#include "graph/ir.h"
+#include "kernels/bconv2d.h"
+#include "kernels/conv2d_float.h"
+#include "kernels/reference.h"
+
+namespace lce {
+namespace {
+
+TEST(GeometryEdge, RectangularBinarizedConv) {
+  Conv2DGeometry g;
+  g.in_h = 5;
+  g.in_w = 11;
+  g.in_c = 40;
+  g.out_c = 24;
+  g.filter_h = g.filter_w = 3;
+  g.padding = Padding::kSameOne;
+
+  Rng rng(1);
+  Tensor in_f(DataType::kFloat32, Shape{1, 5, 11, 40});
+  FillSigns(in_f, rng);
+  Tensor in_b(DataType::kBitpacked, in_f.shape());
+  BitpackTensor(in_f, in_b);
+  std::vector<float> w(static_cast<std::size_t>(24) * 9 * 40);
+  for (auto& v : w) v = rng.Sign();
+
+  BConv2DAttrs attrs;
+  attrs.geo = g;
+  attrs.output_type = BConvOutputType::kFloat;
+  BConv2D op(w.data(), attrs);
+  Tensor out(DataType::kFloat32, Shape{1, 5, 11, 24});
+  gemm::Context ctx(1);
+  op.Run(in_b, out, ctx);
+
+  std::vector<float> expected(out.num_elements());
+  RefConv2DFloat(in_f.data<float>(), w.data(), g, 1.0f, nullptr, nullptr,
+                 Activation::kNone, expected.data());
+  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+    ASSERT_EQ(out.data<float>()[i], expected[i]) << i;
+  }
+}
+
+TEST(GeometryEdge, StrideLargerThanFilter) {
+  // 1x1 filter, stride 3: samples a sparse grid.
+  Conv2DGeometry g;
+  g.in_h = g.in_w = 9;
+  g.in_c = 32;
+  g.out_c = 8;
+  g.filter_h = g.filter_w = 1;
+  g.stride_h = g.stride_w = 3;
+  g.padding = Padding::kValid;
+  EXPECT_EQ(g.out_h(), 3);
+
+  Rng rng(2);
+  Tensor in_f(DataType::kFloat32, Shape{1, 9, 9, 32});
+  FillSigns(in_f, rng);
+  Tensor in_b(DataType::kBitpacked, in_f.shape());
+  BitpackTensor(in_f, in_b);
+  std::vector<float> w(static_cast<std::size_t>(8) * 32);
+  for (auto& v : w) v = rng.Sign();
+
+  BConv2DAttrs attrs;
+  attrs.geo = g;
+  attrs.output_type = BConvOutputType::kFloat;
+  BConv2D op(w.data(), attrs);
+  Tensor out(DataType::kFloat32, Shape{1, 3, 3, 8});
+  gemm::Context ctx(1);
+  op.Run(in_b, out, ctx);
+
+  std::vector<float> expected(out.num_elements());
+  RefConv2DFloat(in_f.data<float>(), w.data(), g, 0.0f, nullptr, nullptr,
+                 Activation::kNone, expected.data());
+  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+    ASSERT_EQ(out.data<float>()[i], expected[i]);
+  }
+}
+
+TEST(GeometryEdge, BatchedFloatConv) {
+  Conv2DGeometry g;
+  g.batch = 3;
+  g.in_h = g.in_w = 6;
+  g.in_c = 4;
+  g.out_c = 5;
+  g.filter_h = g.filter_w = 3;
+  g.padding = Padding::kSameZero;
+
+  Rng rng(3);
+  Tensor in(DataType::kFloat32, Shape{3, 6, 6, 4});
+  FillUniform(in, rng);
+  std::vector<float> w(static_cast<std::size_t>(5) * 9 * 4);
+  for (auto& v : w) v = rng.Uniform();
+
+  Conv2DFloatAttrs attrs;
+  attrs.geo = g;
+  Conv2DFloat op(w.data(), attrs);
+  Tensor out(DataType::kFloat32, Shape{3, 6, 6, 5});
+  gemm::Context ctx(1);
+  op.Run(in, out, ctx);
+
+  std::vector<float> expected(out.num_elements());
+  RefConv2DFloat(in.data<float>(), w.data(), g, 0.0f, nullptr, nullptr,
+                 Activation::kNone, expected.data());
+  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+    ASSERT_NEAR(out.data<float>()[i], expected[i], 1e-4f) << i;
+  }
+}
+
+TEST(GeometryEdge, GraphRejectsFilterLargerThanInput) {
+  Graph g;
+  const int x = g.AddInput("x", DataType::kFloat32, Shape{1, 3, 3, 4});
+  Tensor w(DataType::kFloat32, Shape{8, 5, 5, 4});  // 5x5 filter on 3x3 input
+  w.Zero();
+  const int w_id = g.AddConstant("w", std::move(w));
+  OpAttrs attrs;
+  attrs.conv.padding = Padding::kValid;
+  int out = -1;
+  const Status s = g.TryAddNode(OpType::kConv2D, "bad", {x, w_id}, attrs, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeometryEdge, GraphRejectsEmptyPoolOutput) {
+  Graph g;
+  const int x = g.AddInput("x", DataType::kFloat32, Shape{1, 2, 2, 4});
+  OpAttrs attrs;
+  attrs.pool.filter_h = attrs.pool.filter_w = 4;
+  attrs.pool.stride_h = attrs.pool.stride_w = 1;
+  attrs.pool.padding = Padding::kValid;
+  int out = -1;
+  const Status s =
+      g.TryAddNode(OpType::kMaxPool2D, "bad", {x}, attrs, &out);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(GeometryEdge, SameOnePaddingRectangularStrided) {
+  // SAME geometry on a rectangular, strided binarized conv.
+  Conv2DGeometry g;
+  g.in_h = 7;
+  g.in_w = 10;
+  g.in_c = 64;
+  g.out_c = 16;
+  g.filter_h = g.filter_w = 3;
+  g.stride_h = 2;
+  g.stride_w = 2;
+  g.padding = Padding::kSameOne;
+  EXPECT_EQ(g.out_h(), 4);
+  EXPECT_EQ(g.out_w(), 5);
+
+  Rng rng(5);
+  Tensor in_f(DataType::kFloat32, Shape{1, 7, 10, 64});
+  FillSigns(in_f, rng);
+  Tensor in_b(DataType::kBitpacked, in_f.shape());
+  BitpackTensor(in_f, in_b);
+  std::vector<float> w(static_cast<std::size_t>(16) * 9 * 64);
+  for (auto& v : w) v = rng.Sign();
+
+  BConv2DAttrs attrs;
+  attrs.geo = g;
+  attrs.output_type = BConvOutputType::kFloat;
+  BConv2D op(w.data(), attrs);
+  Tensor out(DataType::kFloat32, Shape{1, 4, 5, 16});
+  gemm::Context ctx(1);
+  op.Run(in_b, out, ctx);
+
+  std::vector<float> expected(out.num_elements());
+  RefConv2DFloat(in_f.data<float>(), w.data(), g, 1.0f, nullptr, nullptr,
+                 Activation::kNone, expected.data());
+  for (std::int64_t i = 0; i < out.num_elements(); ++i) {
+    ASSERT_EQ(out.data<float>()[i], expected[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lce

@@ -1,0 +1,105 @@
+// Int8 GEMM tests: exact signed dot products (the widened-multiply kernel
+// must be saturation-free), profile agreement, row sums.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/random.h"
+#include "gemm/int8_gemm.h"
+
+namespace lce::gemm {
+namespace {
+
+void NaiveInt8Gemm(const std::vector<std::int8_t>& lhs,
+                   const std::vector<std::int8_t>& rhs, int m, int n, int k,
+                   std::vector<std::int32_t>* out) {
+  out->assign(static_cast<std::size_t>(m) * n, 0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(lhs[static_cast<std::size_t>(i) * k + kk]) *
+               static_cast<std::int32_t>(rhs[static_cast<std::size_t>(j) * k + kk]);
+      }
+      (*out)[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+}
+
+class Int8GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Int8GemmShapes, ExactMatch) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(m + n * 5 + k * 11);
+  std::vector<std::int8_t> lhs(static_cast<std::size_t>(m) * k);
+  std::vector<std::int8_t> rhs(static_cast<std::size_t>(n) * k);
+  for (auto& v : lhs) v = rng.Int8(-128, 127);
+  for (auto& v : rhs) v = rng.Int8(-127, 127);
+  std::vector<std::int32_t> expected;
+  NaiveInt8Gemm(lhs, rhs, m, n, k, &expected);
+
+  Context ctx(1);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(m) * n);
+  Int8Gemm(lhs.data(), m, rhs.data(), n, k, out.data(), n, ctx);
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, Int8GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 4, 32),
+                      std::make_tuple(3, 5, 7), std::make_tuple(8, 8, 64),
+                      std::make_tuple(17, 13, 100), std::make_tuple(33, 7, 97),
+                      std::make_tuple(64, 64, 576),
+                      std::make_tuple(5, 40, 2304)));
+
+TEST(Int8Gemm, ExtremeValuesNoSaturation) {
+  // Worst case for a saturating maddubs implementation: all -128 x all +127.
+  const int m = 2, n = 2, k = 256;
+  std::vector<std::int8_t> lhs(static_cast<std::size_t>(m) * k, -128);
+  std::vector<std::int8_t> rhs(static_cast<std::size_t>(n) * k, 127);
+  Context ctx(1);
+  std::vector<std::int32_t> out(4);
+  Int8Gemm(lhs.data(), m, rhs.data(), n, k, out.data(), n, ctx);
+  for (auto v : out) EXPECT_EQ(v, -128 * 127 * k);
+}
+
+TEST(Int8Gemm, ProfilesAgree) {
+  const int m = 9, n = 11, k = 130;
+  Rng rng(77);
+  std::vector<std::int8_t> lhs(static_cast<std::size_t>(m) * k);
+  std::vector<std::int8_t> rhs(static_cast<std::size_t>(n) * k);
+  for (auto& v : lhs) v = rng.Int8(-128, 127);
+  for (auto& v : rhs) v = rng.Int8(-127, 127);
+  std::vector<std::int32_t> simd(static_cast<std::size_t>(m) * n);
+  std::vector<std::int32_t> scalar(simd.size());
+  {
+    Context ctx(1, KernelProfile::kSimd);
+    Int8Gemm(lhs.data(), m, rhs.data(), n, k, simd.data(), n, ctx);
+  }
+  {
+    Context ctx(1, KernelProfile::kScalar);
+    Int8Gemm(lhs.data(), m, rhs.data(), n, k, scalar.data(), n, ctx);
+  }
+  EXPECT_EQ(simd, scalar);
+}
+
+TEST(Int8Gemm, RowSumsAreCorrect) {
+  const int n = 3, k = 10;
+  std::vector<std::int8_t> rhs(static_cast<std::size_t>(n) * k);
+  for (int j = 0; j < n; ++j) {
+    for (int kk = 0; kk < k; ++kk) {
+      rhs[static_cast<std::size_t>(j) * k + kk] =
+          static_cast<std::int8_t>(j + 1);
+    }
+  }
+  PackedInt8Matrix packed(rhs.data(), n, k);
+  ASSERT_EQ(packed.row_sums().size(), 3u);
+  EXPECT_EQ(packed.row_sums()[0], 10);
+  EXPECT_EQ(packed.row_sums()[1], 20);
+  EXPECT_EQ(packed.row_sums()[2], 30);
+}
+
+}  // namespace
+}  // namespace lce::gemm

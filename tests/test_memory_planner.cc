@@ -1,0 +1,103 @@
+// Memory planner tests: no overlap between lifetime-overlapping buffers,
+// reuse of freed space, alignment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "graph/memory_planner.h"
+
+namespace lce {
+namespace {
+
+// Asserts the placement invariant: any two buffers with overlapping
+// lifetimes must not overlap in memory.
+void CheckNoConflicts(const std::vector<BufferRequest>& requests,
+                      const std::vector<BufferPlacement>& placements) {
+  std::map<int, const BufferRequest*> by_id;
+  for (const auto& r : requests) by_id[r.id] = &r;
+  std::map<int, std::size_t> offset;
+  for (const auto& p : placements) offset[p.id] = p.offset;
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    for (std::size_t j = i + 1; j < requests.size(); ++j) {
+      const auto& a = requests[i];
+      const auto& b = requests[j];
+      const bool lifetime_overlap =
+          a.first_use <= b.last_use && b.first_use <= a.last_use;
+      if (!lifetime_overlap) continue;
+      const std::size_t ao = offset.at(a.id), bo = offset.at(b.id);
+      const bool memory_overlap = ao < bo + b.size && bo < ao + a.size;
+      EXPECT_FALSE(memory_overlap)
+          << "buffers " << a.id << " and " << b.id << " overlap";
+    }
+  }
+}
+
+TEST(MemoryPlanner, OverlappingLifetimesDoNotShare) {
+  std::vector<BufferRequest> reqs = {
+      {0, 100, 0, 2}, {1, 100, 1, 3}, {2, 100, 2, 4}};
+  std::size_t arena = 0;
+  const auto placements = PlanMemory(reqs, 64, &arena);
+  CheckNoConflicts(reqs, placements);
+  EXPECT_GE(arena, 300u - 100u);  // at least 2 concurrent
+}
+
+TEST(MemoryPlanner, DisjointLifetimesShareSpace) {
+  std::vector<BufferRequest> reqs = {{0, 1000, 0, 1}, {1, 1000, 2, 3}};
+  std::size_t arena = 0;
+  const auto placements = PlanMemory(reqs, 64, &arena);
+  CheckNoConflicts(reqs, placements);
+  EXPECT_EQ(arena, 1000u) << "disjoint buffers must reuse memory";
+}
+
+TEST(MemoryPlanner, ChainReusesLikeResNet) {
+  // A linear chain a->b->c->d: at most two live at once.
+  std::vector<BufferRequest> reqs = {
+      {0, 512, 0, 1}, {1, 512, 1, 2}, {2, 512, 2, 3}, {3, 512, 3, 4}};
+  std::size_t arena = 0;
+  const auto placements = PlanMemory(reqs, 64, &arena);
+  CheckNoConflicts(reqs, placements);
+  EXPECT_LE(arena, 1024u);
+}
+
+TEST(MemoryPlanner, RandomizedStress) {
+  std::uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int round = 0; round < 20; ++round) {
+    std::vector<BufferRequest> reqs;
+    const int n = 30;
+    for (int i = 0; i < n; ++i) {
+      const int first = static_cast<int>(next() % 50);
+      const int len = static_cast<int>(next() % 10);
+      reqs.push_back({i, (next() % 2000) + 1, first, first + len});
+    }
+    std::size_t arena = 0;
+    const auto placements = PlanMemory(reqs, 64, &arena);
+    ASSERT_EQ(placements.size(), reqs.size());
+    CheckNoConflicts(reqs, placements);
+  }
+}
+
+TEST(MemoryPlanner, OffsetsAreAligned) {
+  std::vector<BufferRequest> reqs = {
+      {0, 3, 0, 5}, {1, 7, 0, 5}, {2, 13, 0, 5}, {3, 64, 0, 5}};
+  std::size_t arena = 0;
+  const auto placements = PlanMemory(reqs, 64, &arena);
+  for (const auto& p : placements) {
+    EXPECT_EQ(p.offset % 64, 0u) << "buffer " << p.id;
+  }
+}
+
+TEST(MemoryPlanner, EmptyRequestList) {
+  std::size_t arena = 123;
+  const auto placements = PlanMemory({}, 64, &arena);
+  EXPECT_TRUE(placements.empty());
+  EXPECT_EQ(arena, 0u);
+}
+
+}  // namespace
+}  // namespace lce

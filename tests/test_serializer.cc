@@ -1,0 +1,132 @@
+// Serializer tests: LCEM round-trips (training and inference dialects),
+// corrupt-input robustness, file I/O and the 32x model-size compression the
+// converter's binary weight packing delivers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "converter/convert.h"
+#include "converter/serializer.h"
+#include "core/random.h"
+#include "graph/interpreter.h"
+#include "models/builder.h"
+
+namespace lce {
+namespace {
+
+Graph SmallModel() {
+  Graph g;
+  ModelBuilder b(g, 31);
+  int x = b.Input(16, 16, 3);
+  x = b.Conv(x, 32, 3, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  x = b.BinaryConv(x, 32, 3, 1, Padding::kSameOne);
+  x = b.BatchNorm(x);
+  x = b.BinaryConv(x, 64, 3, 2, Padding::kSameOne);
+  x = b.BatchNorm(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 10);
+  x = b.Softmax(x);
+  g.MarkOutput(x);
+  return g;
+}
+
+std::vector<float> RunGraph(const Graph& g, std::uint64_t seed) {
+  Interpreter interp(g);
+  Status s = interp.Prepare();
+  EXPECT_TRUE(s.ok()) << s.message();
+  Rng rng(seed);
+  Tensor in = interp.input(0);
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    in.data<float>()[i] = rng.Uniform();
+  }
+  interp.Invoke();
+  const Tensor out = interp.output(0);
+  return std::vector<float>(out.data<float>(),
+                            out.data<float>() + out.num_elements());
+}
+
+TEST(Serializer, TrainingGraphRoundTrip) {
+  Graph g = SmallModel();
+  const auto bytes = SerializeGraph(g);
+  Graph loaded;
+  const Status s = DeserializeGraph(bytes.data(), bytes.size(), &loaded);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(loaded.LiveNodeCount(), g.LiveNodeCount());
+  const auto before = RunGraph(g, 7);
+  const auto after = RunGraph(loaded, 7);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << i;
+  }
+}
+
+TEST(Serializer, ConvertedGraphRoundTrip) {
+  Graph g = SmallModel();
+  ASSERT_TRUE(Convert(g).ok());
+  const auto bytes = SerializeGraph(g);
+  Graph loaded;
+  ASSERT_TRUE(DeserializeGraph(bytes.data(), bytes.size(), &loaded).ok());
+  EXPECT_EQ(loaded.CountOps(OpType::kLceBConv2d),
+            g.CountOps(OpType::kLceBConv2d));
+  const auto before = RunGraph(g, 9);
+  const auto after = RunGraph(loaded, 9);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << i;
+  }
+}
+
+TEST(Serializer, ConversionShrinksSerializedModel) {
+  Graph training = SmallModel();
+  const std::size_t training_size = SerializeGraph(training).size();
+  Graph inference = CloneGraph(training);
+  ASSERT_TRUE(Convert(inference).ok());
+  const std::size_t inference_size = SerializeGraph(inference).size();
+  // The binarized weights dominate this model; expect a large shrink (not
+  // exactly 32x because the fp stem/classifier stay float).
+  EXPECT_LT(inference_size, training_size / 2);
+}
+
+TEST(Serializer, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = {'N', 'O', 'P', 'E', 1, 0, 0, 0};
+  Graph g;
+  const Status s = DeserializeGraph(bytes.data(), bytes.size(), &g);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST(Serializer, RejectsTruncation) {
+  Graph g = SmallModel();
+  const auto bytes = SerializeGraph(g);
+  // Truncate at many points; must error, never crash.
+  for (std::size_t cut : {4ul, 9ul, 20ul, bytes.size() / 2, bytes.size() - 1}) {
+    Graph loaded;
+    const Status s = DeserializeGraph(bytes.data(), cut, &loaded);
+    EXPECT_FALSE(s.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(Serializer, FileRoundTrip) {
+  Graph g = SmallModel();
+  ASSERT_TRUE(Convert(g).ok());
+  const std::string path = ::testing::TempDir() + "/model.lcem";
+  ASSERT_TRUE(SaveModel(g, path).ok());
+  Graph loaded;
+  ASSERT_TRUE(LoadModel(path, &loaded).ok());
+  const auto a = RunGraph(g, 5);
+  const auto b = RunGraph(loaded, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serializer, LoadMissingFileReturnsNotFound) {
+  Graph g;
+  const Status s = LoadModel("/nonexistent/model.lcem", &g);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lce

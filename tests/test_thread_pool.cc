@@ -1,0 +1,70 @@
+// ThreadPool tests: full index coverage, inline single-thread execution and
+// concurrent-safety of sharded writes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace lce {
+namespace {
+
+class ThreadPoolCoverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolCoverage, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(GetParam());
+  const std::int64_t count = 1000;
+  std::vector<std::atomic<int>> hits(count);
+  pool.ParallelFor(count, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolCoverage,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, CountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SequentialCallsReusePool) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(100, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+    });
+  }
+  EXPECT_EQ(sum.load(), 20 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  // With one thread, the callback must run on the calling thread (no
+  // synchronization noise for latency benchmarks).
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.ParallelFor(10, [&](std::int64_t, std::int64_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+}  // namespace
+}  // namespace lce
