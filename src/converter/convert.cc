@@ -30,7 +30,7 @@ Graph CloneGraph(const Graph& g) {
     if (!n->alive) continue;
     std::vector<int> inputs;
     for (int in : n->inputs) {
-      LCE_CHECK_GE(value_map[in], 0);
+      LCE_DCHECK(value_map[in] >= 0);
       inputs.push_back(value_map[in]);
     }
     const int out_val = out.AddNode(n->type, n->name, std::move(inputs),
@@ -38,7 +38,7 @@ Graph CloneGraph(const Graph& g) {
     value_map[n->outputs[0]] = out_val;
   }
   for (int o : g.output_ids()) {
-    LCE_CHECK_GE(value_map[o], 0);
+    LCE_DCHECK(value_map[o] >= 0);
     out.MarkOutput(value_map[o]);
   }
   return out;

@@ -76,11 +76,18 @@ int FuseBatchNormIntoFloatConv(Graph& g) {
     if (SingleConsumer(g, in.id) != bn.id || IsGraphOutput(g, in.id)) continue;
 
     const Value& w = g.value(conv.inputs[1]);
-    LCE_CHECK(w.is_constant);
     const auto& scale = bn.attrs.bn_scale;
     const auto& offset = bn.attrs.bn_offset;
     const int out_c = conv.attrs.conv.out_c;
-    LCE_CHECK_EQ(static_cast<int>(scale.size()), out_c);
+    // Skip malformed candidates instead of asserting: passes may run on
+    // graphs that originated from an untrusted model file.
+    if (!w.is_constant || w.dtype != DataType::kFloat32 || out_c <= 0 ||
+        static_cast<int>(scale.size()) != out_c ||
+        static_cast<int>(offset.size()) != out_c ||
+        (!conv.attrs.bias.empty() &&
+         static_cast<int>(conv.attrs.bias.size()) != out_c)) {
+      continue;
+    }
 
     // New scaled weights constant.
     Tensor new_w(DataType::kFloat32, w.shape);
@@ -179,7 +186,10 @@ int LowerBinarizedConvs(Graph& g) {
 
     // Bitpacked weights constant (32x compression).
     const Value& w = g.value(conv.inputs[1]);
-    LCE_CHECK(w.is_constant);
+    if (!w.is_constant || w.dtype != DataType::kFloat32 ||
+        w.shape.rank() != 4) {
+      continue;  // not a lowerable candidate; leave the float conv in place
+    }
     const int packed_w = PackWeightsConstant(g, w, w.name + ".bitpacked");
 
     OpAttrs attrs;
@@ -225,7 +235,10 @@ int LowerBinarizedFullyConnected(Graph& g) {
     }
 
     const Value& w = g.value(fc.inputs[1]);
-    LCE_CHECK(w.is_constant);
+    if (!w.is_constant || w.dtype != DataType::kFloat32 ||
+        w.shape.rank() != 2) {
+      continue;  // not a lowerable candidate; leave the float FC in place
+    }
     const int packed_w = PackWeightsConstant2D(g, w, w.name + ".bitpacked");
 
     OpAttrs attrs;
@@ -274,6 +287,16 @@ int FuseBConvOutputTransform(Graph& g) {
         const auto& offset = next.attrs.bn_offset;
         const int out_c = is_bfc ? bc.attrs.fc_out_features
                                  : bc.attrs.conv.out_c;
+        // Every vector indexed below must cover out_c entries; skip the
+        // fusion (rather than read out of bounds) when they do not.
+        if (out_c <= 0 || static_cast<int>(scale.size()) != out_c ||
+            static_cast<int>(offset.size()) != out_c ||
+            (!bc.attrs.multiplier.empty() &&
+             static_cast<int>(bc.attrs.multiplier.size()) != out_c) ||
+            (!bc.attrs.bias.empty() &&
+             static_cast<int>(bc.attrs.bias.size()) != out_c)) {
+          continue;
+        }
         std::vector<float> mult(out_c), bias(out_c);
         for (int o = 0; o < out_c; ++o) {
           const float m = bc.attrs.multiplier.empty() ? 1.0f : bc.attrs.multiplier[o];

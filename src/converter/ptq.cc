@@ -104,7 +104,11 @@ Status QuantizeModelInt8(Graph& g, const PtqOptions& options,
     const QuantParams in_q = ChooseQuantParams(in_range.min, in_range.max);
     const QuantParams out_q = ChooseQuantParams(out_range.min, out_range.max);
     const Value& w = g.value(conv.inputs[1]);
-    LCE_CHECK(w.is_constant);
+    if (!w.is_constant || w.dtype != DataType::kFloat32) {
+      return Status::InvalidArgument("conv " + conv.name +
+                                     " has non-constant float weights; "
+                                     "cannot post-training quantize");
+    }
     const float* wf = w.constant_data.data<float>();
     const int out_c = conv.attrs.conv.out_c;
     const std::int64_t per_filter = w.constant_data.num_elements() / out_c;

@@ -1,10 +1,13 @@
 #include "converter/serializer.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <map>
 
 #include "core/macros.h"
+#include "graph/validator.h"
+#include "kernels/bconv2d.h"
 
 namespace lce {
 namespace {
@@ -28,6 +31,7 @@ class Writer {
     Raw(v.data(), v.size() * sizeof(float));
   }
   void Raw(const void* p, std::size_t n) {
+    if (n == 0) return;  // p may be null for empty payloads
     const auto* b = static_cast<const std::uint8_t*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
@@ -50,6 +54,10 @@ class Reader {
   bool Str(std::string* s) {
     std::uint32_t n;
     if (!U32(&n) || n > Remaining()) return false;
+    if (n == 0) {
+      s->clear();
+      return true;
+    }
     s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return true;
@@ -63,8 +71,12 @@ class Reader {
   }
   bool Raw(void* p, std::size_t n) {
     if (n > Remaining()) return false;
-    std::memcpy(p, data_ + pos_, n);
-    pos_ += n;
+    // An empty read may come with a null destination (e.g. a zero-length
+    // vector's data()); memcpy's arguments are declared nonnull.
+    if (n != 0) {
+      std::memcpy(p, data_ + pos_, n);
+      pos_ += n;
+    }
     return true;
   }
   std::size_t Remaining() const { return size_ - pos_; }
@@ -159,6 +171,14 @@ bool ReadAttrs(Reader& r, OpAttrs* a) {
   }
   if (!r.Floats(&a->weight_scales)) return false;
   if (!r.Floats(&a->prelu_slope)) return false;
+  // Enum bytes are untrusted: reject out-of-range values here so no
+  // malformed enum ever enters an OpAttrs (switches over these enums
+  // downstream have no default case for garbage).
+  if (!IsValidPadding(pad) || !IsValidPadding(pool_pad) ||
+      !IsValidActivation(act) || !IsValidActivation(pre_act) ||
+      !IsValidGraphBConvOutputType(bout)) {
+    return false;
+  }
   a->conv.padding = static_cast<Padding>(pad);
   a->pool.padding = static_cast<Padding>(pool_pad);
   a->activation = static_cast<Activation>(act);
@@ -216,20 +236,35 @@ std::vector<std::uint8_t> SerializeGraph(const Graph& g) {
     w.U8(static_cast<std::uint8_t>(n.type));
     w.U32(static_cast<std::uint32_t>(n.inputs.size()));
     for (int in : n.inputs) {
-      LCE_CHECK(remap.count(in));
-      w.U32(remap.at(in));
+      const auto it = remap.find(in);
+      if (it == remap.end()) {
+        // A live node referencing a value that is neither a leading value
+        // nor an earlier node's output means the graph is structurally
+        // inconsistent. Refuse to emit a corrupt file.
+        return {};
+      }
+      w.U32(it->second);
     }
     WriteAttrs(w, n.attrs);
   }
 
   w.U32(static_cast<std::uint32_t>(g.input_ids().size()));
-  for (int in : g.input_ids()) w.U32(remap.at(in));
+  for (int in : g.input_ids()) {
+    const auto it = remap.find(in);
+    if (it == remap.end()) return {};
+    w.U32(it->second);
+  }
   w.U32(static_cast<std::uint32_t>(g.output_ids().size()));
-  for (int out : g.output_ids()) w.U32(remap.at(out));
+  for (int out : g.output_ids()) {
+    const auto it = remap.find(out);
+    if (it == remap.end()) return {};
+    w.U32(it->second);
+  }
   return w.Take();
 }
 
-Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g) {
+Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g,
+                        const ResourceLimits& limits) {
   Reader r(data, size);
   char magic[4];
   std::uint32_t version;
@@ -242,7 +277,11 @@ Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g) {
 
   std::uint32_t num_leading;
   if (!r.U32(&num_leading)) return Status::DataLoss("truncated header");
-  std::vector<int> ids;  // dense id -> graph value id
+  if (num_leading > limits.max_values) {
+    return Status::ResourceExhausted("model declares too many values");
+  }
+  std::size_t model_bytes = 0;  // running total of constant storage
+  std::vector<int> ids;         // dense id -> graph value id
   for (std::uint32_t i = 0; i < num_leading; ++i) {
     std::uint8_t kind, dtype_u8, rank;
     std::string name;
@@ -250,6 +289,8 @@ Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g) {
         rank > Shape::kMaxDims) {
       return Status::DataLoss("truncated value record");
     }
+    if (kind > 1) return Status::DataLoss("bad value kind");
+    if (!IsValidDType(dtype_u8)) return Status::DataLoss("unknown dtype");
     std::int64_t dims[Shape::kMaxDims] = {};
     for (int d = 0; d < rank; ++d) {
       if (!r.I64(&dims[d])) return Status::DataLoss("truncated shape");
@@ -260,19 +301,30 @@ Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g) {
       }
     }
     Shape shape = MakeShape(dims, rank);
-    if (shape.num_elements() > (std::int64_t{1} << 32)) {
+    const auto dtype = static_cast<DataType>(dtype_u8);
+    std::int64_t elements = 0;
+    std::size_t expected = 0;
+    if (!shape.checked_num_elements(&elements) ||
+        !Tensor::CheckedByteSize(dtype, shape, &expected)) {
       return Status::DataLoss("implausible tensor size");
     }
-    const auto dtype = static_cast<DataType>(dtype_u8);
+    if (elements > limits.max_tensor_elements ||
+        expected > limits.max_tensor_bytes) {
+      return Status::ResourceExhausted("tensor exceeds the resource limit");
+    }
     if (kind == 1) {
       std::int64_t bytes;
       if (!r.I64(&bytes)) return Status::DataLoss("truncated constant");
       // Validate against both the declared shape and the remaining stream
       // *before* allocating storage.
-      const std::size_t expected = Tensor::ByteSize(dtype, shape);
       if (bytes < 0 || static_cast<std::size_t>(bytes) != expected ||
           expected > r.Remaining()) {
         return Status::DataLoss("constant size mismatch");
+      }
+      if (__builtin_add_overflow(model_bytes, expected, &model_bytes) ||
+          model_bytes > limits.max_model_bytes) {
+        return Status::ResourceExhausted(
+            "model constants exceed the resource limit");
       }
       Tensor t(dtype, shape);
       if (!r.Raw(t.raw_data(), t.byte_size())) {
@@ -286,12 +338,20 @@ Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g) {
 
   std::uint32_t num_nodes;
   if (!r.U32(&num_nodes)) return Status::DataLoss("truncated node count");
+  if (num_nodes > limits.max_nodes) {
+    return Status::ResourceExhausted("model declares too many nodes");
+  }
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     std::string name;
     std::uint8_t type_u8;
     std::uint32_t n_inputs;
     if (!r.Str(&name) || !r.U8(&type_u8) || !r.U32(&n_inputs)) {
       return Status::DataLoss("truncated node record");
+    }
+    // Reject a bad op byte before trusting anything else in the record.
+    if (!IsValidOpType(type_u8)) return Status::DataLoss("unknown op type");
+    if (n_inputs > limits.max_node_inputs) {
+      return Status::ResourceExhausted("node declares too many inputs");
     }
     std::vector<int> inputs;
     for (std::uint32_t j = 0; j < n_inputs; ++j) {
@@ -301,9 +361,8 @@ Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g) {
       inputs.push_back(ids[id]);
     }
     OpAttrs attrs;
-    if (!ReadAttrs(r, &attrs)) return Status::DataLoss("truncated attrs");
-    if (type_u8 > static_cast<std::uint8_t>(OpType::kLceBFullyConnected)) {
-      return Status::DataLoss("unknown op type");
+    if (!ReadAttrs(r, &attrs)) {
+      return Status::DataLoss("truncated or malformed attrs");
     }
     int out = -1;
     const Status added =
@@ -319,7 +378,9 @@ Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g) {
   if (!r.U32(&n_in)) return Status::DataLoss("truncated io");
   for (std::uint32_t i = 0; i < n_in; ++i) {
     std::uint32_t id;
-    if (!r.U32(&id)) return Status::DataLoss("truncated io");
+    if (!r.U32(&id) || id >= ids.size()) {
+      return Status::DataLoss("bad input id");
+    }
     // Inputs were registered by AddInput already; nothing further needed.
   }
   if (!r.U32(&n_out)) return Status::DataLoss("truncated io");
@@ -328,29 +389,55 @@ Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g) {
     if (!r.U32(&id) || id >= ids.size()) return Status::DataLoss("bad output id");
     g->MarkOutput(ids[id]);
   }
-  return g->Validate();
+  if (r.Remaining() != 0) {
+    return Status::DataLoss("trailing bytes after model");
+  }
+  // Full semantic + resource validation: a graph that parses is not yet a
+  // graph that is safe to Prepare/Invoke.
+  return ValidateGraph(*g, limits);
 }
 
 Status SaveModel(const Graph& g, const std::string& path) {
   const auto bytes = SerializeGraph(g);
+  if (bytes.empty()) {
+    return Status::InvalidArgument("graph is not serializable");
+  }
   std::ofstream f(path, std::ios::binary);
-  if (!f) return Status::NotFound("cannot open " + path + " for writing");
+  if (!f) {
+    return Status::NotFound("cannot open " + path + " for writing: " +
+                            std::strerror(errno));
+  }
   f.write(reinterpret_cast<const char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
-  if (!f) return Status::DataLoss("write failed: " + path);
+  if (!f) {
+    return Status::DataLoss("write failed for " + path + ": " +
+                            std::strerror(errno));
+  }
   return Status::Ok();
 }
 
-Status LoadModel(const std::string& path, Graph* g) {
+Status LoadModel(const std::string& path, Graph* g,
+                 const ResourceLimits& limits) {
   std::ifstream f(path, std::ios::binary | std::ios::ate);
-  if (!f) return Status::NotFound("cannot open " + path);
-  const auto size = static_cast<std::size_t>(f.tellg());
+  if (!f) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  const std::streamoff end = f.tellg();
+  if (end < 0) {
+    return Status::DataLoss("cannot determine size of " + path + ": " +
+                            std::strerror(errno));
+  }
+  const auto size = static_cast<std::size_t>(end);
   f.seekg(0);
   std::vector<std::uint8_t> bytes(size);
   f.read(reinterpret_cast<char*>(bytes.data()),
          static_cast<std::streamsize>(size));
-  if (!f) return Status::DataLoss("read failed: " + path);
-  return DeserializeGraph(bytes.data(), bytes.size(), g);
+  if (!f) {
+    return Status::DataLoss("read failed for " + path + ": " +
+                            std::strerror(errno));
+  }
+  return DeserializeGraph(bytes.data(), bytes.size(), g, limits);
 }
 
 }  // namespace lce

@@ -18,22 +18,30 @@
 #include <string>
 #include <vector>
 
+#include "core/resource_limits.h"
 #include "core/status.h"
 #include "graph/ir.h"
 
 namespace lce {
 
 // Serializes the live part of the graph. Node order is topological, value
-// ids are renumbered densely.
+// ids are renumbered densely. Returns an empty buffer if the graph is
+// structurally inconsistent (a live node referencing an unserializable
+// value); SaveModel turns that into a Status.
 std::vector<std::uint8_t> SerializeGraph(const Graph& g);
 
-// Parses a serialized model. Returns an error (not a crash) on truncated or
-// corrupt input.
-Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g);
+// Parses a serialized model. The byte stream is untrusted: every structural
+// defect returns kDataLoss, every semantic defect kInvalidArgument and every
+// limit violation kResourceExhausted -- never a crash, abort or unbounded
+// allocation. On success the graph has passed full ValidateGraph, so
+// Interpreter::Prepare/Invoke on it is safe.
+Status DeserializeGraph(const std::uint8_t* data, std::size_t size, Graph* g,
+                        const ResourceLimits& limits = {});
 
-// File convenience wrappers.
+// File convenience wrappers. Load errors include the path and the OS error.
 Status SaveModel(const Graph& g, const std::string& path);
-Status LoadModel(const std::string& path, Graph* g);
+Status LoadModel(const std::string& path, Graph* g,
+                 const ResourceLimits& limits = {});
 
 }  // namespace lce
 

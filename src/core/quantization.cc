@@ -9,8 +9,8 @@ namespace lce {
 
 void QuantizeMultiplier(double real_multiplier, std::int32_t* quantized,
                         int* shift) {
-  LCE_CHECK(real_multiplier > 0.0);
-  if (real_multiplier == 0.0) {
+  LCE_DCHECK(real_multiplier > 0.0);
+  if (!(real_multiplier > 0.0)) {
     *quantized = 0;
     *shift = 0;
     return;
@@ -34,8 +34,16 @@ std::int32_t MultiplyByQuantizedMultiplier(std::int32_t x,
       2 * static_cast<std::int64_t>(x) * static_cast<std::int64_t>(quantized_multiplier);
   auto high = static_cast<std::int32_t>((prod + (1LL << 31)) >> 32);
   // Rounding right shift by (-shift) when shift < 0; left shift otherwise.
+  // Extreme shifts arise from extreme (but legal) scale ratios, so both
+  // directions must stay clear of shift-count UB.
   if (shift >= 0) {
-    // The left shift can overflow for large accumulators; saturate.
+    // The left shift can overflow for large accumulators; saturate. Any
+    // shift of 32+ bits saturates every nonzero value, no shift needed.
+    if (shift > 31) {
+      if (high == 0) return 0;
+      return high > 0 ? std::numeric_limits<std::int32_t>::max()
+                      : std::numeric_limits<std::int32_t>::min();
+    }
     const std::int64_t shifted = static_cast<std::int64_t>(high) << shift;
     if (shifted > std::numeric_limits<std::int32_t>::max()) {
       return std::numeric_limits<std::int32_t>::max();
@@ -46,8 +54,10 @@ std::int32_t MultiplyByQuantizedMultiplier(std::int32_t x,
     return static_cast<std::int32_t>(shifted);
   }
   const int right = -shift;
-  const std::int32_t rounding = 1 << (right - 1);
-  return (high + rounding) >> right;
+  if (right > 31) return 0;  // rounds to zero for any 32-bit value
+  const std::int64_t rounding = 1LL << (right - 1);
+  return static_cast<std::int32_t>(
+      (static_cast<std::int64_t>(high) + rounding) >> right);
 }
 
 }  // namespace lce

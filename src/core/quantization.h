@@ -18,8 +18,13 @@ struct QuantParams {
 
 inline std::int8_t QuantizeValue(float v, const QuantParams& q) {
   const float scaled = std::round(v / q.scale) + static_cast<float>(q.zero_point);
-  return static_cast<std::int8_t>(
-      std::clamp(scaled, -128.0f, 127.0f));
+  // NaN-safe saturation: std::clamp passes NaN through and casting NaN (or
+  // an out-of-range value) to int is UB, which corrupt model data can
+  // otherwise reach. These comparisons are false for NaN, mapping it to the
+  // lower rail.
+  if (scaled >= 127.0f) return 127;
+  if (scaled > -128.0f) return static_cast<std::int8_t>(scaled);
+  return -128;
 }
 
 inline float DequantizeValue(std::int8_t v, const QuantParams& q) {

@@ -40,11 +40,27 @@ class Shape {
 
   std::int64_t operator[](int i) const { return dim(i); }
 
-  // Total number of logical elements.
+  // Total number of logical elements. Only safe on shapes whose dimension
+  // product is known to fit in int64 (all validated shapes); use
+  // checked_num_elements on model-derived shapes.
   std::int64_t num_elements() const {
     std::int64_t n = 1;
     for (int i = 0; i < rank_; ++i) n *= dims_[i];
     return n;
+  }
+
+  // Overflow-checked element count for untrusted shapes: returns false (and
+  // leaves *out untouched) if any dimension is negative or the product
+  // overflows int64. Adversarial dimension combinations must produce errors,
+  // not signed-overflow UB.
+  bool checked_num_elements(std::int64_t* out) const {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[i] < 0) return false;
+      if (__builtin_mul_overflow(n, dims_[i], &n)) return false;
+    }
+    *out = n;
+    return true;
   }
 
   bool operator==(const Shape& other) const {

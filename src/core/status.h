@@ -16,6 +16,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDataLoss,
+  kResourceExhausted,
 };
 
 // A value-semantic status: either OK or a code plus a human-readable message.
@@ -43,6 +44,9 @@ class Status {
   }
   static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

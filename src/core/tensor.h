@@ -10,6 +10,7 @@
 #define LCE_CORE_TENSOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -91,6 +92,35 @@ class Tensor {
   static std::size_t ByteSize(DataType dtype, const Shape& shape) {
     return static_cast<std::size_t>(StorageElements(dtype, shape)) *
            DataTypeByteSize(dtype);
+  }
+
+  // Overflow-checked byte size for untrusted (dtype, shape) pairs. Returns
+  // false on negative dimensions, element-count overflow, rank-0 bitpacked
+  // shapes, or an out-of-range dtype -- all the cases where ByteSize would
+  // abort or silently wrap.
+  static bool CheckedByteSize(DataType dtype, const Shape& shape,
+                              std::size_t* out) {
+    if (!IsValidDType(static_cast<std::uint8_t>(dtype))) return false;
+    std::int64_t elements = 0;
+    if (dtype == DataType::kBitpacked) {
+      if (shape.rank() < 1) return false;
+      std::int64_t outer = 1;
+      for (int i = 0; i + 1 < shape.rank(); ++i) {
+        if (shape.dim(i) < 0) return false;
+        if (__builtin_mul_overflow(outer, shape.dim(i), &outer)) return false;
+      }
+      const std::int64_t inner = shape.dim(shape.rank() - 1);
+      if (inner < 0 || inner > std::numeric_limits<int>::max()) return false;
+      const std::int64_t words = BitpackedWords(static_cast<int>(inner));
+      if (__builtin_mul_overflow(outer, words, &elements)) return false;
+    } else {
+      if (!shape.checked_num_elements(&elements)) return false;
+    }
+    std::int64_t bytes = 0;
+    const auto elem_size = static_cast<std::int64_t>(DataTypeByteSize(dtype));
+    if (__builtin_mul_overflow(elements, elem_size, &bytes)) return false;
+    *out = static_cast<std::size_t>(bytes);
+    return true;
   }
 
  private:

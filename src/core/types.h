@@ -26,6 +26,12 @@ enum class DataType : std::uint8_t {
   kBitpacked = 3,  // 1-bit values packed 32-per-uint32 along the channel dim.
 };
 
+// Enum-range validators for bytes read from untrusted model files; a raw
+// byte must pass these before being static_cast to the enum type.
+constexpr bool IsValidDType(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(DataType::kBitpacked);
+}
+
 // Size in bytes of one *storage element* of the given type. For kBitpacked
 // the storage element is a 32-bit word holding 32 logical values.
 constexpr std::size_t DataTypeByteSize(DataType t) {
@@ -66,6 +72,10 @@ constexpr std::string_view DataTypeName(DataType t) {
 //               bitpacked data (paper section 3.2, "one-padding").
 enum class Padding : std::uint8_t { kValid = 0, kSameZero = 1, kSameOne = 2 };
 
+constexpr bool IsValidPadding(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(Padding::kSameOne);
+}
+
 constexpr std::string_view PaddingName(Padding p) {
   switch (p) {
     case Padding::kValid:
@@ -86,6 +96,10 @@ enum class Activation : std::uint8_t {
   kRelu6 = 2,
   kSigmoid = 3,
 };
+
+constexpr bool IsValidActivation(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(Activation::kSigmoid);
+}
 
 constexpr std::string_view ActivationName(Activation a) {
   switch (a) {

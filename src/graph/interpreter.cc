@@ -6,6 +6,7 @@
 #include "core/bitpack.h"
 #include "core/macros.h"
 #include "graph/memory_planner.h"
+#include "graph/validator.h"
 #include "kernels/bmaxpool.h"
 #include "kernels/elementwise.h"
 #include "kernels/pooling.h"
@@ -34,7 +35,11 @@ Interpreter::Interpreter(const Graph& graph, InterpreterOptions options)
       ctx_(options.num_threads, options.kernel_profile) {}
 
 Status Interpreter::Prepare() {
-  LCE_RETURN_IF_ERROR(graph_.Validate());
+  // Full semantic + resource validation up front. Everything after this --
+  // memory planning, kernel construction, Invoke -- relies on the graph
+  // being legal and within limits, so no further checks on model-derived
+  // data are needed (or present) downstream.
+  LCE_RETURN_IF_ERROR(ValidateGraph(graph_, options_.limits));
   order_ = graph_.TopologicalOrder();
   if (static_cast<int>(order_.size()) != graph_.LiveNodeCount()) {
     return Status::Internal("graph contains a cycle");
@@ -47,10 +52,15 @@ Status Interpreter::Prepare() {
   }
   const int num_steps = static_cast<int>(order_.size());
 
-  // Lifetimes for every non-constant value touched by the live graph.
+  // Lifetimes for every non-constant value touched by the live graph. The
+  // validator guarantees alive values have alive producers and that every
+  // per-tensor byte size is computable; the running total is still checked
+  // here so the planner's offset arithmetic and the arena allocation below
+  // stay bounded by the configured limit.
   std::vector<BufferRequest> requests;
   offsets_.assign(graph_.values().size(), 0);
   in_arena_.assign(graph_.values().size(), false);
+  std::size_t total_bytes = 0;
   for (const auto& v : graph_.values()) {
     if (!v->alive || v->is_constant) continue;
     int first = v->producer >= 0 ? step[v->producer] : 0;
@@ -71,11 +81,24 @@ Status Interpreter::Prepare() {
       // Value produced but never read; still needs storage for the write.
       last = first;
     }
-    requests.push_back(
-        {v->id, Tensor::ByteSize(v->dtype, v->shape), first, last});
+    std::size_t bytes = 0;
+    if (!Tensor::CheckedByteSize(v->dtype, v->shape, &bytes)) {
+      return Status::Internal("tensor size overflow slipped past validation");
+    }
+    std::size_t aligned = 0;
+    if (__builtin_add_overflow(bytes, kDefaultAlignment - 1, &aligned)) {
+      return Status::ResourceExhausted("arena exceeds the resource limit");
+    }
+    aligned -= aligned % kDefaultAlignment;
+    if (__builtin_add_overflow(total_bytes, aligned, &total_bytes) ||
+        total_bytes > options_.limits.max_arena_bytes) {
+      return Status::ResourceExhausted("arena exceeds the resource limit");
+    }
+    requests.push_back({v->id, bytes, first, last});
   }
   const auto placements = PlanMemory(std::move(requests), kDefaultAlignment,
                                      &arena_size_);
+  LCE_DCHECK(arena_size_ <= total_bytes);
   arena_ = AlignedBuffer(arena_size_);
   for (const auto& p : placements) {
     offsets_[p.id] = p.offset;
@@ -91,7 +114,7 @@ Status Interpreter::Prepare() {
     switch (n.type) {
       case OpType::kConv2D: {
         const Value& w = graph_.value(n.inputs[1]);
-        LCE_CHECK(w.is_constant);
+        LCE_DCHECK(w.is_constant);
         Conv2DFloatAttrs attrs;
         attrs.geo = n.attrs.conv;
         attrs.activation = n.attrs.activation;
@@ -113,7 +136,7 @@ Status Interpreter::Prepare() {
       }
       case OpType::kDepthwiseConv2D: {
         const Value& w = graph_.value(n.inputs[1]);
-        LCE_CHECK(w.is_constant);
+        LCE_DCHECK(w.is_constant);
         DepthwiseConv2DAttrs attrs;
         attrs.geo = n.attrs.conv;
         attrs.activation = n.attrs.activation;
@@ -124,7 +147,7 @@ Status Interpreter::Prepare() {
       }
       case OpType::kFullyConnected: {
         const Value& w = graph_.value(n.inputs[1]);
-        LCE_CHECK(w.is_constant);
+        LCE_DCHECK(w.is_constant);
         FullyConnectedAttrs attrs;
         attrs.in_features = n.attrs.fc_in_features;
         attrs.out_features = n.attrs.fc_out_features;
@@ -146,7 +169,7 @@ Status Interpreter::Prepare() {
       }
       case OpType::kLceBFullyConnected: {
         const Value& w = graph_.value(n.inputs[1]);
-        LCE_CHECK(w.is_constant);
+        LCE_DCHECK(w.is_constant);
         BFullyConnectedAttrs attrs;
         attrs.in_features = n.attrs.fc_in_features;
         attrs.out_features = n.attrs.fc_out_features;
@@ -164,7 +187,7 @@ Status Interpreter::Prepare() {
       }
       case OpType::kConv2DInt8: {
         const Value& w = graph_.value(n.inputs[1]);
-        LCE_CHECK(w.is_constant);
+        LCE_DCHECK(w.is_constant);
         Conv2DInt8Attrs attrs;
         attrs.geo = n.attrs.conv;
         attrs.activation = n.attrs.activation;
@@ -179,7 +202,7 @@ Status Interpreter::Prepare() {
       }
       case OpType::kLceBConv2d: {
         const Value& w = graph_.value(n.inputs[1]);
-        LCE_CHECK(w.is_constant);
+        LCE_DCHECK(w.is_constant);
         BConv2DAttrs attrs;
         attrs.geo = n.attrs.conv;
         attrs.output_type = n.attrs.bconv_output;
@@ -210,7 +233,7 @@ Tensor Interpreter::ValueTensor(int value_id) {
     return Tensor::View(v.dtype, v.shape,
                         const_cast<void*>(v.constant_data.raw_data()));
   }
-  LCE_CHECK(in_arena_[value_id]);
+  LCE_DCHECK(in_arena_[value_id]);
   return Tensor::View(v.dtype, v.shape, arena_.data() + offsets_[value_id]);
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/aligned_buffer.h"
+#include "core/resource_limits.h"
 #include "core/status.h"
 #include "core/tensor.h"
 #include "gemm/context.h"
@@ -31,6 +32,10 @@ struct InterpreterOptions {
   int num_threads = 1;
   gemm::KernelProfile kernel_profile = gemm::KernelProfile::kSimd;
   bool enable_profiling = false;
+  // Enforced by Prepare() on the graph and its memory plan. The defaults are
+  // generous but finite (see core/resource_limits.h); loaders of untrusted
+  // models should tighten them to what the application expects.
+  ResourceLimits limits;
   // Called after each node executes with its output tensor (still valid at
   // that point; the arena may reuse it later). Used by the post-training
   // quantizer's range calibration.
@@ -53,7 +58,10 @@ class Interpreter {
   // The graph must outlive the interpreter.
   Interpreter(const Graph& graph, InterpreterOptions options = {});
 
-  // Plans memory and prepares kernels. Must be called before Invoke.
+  // Validates the graph (semantics + resource limits), plans memory and
+  // prepares kernels. Must be called before Invoke. Any defect in a
+  // model-derived graph is reported here as a Status; after an OK Prepare,
+  // Invoke cannot fail.
   Status Prepare();
 
   // Tensor views into the arena; write inputs before Invoke, read outputs

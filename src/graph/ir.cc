@@ -63,6 +63,31 @@ int Graph::AddConstant(std::string name, Tensor data) {
 
 namespace {
 
+// Upper bound on strides and pool filters accepted from attrs. The output
+// size arithmetic in Conv2DGeometry/Pool2DGeometry works in `int`, so an
+// untrusted stride near INT_MAX would overflow it; anything beyond this
+// bound is far outside what any model uses.
+constexpr int kMaxStride = 1 << 24;
+
+// Exact operand count per op; -1 means variadic (kConcat, >= 2).
+int ExpectedArity(OpType t) {
+  switch (t) {
+    case OpType::kConv2D:
+    case OpType::kDepthwiseConv2D:
+    case OpType::kConv2DInt8:
+    case OpType::kLceBConv2d:
+    case OpType::kFullyConnected:
+    case OpType::kLceBFullyConnected:
+    case OpType::kAdd:
+    case OpType::kMulChannel:
+      return 2;
+    case OpType::kConcat:
+      return -1;
+    default:
+      return 1;
+  }
+}
+
 // Fills in the geometry fields that are derivable from the operand shapes
 // (batch, input dims, filter dims, channel counts); the builder only needs
 // to provide strides and padding.
@@ -75,16 +100,19 @@ Status ResolveAttrs(OpType type, OpAttrs& attrs,
     case OpType::kLceBConv2d:
     case OpType::kConv2DInt8:
     case OpType::kDepthwiseConv2D:
-      if (attrs.conv.stride_h <= 0 || attrs.conv.stride_w <= 0) {
-        return Status::InvalidArgument("non-positive conv stride");
+      if (attrs.conv.stride_h <= 0 || attrs.conv.stride_w <= 0 ||
+          attrs.conv.stride_h > kMaxStride || attrs.conv.stride_w > kMaxStride) {
+        return Status::InvalidArgument("conv stride out of range");
       }
       break;
     case OpType::kMaxPool2D:
     case OpType::kAvgPool2D:
     case OpType::kLceBMaxPool2d:
       if (attrs.pool.stride_h <= 0 || attrs.pool.stride_w <= 0 ||
-          attrs.pool.filter_h <= 0 || attrs.pool.filter_w <= 0) {
-        return Status::InvalidArgument("non-positive pool geometry");
+          attrs.pool.filter_h <= 0 || attrs.pool.filter_w <= 0 ||
+          attrs.pool.stride_h > kMaxStride || attrs.pool.stride_w > kMaxStride ||
+          attrs.pool.filter_h > kMaxStride || attrs.pool.filter_w > kMaxStride) {
+        return Status::InvalidArgument("pool geometry out of range");
       }
       break;
     default:
@@ -153,6 +181,9 @@ Status ResolveAttrs(OpType type, OpAttrs& attrs,
     case OpType::kFullyConnected:
     case OpType::kLceBFullyConnected: {
       if (inputs.size() < 2) return Status::InvalidArgument("fc needs x, w");
+      if (inputs[0]->shape.rank() != 2 || inputs[1]->shape.rank() != 2) {
+        return Status::InvalidArgument("fc operands must be rank 2");
+      }
       attrs.fc_out_features = static_cast<int>(inputs[1]->shape.dim(0));
       attrs.fc_in_features = static_cast<int>(inputs[1]->shape.dim(1));
       if (inputs[0]->shape.dim(1) != attrs.fc_in_features) {
@@ -170,6 +201,14 @@ Status ResolveAttrs(OpType type, OpAttrs& attrs,
 Status Graph::InferOutput(OpType type, const OpAttrs& attrs,
                           const std::vector<const Value*>& inputs,
                           DataType* dtype, Shape* shape) {
+  // Arity must be checked before any case dereferences inputs[0]/inputs[1]:
+  // node records in a model file can claim any operand count.
+  const int arity = ExpectedArity(type);
+  if (arity >= 0 ? static_cast<int>(inputs.size()) != arity
+                 : inputs.size() < 2) {
+    return Status::InvalidArgument("wrong operand count for " +
+                                   std::string(OpTypeName(type)));
+  }
   switch (type) {
     case OpType::kConv2D: {
       const Conv2DGeometry& g = attrs.conv;

@@ -60,6 +60,13 @@ enum class OpType : std::uint8_t {
   kLceBFullyConnected,  // bitpacked in; float out (binary MLP classifier)
 };
 
+// Range validator for op-type bytes read from untrusted model files; must
+// pass before a raw byte is static_cast to OpType. Keep in sync with the
+// last enumerator above.
+constexpr bool IsValidOpType(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(OpType::kLceBFullyConnected);
+}
+
 std::string_view OpTypeName(OpType t);
 
 // One attrs struct shared by all ops; each op reads the fields it needs.

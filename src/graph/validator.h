@@ -1,0 +1,54 @@
+// Semantic graph validation: the trust boundary between model files and the
+// runtime (docs/ROBUSTNESS.md).
+//
+// DeserializeGraph bounds-checks the *byte stream*; this layer checks that
+// the resulting graph is *semantically* legal, so that Interpreter::Prepare
+// and Invoke can execute it without any further checks on model-derived
+// data. Concretely, for every live node it verifies:
+//
+//   * operand arity, ranks, and dtypes for all op types;
+//   * weight operands are constants of the expected dtype and rank;
+//   * per-channel attribute vectors (bias, multiplier, bn_scale/offset,
+//     prelu_slope, bias_int32, weight_scales) are empty or exactly
+//     channel-sized;
+//   * enum-valued attributes are in range (padding, activations, bconv
+//     output type) and op-specific padding restrictions hold;
+//   * quantization parameters are finite and positive where a kernel will
+//     divide by or cast through them;
+//   * bitpacked values have rank >= 1 (the storage layout packs the
+//     innermost dimension) and bconv operands agree channel-wise;
+//   * stored output shapes/dtypes match re-inference (via Graph::Validate),
+//     the graph is acyclic, and all producer/consumer links are alive.
+//
+// It also enforces ResourceLimits: per-tensor element/byte caps (computed
+// overflow-checked), total constant bytes, node/value counts, and a bound
+// on each convolution's im2col scratch footprint, so that a hostile model
+// cannot trigger unbounded allocation downstream.
+//
+// Everything a builder or the converter legitimately produces passes; any
+// violation returns Status::InvalidArgument (semantic) or
+// Status::ResourceExhausted (limits), never an abort.
+#ifndef LCE_GRAPH_VALIDATOR_H_
+#define LCE_GRAPH_VALIDATOR_H_
+
+#include "core/resource_limits.h"
+#include "core/status.h"
+#include "graph/ir.h"
+
+namespace lce {
+
+// Validates a single live node's semantics (arity, operand dtypes/ranks,
+// constant-weight requirements, attribute legality). The node's input value
+// ids must be in range for `g` (guaranteed for graphs built through
+// Graph::TryAddNode).
+Status ValidateNode(const Graph& g, const Node& n);
+
+// Full-graph validation: structural consistency (Graph::Validate), per-node
+// semantics (ValidateNode), topological sanity, graph-input/output
+// liveness, and resource limits. Called by DeserializeGraph on every loaded
+// model and by Interpreter::Prepare before planning memory.
+Status ValidateGraph(const Graph& g, const ResourceLimits& limits = {});
+
+}  // namespace lce
+
+#endif  // LCE_GRAPH_VALIDATOR_H_

@@ -35,6 +35,12 @@ enum class BConvOutputType : std::uint8_t {
   kInt32 = 2,      // raw accumulator output (tests / debugging)
 };
 
+// Output types legal in serialized graphs (kInt32 is a kernel-level
+// debugging mode and never appears in a valid model file).
+constexpr bool IsValidGraphBConvOutputType(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(BConvOutputType::kBitpacked);
+}
+
 struct BConv2DAttrs {
   Conv2DGeometry geo;
   BConvOutputType output_type = BConvOutputType::kFloat;

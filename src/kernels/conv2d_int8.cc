@@ -41,22 +41,26 @@ Conv2DInt8::Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs)
                        &requant_shift_[0]);
   }
 
-  // Fused activation becomes clamping in the quantized domain.
-  const auto quantize_clamp = [&](float real) {
-    return static_cast<std::int32_t>(
-        std::round(real / attrs_.output_quant.scale) +
-        attrs_.output_quant.zero_point);
+  // Fused activation becomes clamping in the quantized domain. Tiny output
+  // scales push the quotient far past the int32 range, so saturate in the
+  // floating-point domain -- casting an out-of-range double would be UB.
+  const auto quantize_clamp = [&](double real) -> std::int32_t {
+    const double q = std::round(real / attrs_.output_quant.scale) +
+                     attrs_.output_quant.zero_point;
+    if (q < -128.0) return -128;
+    if (q > 127.0) return 127;
+    return static_cast<std::int32_t>(q);
   };
   switch (attrs_.activation) {
     case Activation::kNone:
     case Activation::kSigmoid:  // not supported fused in the int8 path
       break;
     case Activation::kRelu:
-      act_min_ = std::clamp(quantize_clamp(0.0f), -128, 127);
+      act_min_ = quantize_clamp(0.0);
       break;
     case Activation::kRelu6:
-      act_min_ = std::clamp(quantize_clamp(0.0f), -128, 127);
-      act_max_ = std::clamp(quantize_clamp(6.0f), -128, 127);
+      act_min_ = quantize_clamp(0.0);
+      act_max_ = quantize_clamp(6.0);
       break;
   }
 }

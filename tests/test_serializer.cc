@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "converter/convert.h"
@@ -126,6 +127,146 @@ TEST(Serializer, LoadMissingFileReturnsNotFound) {
   const Status s = LoadModel("/nonexistent/model.lcem", &g);
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  // The error must name the file and carry the OS-level reason.
+  EXPECT_NE(s.message().find("/nonexistent/model.lcem"), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("No such file"), std::string::npos)
+      << s.message();
+}
+
+// ---- Hand-built invalid fixtures -------------------------------------------
+
+// Minimal little-endian LCEM byte builder for crafting hostile files.
+struct Bytes {
+  std::vector<std::uint8_t> v;
+  void U8(std::uint8_t x) { v.push_back(x); }
+  void U32(std::uint32_t x) {
+    for (int i = 0; i < 4; ++i) v.push_back((x >> (8 * i)) & 0xff);
+  }
+  void I64(std::int64_t x) {
+    for (int i = 0; i < 8; ++i) v.push_back((x >> (8 * i)) & 0xff);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    v.insert(v.end(), s.begin(), s.end());
+  }
+  void Header(std::uint32_t num_leading) {
+    v.assign({'L', 'C', 'E', 'M'});
+    U32(1);  // version
+    U32(num_leading);
+  }
+  Status Load(Graph* g, const ResourceLimits& limits = {}) const {
+    return DeserializeGraph(v.data(), v.size(), g, limits);
+  }
+};
+
+TEST(Serializer, RejectsBadValueKind) {
+  Bytes b;
+  b.Header(1);
+  b.U8(7);  // kind must be 0 or 1
+  b.Str("x");
+  b.U8(0);  // dtype
+  b.U8(1);  // rank
+  b.I64(4);
+  Graph g;
+  EXPECT_EQ(b.Load(&g).code(), StatusCode::kDataLoss);
+}
+
+TEST(Serializer, RejectsBadDTypeByte) {
+  Bytes b;
+  b.Header(1);
+  b.U8(0);
+  b.Str("x");
+  b.U8(99);  // no such dtype
+  b.U8(1);
+  b.I64(4);
+  Graph g;
+  EXPECT_EQ(b.Load(&g).code(), StatusCode::kDataLoss);
+}
+
+TEST(Serializer, RejectsImplausibleDimensions) {
+  for (std::int64_t dim : {std::int64_t{0}, std::int64_t{-5},
+                           (std::int64_t{1} << 24) + 1,
+                           std::numeric_limits<std::int64_t>::max()}) {
+    Bytes b;
+    b.Header(1);
+    b.U8(0);
+    b.Str("x");
+    b.U8(0);  // float32
+    b.U8(2);
+    b.I64(1);
+    b.I64(dim);
+    Graph g;
+    EXPECT_EQ(b.Load(&g).code(), StatusCode::kDataLoss) << dim;
+  }
+}
+
+TEST(Serializer, RejectsBadOpTypeByte) {
+  Bytes b;
+  b.Header(0);
+  b.U32(1);  // one node
+  b.Str("n");
+  b.U8(200);  // out-of-range op byte, rejected before attrs are trusted
+  b.U32(0);   // n_inputs
+  Graph g;
+  EXPECT_EQ(b.Load(&g).code(), StatusCode::kDataLoss);
+}
+
+TEST(Serializer, EnforcesCountLimits) {
+  {
+    Bytes b;
+    b.Header(0xffffff00u);  // absurd leading-value count
+    Graph g;
+    EXPECT_EQ(b.Load(&g).code(), StatusCode::kResourceExhausted);
+  }
+  {
+    Bytes b;
+    b.Header(0);
+    b.U32(0xffffff00u);  // absurd node count
+    Graph g;
+    EXPECT_EQ(b.Load(&g).code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(Serializer, EnforcesModelByteLimitOnConstants) {
+  Graph g = SmallModel();
+  const auto bytes = SerializeGraph(g);
+  ResourceLimits limits;
+  limits.max_model_bytes = 64;
+  Graph loaded;
+  const Status s =
+      DeserializeGraph(bytes.data(), bytes.size(), &loaded, limits);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Serializer, RejectsTrailingGarbage) {
+  Graph g = SmallModel();
+  auto bytes = SerializeGraph(g);
+  bytes.insert(bytes.end(), {0xde, 0xad, 0xbe, 0xef});
+  Graph loaded;
+  const Status s = DeserializeGraph(bytes.data(), bytes.size(), &loaded);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+// Deterministic single-bit-flip sweep: every mutation must either load
+// cleanly (and then survive Prepare + Invoke) or return a typed error --
+// never crash. A miniature in-process version of tests/fuzz_serializer.cc.
+TEST(Serializer, BitFlipsNeverCrash) {
+  Graph g = SmallModel();
+  ASSERT_TRUE(Convert(g).ok());
+  const auto bytes = SerializeGraph(g);
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  for (int iter = 0; iter < 400; ++iter) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    auto mutated = bytes;
+    mutated[(lcg >> 16) % mutated.size()] ^= 1u << ((lcg >> 8) & 7);
+    Graph loaded;
+    const Status s = DeserializeGraph(mutated.data(), mutated.size(), &loaded);
+    if (!s.ok()) continue;
+    Interpreter interp(loaded);
+    if (!interp.Prepare().ok()) continue;
+    interp.Invoke();
+  }
 }
 
 }  // namespace
