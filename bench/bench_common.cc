@@ -1,11 +1,29 @@
 #include "bench_common.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 #include "core/bitpack.h"
+#include "telemetry/json.h"
 
 namespace lce::bench {
 namespace {
+
+// Splits a comma-separated CSV line into cells (the benches never emit
+// quoted or escaped commas).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
 
 struct FloatConvState {
   Tensor input;
@@ -174,13 +192,16 @@ std::unique_ptr<Interpreter> PrepareConverted(
   return interp;
 }
 
-CsvWriter::CsvWriter(const std::string& name, const std::string& header) {
+CsvWriter::CsvWriter(const std::string& name, const std::string& header)
+    : name_(name) {
   std::filesystem::create_directories("results");
   path_ = "results/" + name + ".csv";
   file_ = std::fopen(path_.c_str(), "w");
   if (file_ != nullptr) {
     std::fprintf(file_, "%s\n", header.c_str());
   }
+  mirror_json_ = std::getenv("LCE_BENCH_JSON") != nullptr;
+  if (mirror_json_) header_ = SplitCsv(header);
 }
 
 CsvWriter::~CsvWriter() {
@@ -188,10 +209,34 @@ CsvWriter::~CsvWriter() {
     std::fclose(file_);
     std::printf("[csv] wrote %s\n", path_.c_str());
   }
+  if (!mirror_json_) return;
+  const std::string json_path = "results/" + name_ + ".json";
+  std::FILE* jf = std::fopen(json_path.c_str(), "w");
+  if (jf == nullptr) return;
+  std::string out = "{\"name\": \"" + telemetry::JsonEscape(name_) +
+                    "\", \"columns\": [";
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + telemetry::JsonEscape(header_[i]) + "\"";
+  }
+  out += "], \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r > 0 ? ",\n  [" : "\n  [";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out += ", ";
+      out += "\"" + telemetry::JsonEscape(rows_[r][c]) + "\"";
+    }
+    out += "]";
+  }
+  out += "\n]}\n";
+  std::fwrite(out.data(), 1, out.size(), jf);
+  std::fclose(jf);
+  std::printf("[json] wrote %s\n", json_path.c_str());
 }
 
 void CsvWriter::Row(const std::string& row) {
   if (file_ != nullptr) std::fprintf(file_, "%s\n", row.c_str());
+  if (mirror_json_) rows_.push_back(SplitCsv(row));
 }
 
 double ModelLatency(Interpreter& interp, int reps) {

@@ -41,6 +41,23 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+// Value of a `--key=value` flag, or `def` when absent.
+inline std::string ParseStringFlag(int argc, char** argv, const char* prefix,
+                                   const std::string& def = "") {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  }
+  return def;
+}
+
+// Path given by `--json=<path>`, or "" when the flag is absent. Benches
+// that support it write a telemetry::RunReport (machine-readable run
+// report: latency stats + metrics snapshot) to this path.
+inline std::string ParseJsonPath(int argc, char** argv) {
+  return ParseStringFlag(argc, argv, "--json=");
+}
+
 inline const char* ProfileName(gemm::KernelProfile p) {
   return p == gemm::KernelProfile::kSimd ? "simd" : "scalar";
 }
@@ -106,7 +123,10 @@ double ModelLatency(Interpreter& interp, int reps = 5);
 // Writes rows to results/<name>.csv (creating results/ if needed) so the
 // figures can be re-plotted from machine-readable data. Prints the path.
 // Fails soft: benches still print their tables if the filesystem is
-// read-only.
+// read-only. When the LCE_BENCH_JSON environment variable is set (any
+// value), the same table is mirrored to results/<name>.json as
+// {"name", "columns": [...], "rows": [[...]]} -- scripts/
+// run_all_experiments.sh sets it so every bench run leaves JSON behind.
 class CsvWriter {
  public:
   // header: comma-separated column names.
@@ -118,7 +138,11 @@ class CsvWriter {
 
  private:
   std::FILE* file_ = nullptr;
+  std::string name_;
   std::string path_;
+  bool mirror_json_ = false;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
 };
 
 }  // namespace lce::bench

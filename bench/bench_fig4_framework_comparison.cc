@@ -16,6 +16,7 @@
 #include "gemm/bgemm.h"
 #include "kernels/im2col.h"
 #include "models/zoo.h"
+#include "telemetry/run_report.h"
 
 namespace {
 
@@ -59,6 +60,9 @@ Workload MakeWorkload(const ConvDims& d) {
 
 int main(int argc, char** argv) {
   const auto profile = ParseProfile(argc, argv);
+  const std::string json_path = ParseJsonPath(argc, argv);
+  telemetry::RunReport report("bench_fig4_framework_comparison");
+  report.AddMeta("profile", ProfileName(profile));
   gemm::Context ctx(1, profile);
 
   std::printf(
@@ -90,6 +94,10 @@ int main(int argc, char** argv) {
     });
     std::printf("%-18s %12.3f %14.3f %14.3f %14.3f\n", name.c_str(),
                 lce * 1e3, dabnn * 1e3, tvm * 1e3, bmxnet * 1e3);
+    report.AddResult(name + ".lce_ms", lce * 1e3);
+    report.AddResult(name + ".dabnn_ms", dabnn * 1e3);
+    report.AddResult(name + ".tvm_ms", tvm * 1e3);
+    report.AddResult(name + ".bmxnet_ms", bmxnet * 1e3);
   }
 
   // The paper's BiRealNet end-to-end comparison (text of section 4.2).
@@ -99,7 +107,18 @@ int main(int argc, char** argv) {
   auto interp = PrepareConverted(
       g, [](int hw) { return BuildBiRealNet18(hw); }, 224, profile,
       /*profiling=*/false);
-  std::printf("  BiRealNet (224x224): %.1f ms\n",
-              1e3 * ModelLatency(*interp, 3));
+  const double birealnet_ms = 1e3 * ModelLatency(*interp, 3);
+  std::printf("  BiRealNet (224x224): %.1f ms\n", birealnet_ms);
+  report.AddResult("birealnet_224.latency_ms", birealnet_ms);
+  if (!json_path.empty()) {
+    const Status st = report.WriteJson(json_path);
+    if (st.ok()) {
+      std::printf("[json] wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   st.message().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -6,11 +6,16 @@
 #include "bench_common.h"
 #include "models/macs.h"
 #include "models/zoo.h"
+#include "telemetry/run_report.h"
 
 int main(int argc, char** argv) {
   using namespace lce;
   using namespace lce::bench;
   const auto profile = ParseProfile(argc, argv);
+  const std::string json_path = ParseJsonPath(argc, argv);
+  telemetry::RunReport report("bench_table3_quicknet_variants");
+  report.AddMeta("profile", ProfileName(profile));
+  report.AddMetaInt("input_hw", 224);
 
   std::printf("=== Table 3: QuickNet variants (profile=%s) ===\n\n",
               ProfileName(profile));
@@ -29,6 +34,12 @@ int main(int argc, char** argv) {
         /*profiling=*/false);
     const ModelStats converted_stats = ComputeModelStats(g);
     const double latency = ModelLatency(*interp, 3);
+    report.AddResult(cfg.name + ".latency_ms", latency * 1e3);
+    report.AddResult(cfg.name + ".binary_mmacs", stats.binary_macs / 1e6);
+    report.AddResult(cfg.name + ".float_mmacs", stats.float_macs / 1e6);
+    report.AddResult(cfg.name + ".params_m", stats.params / 1e6);
+    report.AddResult(cfg.name + ".size_mb",
+                     converted_stats.model_bytes / (1024.0 * 1024.0));
 
     char layers[32], filters[48];
     std::snprintf(layers, sizeof(layers), "(%d,%d,%d,%d)", cfg.layers[0],
@@ -46,5 +57,15 @@ int main(int argc, char** argv) {
       "\nAccuracies are the paper's Table 3 (ImageNet training is out of\n"
       "scope here); MACs/params/size/latency are measured from this repo's\n"
       "implementation. Shape: latency and MACs grow Small < Medium < Large.\n");
+  if (!json_path.empty()) {
+    const Status st = report.WriteJson(json_path);
+    if (st.ok()) {
+      std::printf("[json] wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   st.message().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper (plus the appendix via the
-# scalar profile and the extension ablations), collecting stdout and CSVs.
+# scalar profile and the extension ablations), collecting stdout, CSVs and
+# machine-readable JSON (results/*.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
+# Every CsvWriter mirrors its table to results/<name>.json when this is set.
+export LCE_BENCH_JSON=1
 {
   for b in build/bench/bench_*; do
-    echo "===== $(basename "$b") ====="
-    "$b"
+    name="$(basename "$b")"
+    echo "===== $name ====="
+    case "$name" in
+      # These two also emit telemetry run reports (latency + metrics).
+      bench_table3_quicknet_variants|bench_fig4_framework_comparison)
+        "$b" "--json=results/${name}_report.json"
+        ;;
+      *)
+        "$b"
+        ;;
+    esac
     echo
   done
   echo "===== appendix (scalar profile, model-level) ====="
@@ -15,4 +27,4 @@ mkdir -p results
   build/bench/bench_fig8_shortcut_ablation --profile=scalar
   build/bench/bench_fig10_emacs_vs_latency --profile=scalar
 } | tee results/all_experiments.txt
-echo "Done. Text in results/all_experiments.txt, data in results/*.csv"
+echo "Done. Text in results/all_experiments.txt, data in results/*.csv and results/*.json"

@@ -28,6 +28,10 @@ struct ConvertOptions {
   bool fuse_bconv_output_transform = true;
   bool swap_maxpool_sign = true;
   bool elide_quantize = true;
+  // Turns on the process-wide telemetry tracer before the pass pipeline
+  // runs (same tracer as InterpreterOptions::enable_tracing / LCE_TRACE).
+  // Every pass then emits a span carrying its rewrite count.
+  bool enable_tracing = false;
 };
 
 struct ConvertStats {

@@ -1,8 +1,12 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/macros.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 namespace lce {
 
@@ -41,21 +45,52 @@ void ThreadPool::ParallelFor(
   if (count <= 0) return;
   const int shards = static_cast<int>(
       std::min<std::int64_t>(num_threads_, count));
+  static telemetry::Metric* pf_calls =
+      telemetry::MetricsRegistry::Global().Counter(
+          "threadpool.parallel_for_calls");
+  static telemetry::Metric* pf_shards =
+      telemetry::MetricsRegistry::Global().Counter(
+          "threadpool.shards_executed");
+  pf_calls->Add(1);
+  pf_shards->Add(shards);
+  const bool tracing = telemetry::TracingActive();
   if (shards == 1) {
-    fn(0, count);
+    if (tracing) {
+      const std::uint64_t s0 = telemetry::NowNanos();
+      fn(0, count);
+      telemetry::Tracer::Global().RecordCompleteWithArg(
+          "threadpool/shard", "threadpool", s0, telemetry::NowNanos(), "shard",
+          0);
+    } else {
+      fn(0, count);
+    }
     return;
   }
   std::atomic<int> remaining{shards - 1};
   std::mutex done_mu;
   std::condition_variable done_cv;
   const std::int64_t per_shard = (count + shards - 1) / shards;
+  // Per-shard wall times, only gathered while tracing: workers write
+  // disjoint slots before the fetch_sub that releases the caller's wait, so
+  // the post-wait read below is ordered. Feeds the shard spans (emitted on
+  // each worker's own track) and the imbalance gauge.
+  std::vector<std::uint64_t> shard_ns(tracing ? shards : 0, 0);
   // Enqueue shards 1..n-1; run shard 0 on the caller.
   for (int s = 1; s < shards; ++s) {
     const std::int64_t begin = s * per_shard;
     const std::int64_t end = std::min<std::int64_t>(count, begin + per_shard);
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(Task{[&, begin, end] {
-      if (begin < end) fn(begin, end);
+    queue_.push(Task{[&, s, begin, end] {
+      if (tracing) {
+        const std::uint64_t s0 = telemetry::NowNanos();
+        if (begin < end) fn(begin, end);
+        const std::uint64_t s1 = telemetry::NowNanos();
+        telemetry::Tracer::Global().RecordCompleteWithArg(
+            "threadpool/shard", "threadpool", s0, s1, "shard", s);
+        shard_ns[s] = s1 - s0;
+      } else if (begin < end) {
+        fn(begin, end);
+      }
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> done_lock(done_mu);
         done_cv.notify_one();
@@ -63,9 +98,28 @@ void ThreadPool::ParallelFor(
     }});
   }
   cv_.notify_all();
-  fn(0, std::min<std::int64_t>(count, per_shard));
+  const std::int64_t shard0_end = std::min<std::int64_t>(count, per_shard);
+  if (tracing) {
+    const std::uint64_t s0 = telemetry::NowNanos();
+    fn(0, shard0_end);
+    const std::uint64_t s1 = telemetry::NowNanos();
+    telemetry::Tracer::Global().RecordCompleteWithArg(
+        "threadpool/shard", "threadpool", s0, s1, "shard", 0);
+    shard_ns[0] = s1 - s0;
+  } else {
+    fn(0, shard0_end);
+  }
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (tracing) {
+    const auto [mn, mx] = std::minmax_element(shard_ns.begin(), shard_ns.end());
+    if (*mx > 0) {
+      static telemetry::Metric* imbalance =
+          telemetry::MetricsRegistry::Global().Gauge(
+              "threadpool.shard_imbalance_pct");
+      imbalance->SetMax(static_cast<std::int64_t>((*mx - *mn) * 100 / *mx));
+    }
+  }
 }
 
 }  // namespace lce

@@ -11,6 +11,8 @@
 #endif
 
 #include "core/macros.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 namespace lce::gemm {
 namespace {
@@ -244,6 +246,7 @@ void ComputeTile(const std::uint64_t* apanel, const std::uint64_t* bpanel,
 
 PackedBinaryMatrix::PackedBinaryMatrix(const TBitpacked* rows, int n, int kw)
     : n_(n), kw_(kw), k_blocks_(KBlocks(kw)) {
+  LCE_TRACE_SCOPE_CAT("bgemm/pack_weights", "gemm");
   num_tiles_ = (n + kBgemmNr - 1) / kBgemmNr;
   buf_ = AlignedBuffer(static_cast<std::size_t>(num_tiles_) * tile_elems() *
                        sizeof(std::uint64_t));
@@ -262,18 +265,27 @@ void BGemm(const TBitpacked* lhs, int m, const PackedBinaryMatrix& rhs,
   const std::int64_t a_tile_elems =
       static_cast<std::int64_t>(k_blocks) * kBgemmMr * kBgemmKWords64;
 
+  // One BGEMM computes m x n dot products of k_bits binary positions each.
+  static telemetry::Metric* macs =
+      telemetry::MetricsRegistry::Global().Counter("bgemm.binary_macs");
+  macs->Add(static_cast<std::int64_t>(m) * rhs.n() * k_bits);
+
   // Pack all LHS tiles into scratch (slot 0).
   auto* apanels = reinterpret_cast<std::uint64_t*>(ctx.Scratch(
       0, static_cast<std::size_t>(m_tiles) * a_tile_elems * sizeof(std::uint64_t)));
-  ctx.pool().ParallelFor(m_tiles, [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t t = begin; t < end; ++t) {
-      PackTile(lhs, m, kw, static_cast<int>(t) * kBgemmMr, kBgemmMr, k_blocks,
-               apanels + t * a_tile_elems);
-    }
-  });
+  {
+    LCE_TRACE_SCOPE_CAT("bgemm/pack", "gemm");
+    ctx.pool().ParallelFor(m_tiles, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t t = begin; t < end; ++t) {
+        PackTile(lhs, m, kw, static_cast<int>(t) * kBgemmMr, kBgemmMr, k_blocks,
+                 apanels + t * a_tile_elems);
+      }
+    });
+  }
 
   const KernelProfile profile = ctx.profile();
   const int n = rhs.n();
+  LCE_TRACE_SCOPE_CAT("bgemm/compute", "gemm");
   // B-tile-outer loop order: each packed weight tile stays cache-resident
   // across all activation tiles of the shard (see float_gemm.cc).
   ctx.pool().ParallelFor(m_tiles, [&](std::int64_t begin, std::int64_t end) {

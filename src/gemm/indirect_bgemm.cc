@@ -4,6 +4,8 @@
 #include <bit>
 
 #include "core/macros.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 namespace lce::gemm {
 
@@ -44,6 +46,10 @@ IndirectionBuffer::IndirectionBuffer(const TBitpacked* input,
 
 void IndirectBGemm(const IndirectionBuffer& ind, const TBitpacked* weight_rows,
                    int n, int k_bits, std::int32_t* out, int ldc) {
+  LCE_TRACE_SCOPE_CAT("bgemm/indirect_compute", "gemm");
+  static telemetry::Metric* macs =
+      telemetry::MetricsRegistry::Global().Counter("bgemm.binary_macs");
+  macs->Add(static_cast<std::int64_t>(ind.rows()) * n * k_bits);
   const int taps = ind.taps();
   const int words = ind.words();
   const int row_words = taps * words;

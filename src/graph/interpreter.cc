@@ -1,7 +1,6 @@
 #include "graph/interpreter.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "core/bitpack.h"
 #include "core/macros.h"
@@ -11,15 +10,11 @@
 #include "kernels/elementwise.h"
 #include "kernels/pooling.h"
 #include "kernels/quantize_ops.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 namespace lce {
 namespace {
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 bool IsBinaryOp(OpType t) {
   return t == OpType::kLceQuantize || t == OpType::kLceDequantize ||
@@ -35,15 +30,22 @@ Interpreter::Interpreter(const Graph& graph, InterpreterOptions options)
       ctx_(options.num_threads, options.kernel_profile) {}
 
 Status Interpreter::Prepare() {
+  if (options_.enable_tracing) telemetry::Tracer::Global().Enable();
+  LCE_TRACE_SCOPE_CAT("interpreter/prepare", "interpreter");
   // Full semantic + resource validation up front. Everything after this --
   // memory planning, kernel construction, Invoke -- relies on the graph
   // being legal and within limits, so no further checks on model-derived
   // data are needed (or present) downstream.
-  LCE_RETURN_IF_ERROR(ValidateGraph(graph_, options_.limits));
+  {
+    LCE_TRACE_SCOPE_CAT("prepare/validate", "interpreter");
+    LCE_RETURN_IF_ERROR(ValidateGraph(graph_, options_.limits));
+  }
   order_ = graph_.TopologicalOrder();
   if (static_cast<int>(order_.size()) != graph_.LiveNodeCount()) {
     return Status::Internal("graph contains a cycle");
   }
+  {
+  LCE_TRACE_SCOPE_CAT("prepare/plan", "interpreter");
 
   // Step index per node.
   std::vector<int> step(graph_.nodes().size(), -1);
@@ -104,8 +106,19 @@ Status Interpreter::Prepare() {
     offsets_[p.id] = p.offset;
     in_arena_[p.id] = true;
   }
+  // Arena accounting: the planned arena is the high-water mark of the
+  // lifetime-shared plan; the unshared sum shows what sharing saved.
+  telemetry::MetricsRegistry::Global()
+      .Gauge("interpreter.arena_bytes")
+      ->SetMax(static_cast<std::int64_t>(arena_size_));
+  telemetry::MetricsRegistry::Global()
+      .Gauge("planner.unshared_bytes")
+      ->SetMax(static_cast<std::int64_t>(total_bytes));
+  }  // prepare/plan
 
   // Prepare kernels.
+  LCE_TRACE_SCOPE_CAT("prepare/pack", "interpreter");
+  std::size_t packed_weight_bytes = 0;
   kernels_.clear();
   kernels_.resize(graph_.nodes().size());
   for (int id : order_) {
@@ -183,6 +196,7 @@ Status Interpreter::Prepare() {
           k.bfc = std::make_unique<BFullyConnected>(
               w.constant_data.data<float>(), attrs);
         }
+        packed_weight_bytes += k.bfc->packed_weights_bytes();
         break;
       }
       case OpType::kConv2DInt8: {
@@ -216,11 +230,22 @@ Status Interpreter::Prepare() {
           k.bconv = std::make_unique<BConv2D>(w.constant_data.data<float>(),
                                               attrs);
         }
+        packed_weight_bytes += k.bconv->packed_weights_bytes();
         break;
       }
       default:
         break;  // stateless ops
     }
+  }
+  if (packed_weight_bytes > 0) {
+    // One bitpacked word (4 bytes) stands in for 32 float weights (128
+    // bytes) -- the paper's 32x binary weight compression.
+    telemetry::MetricsRegistry::Global()
+        .Gauge("weights.packed_binary_bytes")
+        ->SetMax(static_cast<std::int64_t>(packed_weight_bytes));
+    telemetry::MetricsRegistry::Global()
+        .Gauge("weights.float_equivalent_bytes")
+        ->SetMax(static_cast<std::int64_t>(packed_weight_bytes) * 32);
   }
   prepared_ = true;
   return Status::Ok();
@@ -238,12 +263,12 @@ Tensor Interpreter::ValueTensor(int value_id) {
 }
 
 Tensor Interpreter::input(int i) {
-  LCE_CHECK(prepared_);
+  LCE_CHECK(prepared_ && "Interpreter::input requires a successful Prepare");
   return ValueTensor(graph_.input_ids()[i]);
 }
 
 Tensor Interpreter::output(int i) {
-  LCE_CHECK(prepared_);
+  LCE_CHECK(prepared_ && "Interpreter::output requires a successful Prepare");
   return ValueTensor(graph_.output_ids()[i]);
 }
 
@@ -435,20 +460,35 @@ void Interpreter::RunNode(const Node& n, OpProfile* prof) {
 }
 
 void Interpreter::Invoke() {
-  LCE_CHECK(prepared_);
+  // Invoking an unprepared interpreter would execute with no kernels, no
+  // arena and no validation -- fail loudly instead of corrupting memory.
+  LCE_CHECK(prepared_ && "Interpreter::Invoke requires a successful Prepare");
+  LCE_TRACE_SCOPE_CAT("interpreter/invoke", "interpreter");
   profile_.clear();
+  const bool profiling = options_.enable_profiling;
+  const bool tracing = telemetry::TracingActive();
   for (int id : order_) {
     const Node& n = graph_.node(id);
-    if (options_.enable_profiling) {
+    if (profiling || tracing) {
+      // One timestamp pair drives both the tracer span and the OpProfile
+      // record, so Table 4 / Figure 5 aggregation and the Chrome trace are
+      // two views of the same measurement.
       OpProfile prof;
-      prof.node_id = id;
-      prof.name = n.name;
-      prof.type = n.type;
-      prof.is_binary_op = IsBinaryOp(n.type);
-      const double t0 = NowSeconds();
-      RunNode(n, &prof);
-      prof.seconds = NowSeconds() - t0;
-      profile_.push_back(std::move(prof));
+      const std::uint64_t t0 = telemetry::NowNanos();
+      RunNode(n, profiling ? &prof : nullptr);
+      const std::uint64_t t1 = telemetry::NowNanos();
+      if (tracing) {
+        telemetry::Tracer::Global().RecordComplete(n.name.c_str(), "node", t0,
+                                                   t1);
+      }
+      if (profiling) {
+        prof.node_id = id;
+        prof.name = n.name;
+        prof.type = n.type;
+        prof.is_binary_op = IsBinaryOp(n.type);
+        prof.seconds = static_cast<double>(t1 - t0) * 1e-9;
+        profile_.push_back(std::move(prof));
+      }
     } else {
       RunNode(n, nullptr);
     }

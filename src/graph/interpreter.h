@@ -32,6 +32,11 @@ struct InterpreterOptions {
   int num_threads = 1;
   gemm::KernelProfile kernel_profile = gemm::KernelProfile::kSimd;
   bool enable_profiling = false;
+  // Turns on the process-wide telemetry tracer at Prepare() (equivalent to
+  // telemetry::Tracer::Global().Enable() or the LCE_TRACE env var). Spans
+  // are emitted for Prepare phases, every executed node, BConv2d stages,
+  // BGEMM stages and ParallelFor shards; see docs/OBSERVABILITY.md.
+  bool enable_tracing = false;
   // Enforced by Prepare() on the graph and its memory plan. The defaults are
   // generous but finite (see core/resource_limits.h); loaders of untrusted
   // models should tighten them to what the application expects.
@@ -71,9 +76,14 @@ class Interpreter {
   int num_inputs() const;
   int num_outputs() const;
 
+  // Executes the graph. Calling this before a successful Prepare() is a
+  // programmer error and aborts with an LCE_CHECK failure (there is no
+  // memory plan or kernel state to run against).
   void Invoke();
 
   // Per-op profile of the last Invoke (empty unless profiling enabled).
+  // Each record is the structured view of the tracer's per-node span: both
+  // are produced from the same telemetry-clock timestamp pair.
   const std::vector<OpProfile>& profile() const { return profile_; }
 
   std::size_t arena_bytes() const { return arena_size_; }

@@ -7,6 +7,7 @@
 #include "core/tensor.h"
 #include "core/types.h"
 #include "kernels/bconv2d.h"
+#include "telemetry/metrics.h"
 
 namespace lce {
 namespace {
@@ -414,7 +415,9 @@ Status ValidateNode(const Graph& g, const Node& n) {
   return Status::InvalidArgument("node '" + n.name + "' has invalid op type");
 }
 
-Status ValidateGraph(const Graph& g, const ResourceLimits& limits) {
+namespace {
+
+Status ValidateGraphImpl(const Graph& g, const ResourceLimits& limits) {
   if (static_cast<std::int64_t>(g.nodes().size()) > limits.max_nodes) {
     return Status::ResourceExhausted("graph exceeds the node-count limit");
   }
@@ -526,6 +529,20 @@ Status ValidateGraph(const Graph& g, const ResourceLimits& limits) {
     return Status::InvalidArgument("graph contains a cycle");
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateGraph(const Graph& g, const ResourceLimits& limits) {
+  Status st = ValidateGraphImpl(g, limits);
+  if (!st.ok()) {
+    // Exposed alongside the robustness work: a rising reject count in a
+    // deployment's metrics dump means someone is feeding it bad models.
+    static telemetry::Metric* rejects =
+        telemetry::MetricsRegistry::Global().Counter("validator.rejects");
+    rejects->Add(1);
+  }
+  return st;
 }
 
 }  // namespace lce

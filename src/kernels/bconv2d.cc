@@ -1,7 +1,6 @@
 #include "kernels/bconv2d.h"
 
 #include <bit>
-#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -9,15 +8,14 @@
 #include "core/macros.h"
 #include "gemm/indirect_bgemm.h"
 #include "kernels/im2col.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 namespace lce {
 namespace {
 
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using telemetry::NowNanos;
 
 // The channel-wise transform applied to the accumulator for channel n:
 //   f(d) = mult[n] * pre_act(d) + bias[n]
@@ -306,51 +304,67 @@ void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
   const bool pointwise = groups == 1 && g.filter_h == 1 && g.filter_w == 1 &&
                          g.stride_h == 1 && g.stride_w == 1;
 
-  const double t0 = NowSeconds();
+  // Stage timestamps are taken only when someone consumes them: the per-op
+  // profiler (`times`) and/or the tracer. Both are fed from the same
+  // telemetry-clock reads, so the Table 4 stage split and the Chrome trace
+  // are two views of one measurement; the unobserved hot path reads no
+  // clock at all.
+  const bool tracing = telemetry::TracingActive();
+  const bool timed = tracing || times != nullptr;
+  telemetry::Tracer& tracer = telemetry::Tracer::Global();
+
+  std::uint64_t t0 = 0;
+  if (timed) t0 = NowNanos();
   TBitpacked* patches = nullptr;
   if (pointwise) {
     patches = const_cast<TBitpacked*>(input.data<TBitpacked>());
   } else {
-    patches = reinterpret_cast<TBitpacked*>(ctx.Scratch(
-        1, static_cast<std::size_t>(rows) * patch_words * sizeof(TBitpacked)));
+    const std::size_t patch_bytes =
+        static_cast<std::size_t>(rows) * patch_words * sizeof(TBitpacked);
+    patches = reinterpret_cast<TBitpacked*>(ctx.Scratch(1, patch_bytes));
+    static telemetry::Metric* im2col_bytes =
+        telemetry::MetricsRegistry::Global().Gauge("bconv2d.im2col_bytes");
+    im2col_bytes->SetMax(static_cast<std::int64_t>(patch_bytes));
     if (groups == 1 && !attrs_.use_indirect_bgemm) {
       Im2ColBitpacked(input.data<TBitpacked>(), g, patches);
     }
   }
 
-  double t1 = NowSeconds();
+  std::uint64_t t1 = timed ? NowNanos() : 0;
   auto* acc = reinterpret_cast<std::int32_t*>(ctx.Scratch(
       2, static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t)));
   if (groups == 1 && attrs_.use_indirect_bgemm) {
     // Indirect path: pointer setup replaces im2col entirely.
     const gemm::IndirectionBuffer ind(input.data<TBitpacked>(), g);
-    t1 = NowSeconds();
+    if (timed) t1 = NowNanos();
     gemm::IndirectBGemm(ind, packed_rows_.data(), g.out_c, k_bits_, acc,
                         g.out_c);
   } else if (groups == 1) {
     gemm::BGemm(patches, static_cast<int>(rows), group_weights_[0], k_bits_,
                 acc, g.out_c, ctx);
   } else {
-    double im2col_total = t1 - t0;
-    double gemm_total = 0.0;
+    std::uint64_t im2col_total = timed ? t1 - t0 : 0;
     for (int grp = 0; grp < groups; ++grp) {
-      const double g0 = NowSeconds();
+      const std::uint64_t g0 = timed ? NowNanos() : 0;
       Im2ColBitpackedGroup(input.data<TBitpacked>(), g, total_words,
                            grp * group_words, group_words, patches);
-      const double g1 = NowSeconds();
+      const std::uint64_t g1 = timed ? NowNanos() : 0;
       gemm::BGemm(patches, static_cast<int>(rows), group_weights_[grp],
                   k_bits_, acc + static_cast<std::int64_t>(grp) * out_c_pg,
                   g.out_c, ctx);
-      im2col_total += g1 - g0;
-      gemm_total += NowSeconds() - g1;
+      if (timed) {
+        im2col_total += g1 - g0;
+        if (tracing) {
+          tracer.RecordCompleteWithArg("bconv2d/im2col", "kernel", g0, g1,
+                                       "group", grp);
+        }
+      }
     }
     // Fold the per-group stage timings into the im2col/gemm boundary.
-    t1 = t0 + im2col_total;
-    // The accumulated gemm time ends "now".
-    (void)gemm_total;
+    if (timed) t1 = t0 + im2col_total;
   }
 
-  const double t2 = NowSeconds();
+  const std::uint64_t t2 = timed ? NowNanos() : 0;
   if (g.padding == Padding::kSameZero) ApplyZeroPaddingCorrection(acc);
 
   switch (attrs_.output_type) {
@@ -368,11 +382,19 @@ void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
                   static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t));
       break;
   }
-  const double t3 = NowSeconds();
+  if (!timed) return;
+  const std::uint64_t t3 = NowNanos();
+  if (tracing) {
+    // The grouped path already emitted per-group im2col spans above; the
+    // ungrouped paths get one im2col span for the t0..t1 segment.
+    if (groups == 1) tracer.RecordComplete("bconv2d/im2col", "kernel", t0, t1);
+    tracer.RecordComplete("bconv2d/gemm", "kernel", t1, t2);
+    tracer.RecordComplete("bconv2d/output_transform", "kernel", t2, t3);
+  }
   if (times != nullptr) {
-    times->im2col = t1 - t0;
-    times->gemm = t2 - t1;
-    times->transform = t3 - t2;
+    times->im2col = static_cast<double>(t1 - t0) * 1e-9;
+    times->gemm = static_cast<double>(t2 - t1) * 1e-9;
+    times->transform = static_cast<double>(t3 - t2) * 1e-9;
   }
 }
 

@@ -36,6 +36,11 @@ class BFullyConnected {
 
   const BFullyConnectedAttrs& attrs() const { return attrs_; }
 
+  // Size in bytes of the bitpacked weights (32x smaller than float).
+  std::size_t packed_weights_bytes() const {
+    return packed_rows_.size() * sizeof(TBitpacked);
+  }
+
  private:
   void Init();
 

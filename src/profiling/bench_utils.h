@@ -4,17 +4,16 @@
 #ifndef LCE_PROFILING_BENCH_UTILS_H_
 #define LCE_PROFILING_BENCH_UTILS_H_
 
-#include <chrono>
 #include <functional>
 #include <vector>
 
+#include "telemetry/clock.h"
+
 namespace lce::profiling {
 
-inline double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+// All benchmark timing uses the shared telemetry clock, so bench numbers,
+// per-op profiles and tracer spans are on one time base.
+using ::lce::telemetry::NowSeconds;
 
 // Runs `fn` repeatedly (after `warmup` unrecorded runs) until either
 // `min_reps` repetitions are collected and at least `min_seconds` of total

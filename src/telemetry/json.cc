@@ -1,0 +1,204 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace lce::telemetry {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON checker. Tracks position for error reporting and
+// bounds recursion depth so hostile inputs cannot overflow the stack.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value(0)) {
+      Fail("invalid JSON value");
+    } else {
+      SkipWs();
+      if (pos_ != text_.size()) Fail("trailing characters after document");
+    }
+    if (!ok_ && error != nullptr) {
+      *error = error_ + " at byte " + std::to_string(error_pos_);
+    }
+    return ok_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void Fail(const char* msg) {
+    if (ok_) {
+      ok_ = false;
+      error_ = msg;
+      error_pos_ = pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Consume(char c) {
+    if (AtEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void SkipWs() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (!AtEnd()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (AtEnd()) return false;
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(
+                               text_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Digits() {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return false;
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    Consume('-');
+    if (Consume('0')) {
+      // No further integer digits allowed after a leading zero.
+    } else if (!Digits()) {
+      return false;
+    }
+    if (Consume('.') && !Digits()) return false;
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth || AtEnd()) return false;
+    const char c = Peek();
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return Number();
+    }
+    return false;
+  }
+
+  bool Object(int depth) {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool Array(int depth) {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+bool ValidateJsonSyntax(std::string_view text, std::string* error) {
+  return JsonChecker(text).Run(error);
+}
+
+}  // namespace lce::telemetry

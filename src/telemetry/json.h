@@ -1,0 +1,25 @@
+// Minimal JSON helpers shared by the telemetry emitters (tracer, metrics,
+// run reports): string escaping for output, and a strict syntax checker used
+// by `trace_model --check` and the telemetry tests to validate emitted
+// documents without an external JSON library.
+#ifndef LCE_TELEMETRY_JSON_H_
+#define LCE_TELEMETRY_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace lce::telemetry {
+
+// Escapes `s` for inclusion inside a double-quoted JSON string (quotes,
+// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+// Strict recursive-descent syntax check of a complete JSON document
+// (RFC 8259 values: objects, arrays, strings, numbers, true/false/null).
+// Returns true when `text` is exactly one valid JSON value; on failure
+// `error` (if non-null) describes the first problem and its byte offset.
+bool ValidateJsonSyntax(std::string_view text, std::string* error = nullptr);
+
+}  // namespace lce::telemetry
+
+#endif  // LCE_TELEMETRY_JSON_H_

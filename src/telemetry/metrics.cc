@@ -1,0 +1,100 @@
+#include "telemetry/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/json.h"
+
+namespace lce::telemetry {
+namespace {
+
+void DumpMetricsAtExit() {
+  const char* path = std::getenv("LCE_METRICS");
+  if (path == nullptr || *path == '\0') return;
+  const Status s = MetricsRegistry::Global().WriteJson(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[lce] LCE_METRICS dump failed: %s\n",
+                 s.message().c_str());
+  } else {
+    std::fprintf(stderr, "[lce] wrote metrics to %s\n", path);
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() {
+  if (const char* path = std::getenv("LCE_METRICS");
+      path != nullptr && *path != '\0') {
+    std::atexit(&DumpMetricsAtExit);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Metric* MetricsRegistry::GetOrCreate(const std::string& name,
+                                     MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(name, std::make_unique<Metric>(name, kind)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {
+    out.push_back({name, metric->kind(), metric->value()});
+  }
+  return out;  // map iteration order is already name-sorted
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const auto samples = Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (s.kind != MetricKind::kCounter) continue;
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(s.name) + "\": " + std::to_string(s.value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& s : samples) {
+    if (s.kind != MetricKind::kGauge) continue;
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(s.name) + "\": " + std::to_string(s.value);
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const std::string json = ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::DataLoss("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, metric] : metrics_) metric->Set(0);
+}
+
+}  // namespace lce::telemetry

@@ -1,0 +1,105 @@
+// Process-wide registry of named counters and gauges -- the numeric side of
+// the telemetry subsystem (the tracer is the timeline side).
+//
+// Counters accumulate monotonically (binary MACs executed, ParallelFor
+// shards, validator rejects, dropped trace events); gauges record a level,
+// usually a high-water mark (arena bytes, packed weight bytes, im2col
+// scratch bytes). All updates are relaxed atomics on stable Metric objects,
+// so hot paths pay one atomic RMW after a one-time name lookup:
+//
+//   static telemetry::Metric* macs =
+//       telemetry::MetricsRegistry::Global().Counter("bgemm.binary_macs");
+//   macs->Add(m * n * k);
+//
+// The registry dumps as JSON (metrics.json via LCE_METRICS=<path>, the
+// `trace_model --metrics=` flag, or MetricsRegistry::ToJson()).
+#ifndef LCE_TELEMETRY_METRICS_H_
+#define LCE_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lce::telemetry {
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1 };
+
+class Metric {
+ public:
+  Metric(std::string name, MetricKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  const std::string& name() const { return name_; }
+  MetricKind kind() const { return kind_; }
+
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if larger (high-water-mark semantics).
+  void SetMax(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  const MetricKind kind_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry. If the LCE_METRICS environment variable is
+  // set, a JSON snapshot is written to that path at process exit.
+  static MetricsRegistry& Global();
+
+  // Returns the metric with this name, creating it on first use. Pointers
+  // are stable for the registry's lifetime, so call sites may cache them.
+  // The kind is fixed by the first caller.
+  Metric* Counter(const std::string& name) {
+    return GetOrCreate(name, MetricKind::kCounter);
+  }
+  Metric* Gauge(const std::string& name) {
+    return GetOrCreate(name, MetricKind::kGauge);
+  }
+
+  struct Sample {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::int64_t value = 0;
+  };
+  // All metrics, sorted by name.
+  std::vector<Sample> Snapshot() const;
+
+  // {"counters": {...}, "gauges": {...}} with keys sorted.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  // Zeroes every metric's value (objects and cached pointers stay valid).
+  void Reset();
+
+ private:
+  MetricsRegistry();
+
+  Metric* GetOrCreate(const std::string& name, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+};
+
+}  // namespace lce::telemetry
+
+#endif  // LCE_TELEMETRY_METRICS_H_

@@ -1,0 +1,111 @@
+#include "telemetry/run_report.h"
+
+#include <cstdio>
+
+#include "profiling/bench_utils.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace lce::telemetry {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void RunReport::AddMeta(const std::string& key, const std::string& value) {
+  meta_strings_.emplace_back(key, value);
+}
+
+void RunReport::AddMetaInt(const std::string& key, std::int64_t value) {
+  meta_ints_.emplace_back(key, value);
+}
+
+void RunReport::AddLatencySeconds(double seconds) {
+  latencies_s_.push_back(seconds);
+}
+
+void RunReport::AddResult(const std::string& key, double value) {
+  results_.emplace_back(key, value);
+}
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\n  \"name\": \"" + JsonEscape(name_) + "\",\n";
+
+  out += "  \"metadata\": {";
+  bool first = true;
+  for (const auto& [k, v] : meta_strings_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+    first = false;
+  }
+  for (const auto& [k, v] : meta_ints_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(k) + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"latency\": ";
+  if (latencies_s_.empty()) {
+    out += "null,\n";
+  } else {
+    out += "{\n";
+    out += "    \"samples\": " + std::to_string(latencies_s_.size()) + ",\n";
+    out += "    \"median_s\": " +
+           FormatDouble(profiling::Median(latencies_s_)) + ",\n";
+    out += "    \"p10_s\": " +
+           FormatDouble(profiling::Percentile(latencies_s_, 0.10)) + ",\n";
+    out += "    \"p90_s\": " +
+           FormatDouble(profiling::Percentile(latencies_s_, 0.90)) + ",\n";
+    out += "    \"mean_s\": " + FormatDouble(profiling::Mean(latencies_s_)) +
+           "\n  },\n";
+  }
+
+  out += "  \"results\": {";
+  first = true;
+  for (const auto& [k, v] : results_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(k) + "\": " + FormatDouble(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"metrics\": ";
+  if (include_metrics_) {
+    // Indent the registry's two-space JSON under this key.
+    std::string metrics = MetricsRegistry::Global().ToJson();
+    if (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    std::string indented;
+    indented.reserve(metrics.size() + 64);
+    for (char c : metrics) {
+      indented += c;
+      if (c == '\n') indented += "  ";
+    }
+    out += indented;
+  } else {
+    out += "null";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+Status RunReport::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const std::string json = ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::DataLoss("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lce::telemetry

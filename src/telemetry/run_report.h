@@ -1,0 +1,51 @@
+// Machine-readable run reports: one JSON document per benchmark/tool run
+// with workload metadata, a latency summary (median/p10/p90 over raw
+// samples) and a snapshot of the metrics registry. Reports from successive
+// commits are diffable, which turns the bench/ trajectory into data instead
+// of console text. Used by `trace_model --json=` and the bench harnesses'
+// `--json=<path>` flag.
+#ifndef LCE_TELEMETRY_RUN_REPORT_H_
+#define LCE_TELEMETRY_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lce::telemetry {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  // Workload metadata (model name, threads, kernel profile, input size...).
+  void AddMeta(const std::string& key, const std::string& value);
+  void AddMetaInt(const std::string& key, std::int64_t value);
+
+  // One end-to-end latency sample in seconds; the report summarizes all
+  // samples as median / p10 / p90 / mean.
+  void AddLatencySeconds(double seconds);
+
+  // Free-form named scalar results (per-model latencies, speedups...).
+  void AddResult(const std::string& key, double value);
+
+  // Include a metrics-registry snapshot in the report (default on).
+  void set_include_metrics(bool include) { include_metrics_ = include; }
+
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_strings_;
+  std::vector<std::pair<std::string, std::int64_t>> meta_ints_;
+  std::vector<std::pair<std::string, double>> results_;
+  std::vector<double> latencies_s_;
+  bool include_metrics_ = true;
+};
+
+}  // namespace lce::telemetry
+
+#endif  // LCE_TELEMETRY_RUN_REPORT_H_

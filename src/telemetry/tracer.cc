@@ -1,0 +1,209 @@
+#include "telemetry/tracer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace lce::telemetry {
+namespace {
+
+// Thread-local handle into the tracer's buffer list. The generation check
+// makes stale handles (from before a Clear()) re-register instead of
+// touching freed memory.
+struct ThreadSlot {
+  std::uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+void DumpTraceAtExit() {
+  Tracer& tracer = Tracer::Global();
+  if (tracer.env_trace_path_.empty()) return;
+  const Status s = tracer.WriteChromeTrace(tracer.env_trace_path_);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[lce] LCE_TRACE dump failed: %s\n",
+                 s.message().c_str());
+  } else {
+    std::fprintf(stderr, "[lce] wrote trace to %s (%zu events, %llu dropped)\n",
+                 tracer.env_trace_path_.c_str(), tracer.recorded_events(),
+                 static_cast<unsigned long long>(tracer.dropped_events()));
+  }
+}
+
+Tracer::Tracer() {
+  if (const char* path = std::getenv("LCE_TRACE");
+      path != nullptr && *path != '\0') {
+    env_trace_path_ = path;
+    Enable();
+    std::atexit(&DumpTraceAtExit);
+  }
+}
+
+Tracer& Tracer::Global() {
+  // Leaked intentionally: worker threads may record during static
+  // destruction of other objects; the atexit dump runs before that.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(std::size_t capacity_per_thread) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_per_thread_ = capacity_per_thread == 0 ? 1 : capacity_per_thread;
+  if (epoch_ns_ == 0) epoch_ns_ = NowNanos();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadBuffer* Tracer::RegisterThisThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<ThreadBuffer>(static_cast<int>(buffers_.size()),
+                                            capacity_per_thread_);
+  ThreadBuffer* raw = buf.get();
+  buffers_.push_back(std::move(buf));
+  t_slot.generation = generation_.load(std::memory_order_relaxed);
+  t_slot.buffer = raw;
+  return raw;
+}
+
+void Tracer::RecordCompleteWithArg(const char* name, const char* category,
+                                   std::uint64_t start_ns,
+                                   std::uint64_t end_ns, const char* arg_name,
+                                   std::int64_t arg_value) {
+  if (!enabled()) return;
+  ThreadBuffer* buf =
+      t_slot.generation == generation_.load(std::memory_order_relaxed)
+          ? static_cast<ThreadBuffer*>(t_slot.buffer)
+          : RegisterThisThread();
+  const std::size_t i = buf->count.load(std::memory_order_relaxed);
+  if (i >= buf->events.size()) {
+    buf->dropped.fetch_add(1, std::memory_order_relaxed);
+    static Metric* dropped_metric =
+        MetricsRegistry::Global().Counter("tracer.dropped_spans");
+    dropped_metric->Add(1);
+    return;
+  }
+  TraceEvent& e = buf->events[i];
+  std::strncpy(e.name, name, kTraceNameCapacity - 1);
+  e.name[kTraceNameCapacity - 1] = '\0';
+  e.category = category;
+  e.start_ns = start_ns;
+  e.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  if (arg_name != nullptr) {
+    std::strncpy(e.arg_name, arg_name, kTraceArgNameCapacity - 1);
+    e.arg_name[kTraceArgNameCapacity - 1] = '\0';
+    e.arg_value = arg_value;
+  } else {
+    e.arg_name[0] = '\0';
+    e.arg_value = 0;
+  }
+  // Publish: a Collect() that acquires `count` sees the payload above.
+  buf->count.store(i + 1, std::memory_order_release);
+}
+
+std::vector<Tracer::CollectedEvent> Tracer::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CollectedEvent> out;
+  for (const auto& buf : buffers_) {
+    const std::size_t n = buf->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back({buf->tid, buf->events[i]});
+    }
+  }
+  return out;
+}
+
+std::size_t Tracer::recorded_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    n += buf->count.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& buf : buffers_) {
+    n += buf->dropped.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  buffers_.clear();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  const auto events = Collect();
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_ns_;
+  }
+
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  // One metadata record per track so Perfetto shows stable row names.
+  int max_tid = -1;
+  for (const auto& ce : events) max_tid = ce.tid > max_tid ? ce.tid : max_tid;
+  for (int tid = 0; tid <= max_tid; ++tid) {
+    out += first ? "" : ",\n";
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"lce-thread-" +
+           std::to_string(tid) + "\"}}";
+    first = false;
+  }
+  char buf[64];
+  for (const auto& ce : events) {
+    const TraceEvent& e = ce.event;
+    out += first ? "" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.category != nullptr ? e.category : "lce") +
+           "\",\"ph\":\"X\",\"ts\":";
+    const std::uint64_t rel = e.start_ns >= epoch ? e.start_ns - epoch : 0;
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(rel) * 1e-3);
+    out += buf;
+    out += ",\"dur\":";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.duration_ns) * 1e-3);
+    out += buf;
+    out += ",\"pid\":1,\"tid\":" + std::to_string(ce.tid);
+    if (e.arg_name[0] != '\0') {
+      out += ",\"args\":{\"" + JsonEscape(e.arg_name) +
+             "\":" + std::to_string(e.arg_value) + "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"lce\","
+         "\"dropped_events\":" +
+         std::to_string(dropped_events()) + "}}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const std::string json = ToChromeTraceJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::DataLoss("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lce::telemetry

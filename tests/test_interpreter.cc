@@ -255,5 +255,29 @@ TEST(Interpreter, GraphWithBitpackedChain) {
   }
 }
 
+// Using an interpreter before a successful Prepare() is a programmer error:
+// there is no memory plan or kernel state, so these must abort loudly
+// instead of reading uninitialized state.
+TEST(InterpreterDeathTest, InvokeWithoutPrepareAborts) {
+  Graph g;
+  ModelBuilder b(g);
+  int x = b.Input(2, 2, 1);
+  x = b.Relu(x);
+  g.MarkOutput(x);
+  Interpreter interp(g);
+  EXPECT_DEATH(interp.Invoke(), "Invoke requires a successful Prepare");
+}
+
+TEST(InterpreterDeathTest, InputAccessWithoutPrepareAborts) {
+  Graph g;
+  ModelBuilder b(g);
+  int x = b.Input(2, 2, 1);
+  x = b.Relu(x);
+  g.MarkOutput(x);
+  Interpreter interp(g);
+  EXPECT_DEATH(interp.input(0), "input requires a successful Prepare");
+  EXPECT_DEATH(interp.output(0), "output requires a successful Prepare");
+}
+
 }  // namespace
 }  // namespace lce

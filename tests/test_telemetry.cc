@@ -1,0 +1,297 @@
+// Telemetry subsystem tests: tracer span nesting, multi-threaded emission
+// from ParallelFor workers, ring-buffer overflow accounting, Chrome trace
+// JSON structure, the metrics registry and the JSON syntax checker.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "telemetry/clock.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/run_report.h"
+#include "telemetry/tracer.h"
+
+namespace lce::telemetry {
+namespace {
+
+// The tracer is process-global; each test starts it from a clean slate.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kTracingCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+const TraceEvent* FindEvent(const std::vector<Tracer::CollectedEvent>& events,
+                            const char* name) {
+  for (const auto& e : events) {
+    if (std::strcmp(e.event.name, name) == 0) return &e.event;
+  }
+  return nullptr;
+}
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  EXPECT_FALSE(TracingActive());
+  { LCE_TRACE_SCOPE("ignored"); }
+  EXPECT_EQ(Tracer::Global().recorded_events(), 0u);
+}
+
+TEST_F(TracerTest, NestedScopesAreContained) {
+  Tracer::Global().Enable();
+  {
+    LCE_TRACE_SCOPE("outer");
+    {
+      LCE_TRACE_SCOPE("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent* outer = FindEvent(events, "outer");
+  const TraceEvent* inner = FindEvent(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Chrome infers nesting from containment per track: the inner span must
+  // lie fully inside the outer one, and both were recorded on one thread.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->duration_ns,
+            outer->start_ns + outer->duration_ns);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(TracerTest, RecordCompleteCarriesArg) {
+  Tracer::Global().Enable();
+  Tracer::Global().RecordCompleteWithArg("pass/x", "converter", 100, 200,
+                                         "rewrites", 7);
+  const auto events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].event.name, "pass/x");
+  EXPECT_STREQ(events[0].event.category, "converter");
+  EXPECT_EQ(events[0].event.start_ns, 100u);
+  EXPECT_EQ(events[0].event.duration_ns, 100u);
+  EXPECT_STREQ(events[0].event.arg_name, "rewrites");
+  EXPECT_EQ(events[0].event.arg_value, 7);
+}
+
+TEST_F(TracerTest, ParallelForEmitsShardsFromMultipleThreads) {
+  Tracer::Global().Enable();
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(4, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      // Enough work that no worker can race through every shard.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      sum.fetch_add(static_cast<int>(i));
+    }
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+
+  std::set<int> tids;
+  std::set<std::int64_t> shard_indices;
+  for (const auto& e : Tracer::Global().Collect()) {
+    if (std::strcmp(e.event.name, "threadpool/shard") != 0) continue;
+    tids.insert(e.tid);
+    ASSERT_STREQ(e.event.arg_name, "shard");
+    shard_indices.insert(e.event.arg_value);
+  }
+  EXPECT_EQ(shard_indices.size(), 4u);  // shards 0..3 all traced
+  // Shard 0 runs on the caller, 1..3 on workers: >= 2 distinct tracks.
+  EXPECT_GE(tids.size(), 2u);
+}
+
+TEST_F(TracerTest, OverflowDropsAreCountedNotCorrupting) {
+  Metric* dropped_metric =
+      MetricsRegistry::Global().Counter("tracer.dropped_spans");
+  const std::int64_t dropped_before = dropped_metric->value();
+
+  Tracer::Global().Enable(/*capacity_per_thread=*/8);
+  for (int i = 0; i < 20; ++i) {
+    Tracer::Global().RecordComplete("span", "test", i * 10, i * 10 + 5);
+  }
+  EXPECT_EQ(Tracer::Global().recorded_events(), 8u);
+  EXPECT_EQ(Tracer::Global().dropped_events(), 12u);
+  EXPECT_EQ(dropped_metric->value() - dropped_before, 12);
+
+  // The export is still well-formed and reports the drop count.
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(ValidateJsonSyntax(json, &error)) << error;
+  EXPECT_NE(json.find("dropped_events"), std::string::npos);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonStructure) {
+  Tracer::Global().Enable();
+  {
+    LCE_TRACE_SCOPE_CAT("bgemm/pack", "gemm");
+  }
+  const std::string json = Tracer::Global().ToChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(ValidateJsonSyntax(json, &error)) << error;
+  // Chrome trace-event envelope: traceEvents array of "X" complete events
+  // plus thread metadata; microsecond display unit.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"bgemm/pack\""), std::string::npos);
+  EXPECT_NE(json.find("\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST_F(TracerTest, ClearResetsAndSurvivesReenable) {
+  Tracer::Global().Enable();
+  { LCE_TRACE_SCOPE("before-clear"); }
+  EXPECT_EQ(Tracer::Global().recorded_events(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().recorded_events(), 0u);
+  // The recording thread's cached buffer slot is generation-checked: it must
+  // re-register, not write into the freed buffer.
+  { LCE_TRACE_SCOPE("after-clear"); }
+  const auto events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].event.name, "after-clear");
+}
+
+TEST_F(TracerTest, LongNamesAreTruncatedSafely) {
+  Tracer::Global().Enable();
+  const std::string longname(200, 'x');
+  Tracer::Global().RecordComplete(longname.c_str(), "test", 0, 1);
+  const auto events = Tracer::Global().Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::strlen(events[0].event.name), kTraceNameCapacity - 1);
+  std::string error;
+  EXPECT_TRUE(ValidateJsonSyntax(Tracer::Global().ToChromeTraceJson(), &error))
+      << error;
+}
+
+TEST(Metrics, CounterAccumulatesAndGaugeTracksHighWater) {
+  auto& reg = MetricsRegistry::Global();
+  Metric* c = reg.Counter("test.counter");
+  Metric* g = reg.Gauge("test.gauge");
+  const std::int64_t c0 = c->value();
+  c->Add(3);
+  c->Add(4);
+  EXPECT_EQ(c->value() - c0, 7);
+
+  g->Set(10);
+  g->SetMax(5);   // below: no change
+  EXPECT_EQ(g->value(), 10);
+  g->SetMax(25);  // above: raises
+  EXPECT_EQ(g->value(), 25);
+
+  // Pointers are stable: the same name returns the same object.
+  EXPECT_EQ(reg.Counter("test.counter"), c);
+}
+
+TEST(Metrics, SnapshotAndJson) {
+  auto& reg = MetricsRegistry::Global();
+  reg.Counter("test.snapshot_counter")->Add(1);
+  reg.Gauge("test.snapshot_gauge")->Set(42);
+  bool saw_counter = false, saw_gauge = false;
+  for (const auto& s : reg.Snapshot()) {
+    if (s.name == "test.snapshot_counter") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+    }
+    if (s.name == "test.snapshot_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(s.kind, MetricKind::kGauge);
+      EXPECT_EQ(s.value, 42);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+
+  const std::string json = reg.ToJson();
+  std::string error;
+  EXPECT_TRUE(ValidateJsonSyntax(json, &error)) << error;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot_gauge\": 42"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentUpdatesDontLoseIncrements) {
+  Metric* c = MetricsRegistry::Global().Counter("test.concurrent");
+  const std::int64_t before = c->value();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 10000; ++i) c->Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value() - before, 40000);
+}
+
+TEST(RunReport, JsonContainsStatsAndMetadata) {
+  RunReport report("unit-test");
+  report.AddMeta("model", "QuickNetSmall");
+  report.AddMetaInt("threads", 2);
+  for (double s : {0.010, 0.012, 0.011, 0.013, 0.009}) {
+    report.AddLatencySeconds(s);
+  }
+  report.AddResult("speedup", 2.5);
+  const std::string json = report.ToJson();
+  std::string error;
+  ASSERT_TRUE(ValidateJsonSyntax(json, &error)) << error;
+  EXPECT_NE(json.find("\"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"QuickNetSmall\""), std::string::npos);
+  EXPECT_NE(json.find("\"median_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(JsonChecker, AcceptsValidDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "{\"a\": [1, 2.5, -3e4], \"b\": {\"c\": null}}",
+           "[true, false, \"\\u00e9\\n\\\"\"]",
+           "42",
+           "\"just a string\"",
+       }) {
+    std::string error;
+    EXPECT_TRUE(ValidateJsonSyntax(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonChecker, RejectsInvalidDocuments) {
+  for (const char* doc : {
+           "",
+           "{",
+           "{\"a\": }",
+           "[1, 2,]",
+           "{\"a\" 1}",
+           "nul",
+           "\"unterminated",
+           "01",
+           "{} trailing",
+           "{\"bad\\x\": 1}",
+       }) {
+    EXPECT_FALSE(ValidateJsonSyntax(doc)) << "accepted: " << doc;
+  }
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  std::string error;
+  EXPECT_TRUE(
+      ValidateJsonSyntax("\"" + JsonEscape("\x01\x1f\"\\\n") + "\"", &error))
+      << error;
+}
+
+}  // namespace
+}  // namespace lce::telemetry
