@@ -1,0 +1,192 @@
+// Serving throughput: N concurrent request streams against ONE shared
+// CompiledModel (docs/SERVING.md).
+//
+// Each stream owns an ExecutionContext (its own arena + GEMM scratch) and
+// invokes in a closed loop against the same set of packed binary weights on
+// one process-shared thread pool. Reported per stream count: aggregate QPS
+// and p50/p99 request latency, plus the resident packed-weight gauge --
+// which must stay flat as streams scale, proving the 32x-compressed weights
+// are shared rather than duplicated per stream (the pre-split
+// one-Interpreter-per-request workaround duplicated them).
+//
+// Default: QuickNet-S, streams 1/2/4/8, intra-op pool of 1 (parallelism
+// across requests, the classic serving configuration). `--full` adds
+// QuickNet-M/L; `--pool=K` sizes the shared intra-op pool.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "converter/convert.h"
+#include "graph/compiled_model.h"
+#include "models/zoo.h"
+#include "telemetry/metrics.h"
+#include "telemetry/run_report.h"
+
+namespace {
+
+using namespace lce;
+
+struct StreamResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::int64_t requests = 0;
+  std::int64_t resident_packed_bytes = 0;
+};
+
+std::int64_t ResidentPackedBytes() {
+  return telemetry::MetricsRegistry::Global()
+      .Gauge("weights.resident_packed_bytes")
+      ->value();
+}
+
+// Runs `streams` closed-loop request threads against `model` for
+// ~`seconds` of wall time and aggregates throughput and latency.
+StreamResult RunStreams(const std::shared_ptr<const CompiledModel>& model,
+                        int streams, double seconds) {
+  std::vector<std::vector<double>> latencies(streams);
+  std::atomic<bool> stop{false};
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < streams; ++t) {
+    threads.emplace_back([&, t] {
+      ExecutionContext exec(model);
+      Rng rng(1000 + t);
+      Tensor in = exec.input(0);
+      for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+        in.data<float>()[i] = rng.Uniform();
+      }
+      exec.Invoke();  // warmup, not measured
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        exec.Invoke();
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies[t].push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+      }
+    });
+  }
+  while (ready.load() < streams) std::this_thread::yield();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  StreamResult r;
+  std::vector<double> all;
+  for (const auto& per_stream : latencies) {
+    r.requests += static_cast<std::int64_t>(per_stream.size());
+    all.insert(all.end(), per_stream.begin(), per_stream.end());
+  }
+  r.qps = wall > 0 ? static_cast<double>(r.requests) / wall : 0.0;
+  if (!all.empty()) {
+    r.p50_ms = profiling::Percentile(all, 0.5) * 1e3;
+    r.p99_ms = profiling::Percentile(all, 0.99) * 1e3;
+  }
+  r.resident_packed_bytes = ResidentPackedBytes();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lce::bench;
+  const auto profile = ParseProfile(argc, argv);
+  const bool full = HasFlag(argc, argv, "--full");
+  const std::string json_path = ParseJsonPath(argc, argv);
+  const int pool_threads =
+      std::atoi(ParseStringFlag(argc, argv, "--pool=", "1").c_str());
+  const int input_hw =
+      std::atoi(ParseStringFlag(argc, argv, "--input=", "224").c_str());
+  const double seconds =
+      std::atof(ParseStringFlag(argc, argv, "--seconds=", "0.6").c_str());
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  telemetry::RunReport report("bench_serving_throughput");
+  report.AddMeta("profile", ProfileName(profile));
+  report.AddMetaInt("input_hw", input_hw);
+  report.AddMetaInt("pool_threads", pool_threads);
+  report.AddMetaInt("hardware_concurrency", cores);
+
+  std::vector<QuickNetConfig> configs = {QuickNetSmallConfig()};
+  if (full) {
+    configs.push_back(QuickNetMediumConfig());
+    configs.push_back(QuickNetLargeConfig());
+  }
+  const std::vector<int> stream_counts = full
+                                             ? std::vector<int>{1, 2, 3, 4, 5,
+                                                                6, 7, 8}
+                                             : std::vector<int>{1, 2, 4, 8};
+
+  std::printf(
+      "=== Serving throughput: shared CompiledModel, per-stream "
+      "ExecutionContexts (profile=%s, pool=%d, input=%d, cores=%u) ===\n\n",
+      ProfileName(profile), pool_threads, input_hw, cores);
+
+  for (const auto& cfg : configs) {
+    Graph g = BuildQuickNet(cfg, input_hw);
+    LCE_CHECK(Convert(g).ok());
+    CompileOptions copts;
+    copts.num_threads = pool_threads;
+    copts.kernel_profile = profile;
+    std::shared_ptr<const CompiledModel> model;
+    const Status compiled = CompiledModel::Compile(g, copts, &model);
+    LCE_CHECK(compiled.ok());
+    std::printf("%s: arena %.2f MiB/stream, packed weights %.2f MiB (shared)\n",
+                cfg.name.c_str(), model->arena_bytes() / (1024.0 * 1024.0),
+                model->packed_weight_bytes() / (1024.0 * 1024.0));
+    std::printf("%8s %10s %10s %10s %10s %14s\n", "streams", "QPS", "p50-ms",
+                "p99-ms", "requests", "packed-MiB");
+
+    double qps1 = 0.0, qps4 = 0.0;
+    const std::int64_t packed_before = ResidentPackedBytes();
+    for (int streams : stream_counts) {
+      const StreamResult r = RunStreams(model, streams, seconds);
+      if (streams == 1) qps1 = r.qps;
+      if (streams == 4) qps4 = r.qps;
+      std::printf("%8d %10.1f %10.2f %10.2f %10lld %14.2f\n", streams, r.qps,
+                  r.p50_ms, r.p99_ms, static_cast<long long>(r.requests),
+                  r.resident_packed_bytes / (1024.0 * 1024.0));
+      LCE_CHECK(r.resident_packed_bytes == packed_before &&
+                "packed weights must not scale with stream count");
+      const std::string prefix =
+          cfg.name + ".streams" + std::to_string(streams);
+      report.AddResult(prefix + ".qps", r.qps);
+      report.AddResult(prefix + ".p50_ms", r.p50_ms);
+      report.AddResult(prefix + ".p99_ms", r.p99_ms);
+    }
+    if (qps1 > 0.0 && qps4 > 0.0) {
+      const double scaling = qps4 / qps1;
+      std::printf("  1 -> 4 stream scaling: %.2fx\n\n", scaling);
+      report.AddResult(cfg.name + ".scaling_1_to_4", scaling);
+    }
+  }
+  std::printf(
+      "Shape: QPS grows with streams (up to the core count -- aggregate\n"
+      "throughput cannot scale past the cores the host exposes) while\n"
+      "packed-MiB stays flat: one set of 32x-compressed weights serves every\n"
+      "stream; only the per-stream arenas (intermediate activations) scale.\n");
+
+  if (!json_path.empty()) {
+    const Status st = report.WriteJson(json_path);
+    if (st.ok()) {
+      std::printf("[json] wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   st.message().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

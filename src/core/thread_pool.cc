@@ -1,6 +1,7 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include "core/macros.h"
@@ -25,6 +26,21 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::shared_ptr<ThreadPool> ThreadPool::Shared(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  // One cached pool per size, held weakly: pools die when the last model /
+  // context using them does, and are recreated on demand. Leaked (not
+  // destroyed at exit) so worker threads never outlive the registry.
+  static std::mutex* mu = new std::mutex;
+  static auto* pools = new std::map<int, std::weak_ptr<ThreadPool>>;
+  std::lock_guard<std::mutex> lock(*mu);
+  auto& slot = (*pools)[num_threads];
+  if (auto existing = slot.lock()) return existing;
+  auto pool = std::make_shared<ThreadPool>(num_threads);
+  slot = pool;
+  return pool;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
@@ -37,6 +53,18 @@ void ThreadPool::WorkerLoop() {
     }
     task.fn();
   }
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task.fn();
+  return true;
 }
 
 void ThreadPool::ParallelFor(
@@ -52,6 +80,8 @@ void ThreadPool::ParallelFor(
       telemetry::MetricsRegistry::Global().Counter(
           "threadpool.shards_executed");
   pf_calls->Add(1);
+  // Balanced split (below) never produces an empty shard, so every shard
+  // counted here executes at least one index.
   pf_shards->Add(shards);
   const bool tracing = telemetry::TracingActive();
   if (shards == 1) {
@@ -66,39 +96,49 @@ void ThreadPool::ParallelFor(
     }
     return;
   }
-  std::atomic<int> remaining{shards - 1};
+  // Balanced split: base indices per shard, with the first `rem` shards
+  // taking one extra. The previous ceil-based split could leave tail shards
+  // empty (count=5, shards=4 gave loads 2,2,1,0).
+  const std::int64_t base = count / shards;
+  const std::int64_t rem = count % shards;
+  const auto shard_begin = [base, rem](int s) {
+    return s * base + std::min<std::int64_t>(s, rem);
+  };
+  // Per-call completion state, on the submitter's stack. `remaining` is a
+  // plain counter guarded by done_mu: workers decrement it (and notify)
+  // under the lock, and the submitter's final wait re-checks it under the
+  // same lock, so by the time ParallelFor returns no worker can still be
+  // touching this frame. done_mu also orders the shard_ns writes below.
   std::mutex done_mu;
   std::condition_variable done_cv;
-  const std::int64_t per_shard = (count + shards - 1) / shards;
-  // Per-shard wall times, only gathered while tracing: workers write
-  // disjoint slots before the fetch_sub that releases the caller's wait, so
-  // the post-wait read below is ordered. Feeds the shard spans (emitted on
-  // each worker's own track) and the imbalance gauge.
+  int remaining = shards - 1;
+  // Per-shard wall times, only gathered while tracing. Feeds the shard
+  // spans (emitted on each worker's own track) and the imbalance gauge.
   std::vector<std::uint64_t> shard_ns(tracing ? shards : 0, 0);
   // Enqueue shards 1..n-1; run shard 0 on the caller.
-  for (int s = 1; s < shards; ++s) {
-    const std::int64_t begin = s * per_shard;
-    const std::int64_t end = std::min<std::int64_t>(count, begin + per_shard);
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(Task{[&, s, begin, end] {
-      if (tracing) {
-        const std::uint64_t s0 = telemetry::NowNanos();
-        if (begin < end) fn(begin, end);
-        const std::uint64_t s1 = telemetry::NowNanos();
-        telemetry::Tracer::Global().RecordCompleteWithArg(
-            "threadpool/shard", "threadpool", s0, s1, "shard", s);
-        shard_ns[s] = s1 - s0;
-      } else if (begin < end) {
-        fn(begin, end);
-      }
-      if (remaining.fetch_sub(1) == 1) {
+    for (int s = 1; s < shards; ++s) {
+      const std::int64_t begin = shard_begin(s);
+      const std::int64_t end = shard_begin(s + 1);
+      queue_.push(Task{[&, s, begin, end] {
+        if (tracing) {
+          const std::uint64_t s0 = telemetry::NowNanos();
+          fn(begin, end);
+          const std::uint64_t s1 = telemetry::NowNanos();
+          telemetry::Tracer::Global().RecordCompleteWithArg(
+              "threadpool/shard", "threadpool", s0, s1, "shard", s);
+          shard_ns[s] = s1 - s0;
+        } else {
+          fn(begin, end);
+        }
         std::lock_guard<std::mutex> done_lock(done_mu);
-        done_cv.notify_one();
-      }
-    }});
+        if (--remaining == 0) done_cv.notify_one();
+      }});
+    }
   }
   cv_.notify_all();
-  const std::int64_t shard0_end = std::min<std::int64_t>(count, per_shard);
+  const std::int64_t shard0_end = shard_begin(1);
   if (tracing) {
     const std::uint64_t s0 = telemetry::NowNanos();
     fn(0, shard0_end);
@@ -109,8 +149,21 @@ void ThreadPool::ParallelFor(
   } else {
     fn(0, shard0_end);
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  // Help drain the queue while our shards are still pending. The popped
+  // task may belong to another concurrent submitter -- tasks are
+  // self-contained, so that only moves its work onto this thread instead
+  // of leaving this one blocked while the queue is non-empty.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> done_lock(done_mu);
+      if (remaining == 0) break;
+    }
+    if (!RunOneTask()) break;
+  }
+  {
+    std::unique_lock<std::mutex> done_lock(done_mu);
+    done_cv.wait(done_lock, [&] { return remaining == 0; });
+  }
   if (tracing) {
     const auto [mn, mx] = std::minmax_element(shard_ns.begin(), shard_ns.end());
     if (*mx > 0) {

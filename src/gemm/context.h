@@ -1,17 +1,26 @@
-// Execution context shared by all GEMM kernels: thread pool, kernel-profile
-// selection and reusable scratch memory (packing buffers).
+// Per-request execution context for the GEMM kernels: thread pool handle,
+// kernel-profile selection and reusable scratch memory (packing buffers).
 //
 // The kernel profile mirrors the paper's two benchmark devices: `kSimd`
 // corresponds to the hand-tuned NEON path (here: AVX2 / hardware-popcount
 // x86 kernels) and `kScalar` to a portable fallback, giving a second "device"
 // for the appendix experiments.
+//
+// Threading model (docs/SERVING.md): the thread pool is *shared* -- many
+// contexts may reference one process pool -- but the scratch slots are
+// *owned*, one set per context. A Context must therefore never be used by
+// two requests at once; concurrent requests each get their own Context
+// (an ExecutionContext holds one), which is what makes sharing a prepared
+// CompiledModel across threads safe.
 #ifndef LCE_GEMM_CONTEXT_H_
 #define LCE_GEMM_CONTEXT_H_
 
 #include <cstddef>
 #include <memory>
+#include <utility>
 
 #include "core/aligned_buffer.h"
+#include "core/macros.h"
 #include "core/thread_pool.h"
 
 namespace lce::gemm {
@@ -23,19 +32,34 @@ enum class KernelProfile {
 
 class Context {
  public:
+  // Creates a context with its own private pool (single-stream use: tests,
+  // micro-benchmarks, the standalone-kernel API).
   explicit Context(int num_threads = 1,
                    KernelProfile profile = KernelProfile::kSimd)
-      : pool_(num_threads), profile_(profile) {}
+      : pool_(std::make_shared<ThreadPool>(num_threads)), profile_(profile) {}
 
-  ThreadPool& pool() { return pool_; }
-  int num_threads() const { return pool_.num_threads(); }
+  // Creates a context on an existing (typically process-shared) pool; the
+  // serving path hands every ExecutionContext the same pool this way.
+  explicit Context(std::shared_ptr<ThreadPool> pool,
+                   KernelProfile profile = KernelProfile::kSimd)
+      : pool_(std::move(pool)), profile_(profile) {
+    LCE_CHECK(pool_ != nullptr && "Context requires a thread pool");
+  }
+
+  ThreadPool& pool() { return *pool_; }
+  const std::shared_ptr<ThreadPool>& shared_pool() const { return pool_; }
+  int num_threads() const { return pool_->num_threads(); }
 
   KernelProfile profile() const { return profile_; }
   void set_profile(KernelProfile p) { profile_ = p; }
 
   // Returns scratch memory of at least `bytes` bytes, reused across calls.
-  // Slot 0 and 1 are independent (LHS / RHS packing buffers).
+  // Slot 0 and 1 are independent (LHS / RHS packing buffers). Slots are a
+  // fixed contract between the kernels (see their header comments); an
+  // out-of-range slot is a programmer error, not a resize request.
   std::uint8_t* Scratch(int slot, std::size_t bytes) {
+    LCE_CHECK(slot >= 0 && slot < kNumScratchSlots &&
+              "Context::Scratch slot out of range");
     auto& buf = scratch_[slot];
     if (!buf || buf->size() < bytes) {
       buf = std::make_unique<AlignedBuffer>(bytes);
@@ -46,7 +70,7 @@ class Context {
   static constexpr int kNumScratchSlots = 4;
 
  private:
-  ThreadPool pool_;
+  std::shared_ptr<ThreadPool> pool_;
   KernelProfile profile_;
   std::unique_ptr<AlignedBuffer> scratch_[kNumScratchSlots];
 };

@@ -1,0 +1,554 @@
+#include "graph/compiled_model.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/bitpack.h"
+#include "core/macros.h"
+#include "graph/memory_planner.h"
+#include "graph/validator.h"
+#include "kernels/bmaxpool.h"
+#include "kernels/elementwise.h"
+#include "kernels/pooling.h"
+#include "kernels/quantize_ops.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
+
+namespace lce {
+namespace {
+
+bool IsBinaryOp(OpType t) {
+  return t == OpType::kLceQuantize || t == OpType::kLceDequantize ||
+         t == OpType::kLceBConv2d || t == OpType::kLceBMaxPool2d ||
+         t == OpType::kLceBFullyConnected;
+}
+
+// Bytes of packed binary weights currently resident across all live
+// CompiledModels. Unlike the per-model high-water gauges this accumulates,
+// so a server can verify weights are shared rather than duplicated per
+// stream (bench_serving_throughput checks it stays flat as streams scale).
+telemetry::Metric* ResidentPackedBytes() {
+  return telemetry::MetricsRegistry::Global().Gauge(
+      "weights.resident_packed_bytes");
+}
+
+telemetry::Metric* ResidentArenaBytes() {
+  return telemetry::MetricsRegistry::Global().Gauge(
+      "serving.resident_arena_bytes");
+}
+
+telemetry::Metric* LiveExecutionContexts() {
+  return telemetry::MetricsRegistry::Global().Gauge(
+      "serving.execution_contexts");
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(const Graph& graph) : graph_(graph) {}
+
+CompiledModel::~CompiledModel() {
+  ResidentPackedBytes()->Add(-static_cast<std::int64_t>(packed_weight_bytes_));
+}
+
+Status CompiledModel::Compile(const Graph& graph, CompileOptions options,
+                              std::shared_ptr<const CompiledModel>* out) {
+  LCE_CHECK(out != nullptr);
+  // Build into a private instance: a failed compile leaves `*out` untouched
+  // and the partially-built arena plan / kernel state dies here, so retrying
+  // after a failure always starts from a clean slate.
+  std::shared_ptr<CompiledModel> model(new CompiledModel(graph));
+  LCE_RETURN_IF_ERROR(model->Build(std::move(options)));
+  *out = std::move(model);
+  return Status::Ok();
+}
+
+Status CompiledModel::Build(CompileOptions options) {
+  if (options.enable_tracing) telemetry::Tracer::Global().Enable();
+  LCE_TRACE_SCOPE_CAT("compiled_model/compile", "interpreter");
+  kernel_profile_ = options.kernel_profile;
+  pool_ = options.thread_pool != nullptr
+              ? std::move(options.thread_pool)
+              : ThreadPool::Shared(options.num_threads);
+  // Full semantic + resource validation up front. Everything after this --
+  // memory planning, kernel construction, Invoke -- relies on the graph
+  // being legal and within limits, so no further checks on model-derived
+  // data are needed (or present) downstream.
+  {
+    LCE_TRACE_SCOPE_CAT("prepare/validate", "interpreter");
+    LCE_RETURN_IF_ERROR(ValidateGraph(graph_, options.limits));
+  }
+  order_ = graph_.TopologicalOrder();
+  if (static_cast<int>(order_.size()) != graph_.LiveNodeCount()) {
+    return Status::Internal("graph contains a cycle");
+  }
+  {
+  LCE_TRACE_SCOPE_CAT("prepare/plan", "interpreter");
+
+  // Step index per node.
+  std::vector<int> step(graph_.nodes().size(), -1);
+  for (int i = 0; i < static_cast<int>(order_.size()); ++i) {
+    step[order_[i]] = i;
+  }
+  const int num_steps = static_cast<int>(order_.size());
+
+  // Lifetimes for every non-constant value touched by the live graph. The
+  // validator guarantees alive values have alive producers and that every
+  // per-tensor byte size is computable; the running total is still checked
+  // here so the planner's offset arithmetic and the arena allocation below
+  // stay bounded by the configured limit.
+  std::vector<BufferRequest> requests;
+  offsets_.assign(graph_.values().size(), 0);
+  in_arena_.assign(graph_.values().size(), false);
+  std::size_t total_bytes = 0;
+  for (const auto& v : graph_.values()) {
+    if (!v->alive || v->is_constant) continue;
+    int first = v->producer >= 0 ? step[v->producer] : 0;
+    if (v->producer >= 0 && step[v->producer] < 0) {
+      // A live value whose producer was removed can never be written. It
+      // must not be silently skipped: it would get no arena placement, and
+      // in release builds (LCE_DCHECK compiled out) ValueTensor would hand
+      // out a view at arena offset 0 aliasing whatever lives there. The
+      // validator rejects such graphs, so reaching this is a rewrite or
+      // validator bug -- refuse to build a plan around it.
+      return Status::Internal("live value '" + v->name +
+                              "' has a dead producer; refusing to plan "
+                              "memory for an unwritable value");
+    }
+    int last = first;
+    for (int c : v->consumers) {
+      if (step[c] >= 0) last = std::max(last, step[c]);
+    }
+    const bool is_graph_output =
+        std::find(graph_.output_ids().begin(), graph_.output_ids().end(),
+                  v->id) != graph_.output_ids().end();
+    const bool is_graph_input =
+        std::find(graph_.input_ids().begin(), graph_.input_ids().end(),
+                  v->id) != graph_.input_ids().end();
+    if (is_graph_input) first = 0;
+    if (is_graph_output) last = num_steps;
+    if (v->consumers.empty() && !is_graph_output) {
+      // Value produced but never read; still needs storage for the write.
+      last = first;
+    }
+    std::size_t bytes = 0;
+    if (!Tensor::CheckedByteSize(v->dtype, v->shape, &bytes)) {
+      return Status::Internal("tensor size overflow slipped past validation");
+    }
+    std::size_t aligned = 0;
+    if (__builtin_add_overflow(bytes, kDefaultAlignment - 1, &aligned)) {
+      return Status::ResourceExhausted("arena exceeds the resource limit");
+    }
+    aligned -= aligned % kDefaultAlignment;
+    if (__builtin_add_overflow(total_bytes, aligned, &total_bytes) ||
+        total_bytes > options.limits.max_arena_bytes) {
+      return Status::ResourceExhausted("arena exceeds the resource limit");
+    }
+    requests.push_back({v->id, bytes, first, last});
+  }
+  const auto placements = PlanMemory(std::move(requests), kDefaultAlignment,
+                                     &arena_size_);
+  LCE_DCHECK(arena_size_ <= total_bytes);
+  for (const auto& p : placements) {
+    offsets_[p.id] = p.offset;
+    in_arena_[p.id] = true;
+  }
+  // Arena accounting: the planned arena is the high-water mark of the
+  // lifetime-shared plan; the unshared sum shows what sharing saved.
+  telemetry::MetricsRegistry::Global()
+      .Gauge("interpreter.arena_bytes")
+      ->SetMax(static_cast<std::int64_t>(arena_size_));
+  telemetry::MetricsRegistry::Global()
+      .Gauge("planner.unshared_bytes")
+      ->SetMax(static_cast<std::int64_t>(total_bytes));
+  }  // prepare/plan
+
+  // Prepare kernels.
+  LCE_TRACE_SCOPE_CAT("prepare/pack", "interpreter");
+  std::size_t packed_weight_bytes = 0;
+  kernels_.clear();
+  kernels_.resize(graph_.nodes().size());
+  for (int id : order_) {
+    const Node& n = graph_.node(id);
+    PreparedKernels& k = kernels_[id];
+    switch (n.type) {
+      case OpType::kConv2D: {
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
+        Conv2DFloatAttrs attrs;
+        attrs.geo = n.attrs.conv;
+        attrs.activation = n.attrs.activation;
+        attrs.bias = n.attrs.bias;
+        if (n.attrs.binarize_weights) {
+          // Training dialect: the emulated binarized conv applies sign() to
+          // its latent float weights at execution time.
+          std::vector<float> signed_w(w.constant_data.num_elements());
+          const float* src = w.constant_data.data<float>();
+          for (std::size_t i = 0; i < signed_w.size(); ++i) {
+            signed_w[i] = SignValue(src[i]);
+          }
+          k.conv = std::make_unique<Conv2DFloat>(signed_w.data(), attrs);
+        } else {
+          k.conv = std::make_unique<Conv2DFloat>(w.constant_data.data<float>(),
+                                                 attrs);
+        }
+        break;
+      }
+      case OpType::kDepthwiseConv2D: {
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
+        DepthwiseConv2DAttrs attrs;
+        attrs.geo = n.attrs.conv;
+        attrs.activation = n.attrs.activation;
+        attrs.bias = n.attrs.bias;
+        k.dwconv = std::make_unique<DepthwiseConv2DFloat>(
+            w.constant_data.data<float>(), attrs);
+        break;
+      }
+      case OpType::kFullyConnected: {
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
+        FullyConnectedAttrs attrs;
+        attrs.in_features = n.attrs.fc_in_features;
+        attrs.out_features = n.attrs.fc_out_features;
+        attrs.activation = n.attrs.activation;
+        attrs.bias = n.attrs.bias;
+        if (n.attrs.binarize_weights) {
+          // Training dialect: emulated binarized FC with sign()ed weights.
+          std::vector<float> signed_w(w.constant_data.num_elements());
+          const float* src = w.constant_data.data<float>();
+          for (std::size_t i = 0; i < signed_w.size(); ++i) {
+            signed_w[i] = SignValue(src[i]);
+          }
+          k.fc = std::make_unique<FullyConnectedFloat>(signed_w.data(), attrs);
+        } else {
+          k.fc = std::make_unique<FullyConnectedFloat>(
+              w.constant_data.data<float>(), attrs);
+        }
+        break;
+      }
+      case OpType::kLceBFullyConnected: {
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
+        BFullyConnectedAttrs attrs;
+        attrs.in_features = n.attrs.fc_in_features;
+        attrs.out_features = n.attrs.fc_out_features;
+        attrs.pre_activation = n.attrs.pre_activation;
+        attrs.multiplier = n.attrs.multiplier;
+        attrs.bias = n.attrs.bias;
+        if (w.dtype == DataType::kBitpacked) {
+          k.bfc = std::make_unique<BFullyConnected>(
+              w.constant_data.data<TBitpacked>(), attrs);
+        } else {
+          k.bfc = std::make_unique<BFullyConnected>(
+              w.constant_data.data<float>(), attrs);
+        }
+        packed_weight_bytes += k.bfc->packed_weights_bytes();
+        break;
+      }
+      case OpType::kConv2DInt8: {
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
+        Conv2DInt8Attrs attrs;
+        attrs.geo = n.attrs.conv;
+        attrs.activation = n.attrs.activation;
+        attrs.input_quant = n.attrs.input_quant;
+        attrs.weight_quant = n.attrs.weight_quant;
+        attrs.output_quant = n.attrs.output_quant;
+        attrs.bias = n.attrs.bias_int32;
+        attrs.weight_scales = n.attrs.weight_scales;
+        k.conv_int8 = std::make_unique<Conv2DInt8>(
+            w.constant_data.data<std::int8_t>(), attrs);
+        break;
+      }
+      case OpType::kLceBConv2d: {
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
+        BConv2DAttrs attrs;
+        attrs.geo = n.attrs.conv;
+        attrs.output_type = n.attrs.bconv_output;
+        attrs.pre_activation = n.attrs.pre_activation;
+        attrs.multiplier = n.attrs.multiplier;
+        attrs.bias = n.attrs.bias;
+        if (w.dtype == DataType::kBitpacked) {
+          k.bconv = std::make_unique<BConv2D>(
+              w.constant_data.data<TBitpacked>(), attrs);
+        } else {
+          k.bconv = std::make_unique<BConv2D>(w.constant_data.data<float>(),
+                                              attrs);
+        }
+        packed_weight_bytes += k.bconv->packed_weights_bytes();
+        break;
+      }
+      default:
+        break;  // stateless ops
+    }
+  }
+  packed_weight_bytes_ = packed_weight_bytes;
+  if (packed_weight_bytes > 0) {
+    // One bitpacked word (4 bytes) stands in for 32 float weights (128
+    // bytes) -- the paper's 32x binary weight compression. The high-water
+    // gauges describe one model; the resident gauge sums across models.
+    telemetry::MetricsRegistry::Global()
+        .Gauge("weights.packed_binary_bytes")
+        ->SetMax(static_cast<std::int64_t>(packed_weight_bytes));
+    telemetry::MetricsRegistry::Global()
+        .Gauge("weights.float_equivalent_bytes")
+        ->SetMax(static_cast<std::int64_t>(packed_weight_bytes) * 32);
+    ResidentPackedBytes()->Add(static_cast<std::int64_t>(packed_weight_bytes));
+  }
+  return Status::Ok();
+}
+
+ExecutionContext::ExecutionContext(std::shared_ptr<const CompiledModel> model,
+                                   ExecutionOptions options)
+    : model_(std::move(model)),
+      options_(std::move(options)),
+      ctx_(model_->thread_pool(), model_->kernel_profile()),
+      arena_(model_->arena_bytes()) {
+  LiveExecutionContexts()->Add(1);
+  ResidentArenaBytes()->Add(static_cast<std::int64_t>(arena_.size()));
+}
+
+ExecutionContext::~ExecutionContext() {
+  LiveExecutionContexts()->Add(-1);
+  ResidentArenaBytes()->Add(-static_cast<std::int64_t>(arena_.size()));
+}
+
+Tensor ExecutionContext::ValueTensor(int value_id) {
+  const Value& v = model_->graph_.value(value_id);
+  if (v.is_constant) {
+    // Constants are read-only at runtime; the view is never written through.
+    return Tensor::View(v.dtype, v.shape,
+                        const_cast<void*>(v.constant_data.raw_data()));
+  }
+  LCE_DCHECK(model_->in_arena_[value_id]);
+  return Tensor::View(v.dtype, v.shape,
+                      arena_.data() + model_->offsets_[value_id]);
+}
+
+Tensor ExecutionContext::input(int i) {
+  return ValueTensor(model_->graph_.input_ids()[i]);
+}
+
+Tensor ExecutionContext::output(int i) {
+  return ValueTensor(model_->graph_.output_ids()[i]);
+}
+
+void ExecutionContext::RunNode(const Node& n, OpProfile* prof) {
+  Tensor out = ValueTensor(n.outputs[0]);
+  const auto& kernels = model_->kernels_;
+  switch (n.type) {
+    case OpType::kConv2D: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      kernels[n.id].conv->Run(in, out, ctx_);
+      break;
+    }
+    case OpType::kDepthwiseConv2D: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      kernels[n.id].dwconv->Run(in, out);
+      break;
+    }
+    case OpType::kFullyConnected: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      kernels[n.id].fc->Run(in, out, ctx_);
+      break;
+    }
+    case OpType::kLceBFullyConnected: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      kernels[n.id].bfc->Run(in, out, ctx_);
+      break;
+    }
+    case OpType::kLceBConv2d: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      kernels[n.id].bconv->Run(in, out, ctx_,
+                               prof != nullptr ? &prof->bconv : nullptr);
+      break;
+    }
+    case OpType::kFakeSign: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      const float* src = in.data<float>();
+      float* dst = out.data<float>();
+      const std::int64_t count = in.num_elements();
+      for (std::int64_t i = 0; i < count; ++i) dst[i] = SignValue(src[i]);
+      break;
+    }
+    case OpType::kBatchNorm: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      BatchNormFloat(in, n.attrs.bn_scale, n.attrs.bn_offset, out);
+      break;
+    }
+    case OpType::kRelu: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      ReluFloat(in, out);
+      break;
+    }
+    case OpType::kPRelu: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      const int c = static_cast<int>(in.shape().dim(in.shape().rank() - 1));
+      const std::int64_t outer = in.num_elements() / c;
+      const float* src = in.data<float>();
+      float* dst = out.data<float>();
+      const float* slope = n.attrs.prelu_slope.data();
+      for (std::int64_t r = 0; r < outer; ++r) {
+        for (int j = 0; j < c; ++j) {
+          const float v = src[r * c + j];
+          dst[r * c + j] = v > 0.0f ? v : v * slope[j];
+        }
+      }
+      break;
+    }
+    case OpType::kMaxPool2D: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      MaxPool2DFloat(in, n.attrs.pool, out);
+      break;
+    }
+    case OpType::kAvgPool2D: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      AvgPool2DFloat(in, n.attrs.pool, out);
+      break;
+    }
+    case OpType::kGlobalAvgPool: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      GlobalAvgPoolFloat(in, out);
+      break;
+    }
+    case OpType::kAdd: {
+      Tensor a = ValueTensor(n.inputs[0]);
+      Tensor b = ValueTensor(n.inputs[1]);
+      AddFloat(a, b, n.attrs.activation, out);
+      break;
+    }
+    case OpType::kSoftmax: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      SoftmaxFloat(in, out);
+      break;
+    }
+    case OpType::kConcat: {
+      // Channel-axis concat: interleave per spatial position.
+      const Shape& os = out.shape();
+      const std::int64_t outer = os.dim(0) * os.dim(1) * os.dim(2);
+      const int out_c = static_cast<int>(os.dim(3));
+      float* dst = out.data<float>();
+      int offset = 0;
+      for (int in_id : n.inputs) {
+        Tensor in = ValueTensor(in_id);
+        const int c = static_cast<int>(in.shape().dim(3));
+        const float* src = in.data<float>();
+        for (std::int64_t r = 0; r < outer; ++r) {
+          std::memcpy(dst + r * out_c + offset, src + r * c,
+                      static_cast<std::size_t>(c) * sizeof(float));
+        }
+        offset += c;
+      }
+      break;
+    }
+    case OpType::kSlice: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      const int c = static_cast<int>(in.shape().dim(3));
+      const std::int64_t outer = in.num_elements() / c;
+      const float* src = in.data<float>();
+      float* dst = out.data<float>();
+      const int begin = n.attrs.slice_begin, count = n.attrs.slice_count;
+      for (std::int64_t r = 0; r < outer; ++r) {
+        std::memcpy(dst + r * count, src + r * c + begin,
+                    static_cast<std::size_t>(count) * sizeof(float));
+      }
+      break;
+    }
+    case OpType::kMulChannel: {
+      Tensor x = ValueTensor(n.inputs[0]);
+      Tensor gate = ValueTensor(n.inputs[1]);
+      const Shape& xs = x.shape();
+      const int batch = static_cast<int>(xs.dim(0));
+      const std::int64_t hw = xs.dim(1) * xs.dim(2);
+      const int c = static_cast<int>(xs.dim(3));
+      const float* px = x.data<float>();
+      const float* pg = gate.data<float>();
+      float* po = out.data<float>();
+      for (int b = 0; b < batch; ++b) {
+        const float* gb = pg + static_cast<std::int64_t>(b) * c;
+        for (std::int64_t p = 0; p < hw; ++p) {
+          const std::int64_t base = (b * hw + p) * c;
+          for (int i = 0; i < c; ++i) po[base + i] = px[base + i] * gb[i];
+        }
+      }
+      break;
+    }
+    case OpType::kConv2DInt8: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      kernels[n.id].conv_int8->Run(in, out, ctx_);
+      break;
+    }
+    case OpType::kQuantizeInt8: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      const float* src = in.data<float>();
+      std::int8_t* dst = out.data<std::int8_t>();
+      const QuantParams& q = n.attrs.output_quant;
+      const std::int64_t count = in.num_elements();
+      for (std::int64_t i = 0; i < count; ++i) dst[i] = QuantizeValue(src[i], q);
+      break;
+    }
+    case OpType::kDequantizeInt8: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      const std::int8_t* src = in.data<std::int8_t>();
+      float* dst = out.data<float>();
+      const QuantParams& q = n.attrs.input_quant;
+      const std::int64_t count = in.num_elements();
+      for (std::int64_t i = 0; i < count; ++i) dst[i] = DequantizeValue(src[i], q);
+      break;
+    }
+    case OpType::kLceQuantize: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      LceQuantize(in, out);
+      break;
+    }
+    case OpType::kLceDequantize: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      LceDequantize(in, out);
+      break;
+    }
+    case OpType::kLceBMaxPool2d: {
+      Tensor in = ValueTensor(n.inputs[0]);
+      LceBMaxPool2d(in, n.attrs.pool, out);
+      break;
+    }
+  }
+}
+
+void ExecutionContext::Invoke() {
+  LCE_TRACE_SCOPE_CAT("interpreter/invoke", "interpreter");
+  profile_.clear();
+  const bool profiling = options_.enable_profiling;
+  const bool tracing = telemetry::TracingActive();
+  for (int id : model_->order_) {
+    const Node& n = model_->graph_.node(id);
+    if (profiling || tracing) {
+      // One timestamp pair drives both the tracer span and the OpProfile
+      // record, so Table 4 / Figure 5 aggregation and the Chrome trace are
+      // two views of the same measurement.
+      OpProfile prof;
+      const std::uint64_t t0 = telemetry::NowNanos();
+      RunNode(n, profiling ? &prof : nullptr);
+      const std::uint64_t t1 = telemetry::NowNanos();
+      if (tracing) {
+        telemetry::Tracer::Global().RecordComplete(n.name.c_str(), "node", t0,
+                                                   t1);
+      }
+      if (profiling) {
+        prof.node_id = id;
+        prof.name = n.name;
+        prof.type = n.type;
+        prof.is_binary_op = IsBinaryOp(n.type);
+        prof.seconds = static_cast<double>(t1 - t0) * 1e-9;
+        profile_.push_back(std::move(prof));
+      }
+    } else {
+      RunNode(n, nullptr);
+    }
+    if (options_.observer) {
+      options_.observer(n, ValueTensor(n.outputs[0]));
+    }
+  }
+}
+
+}  // namespace lce

@@ -1,0 +1,181 @@
+// CompiledModel / ExecutionContext: the concurrent-serving split of the
+// graph runtime (docs/SERVING.md).
+//
+// A CompiledModel is everything about a prepared model that is *immutable*
+// after Compile(): the validated graph reference, its topological order,
+// the static arena memory plan, and the prepared kernel objects with their
+// pre-packed (32x-compressed) binary weights. It is built once and can be
+// shared, read-only, by any number of threads.
+//
+// An ExecutionContext is everything one in-flight inference *mutates*: its
+// own arena instance, its own GEMM scratch buffers, and its own profile
+// storage. Contexts are cheap (one arena allocation) compared to the model
+// (weight packing), so a server keeps one CompiledModel and a pool of
+// ExecutionContexts -- N concurrent Invoke()s against one set of packed
+// weights, on one process-shared ThreadPool.
+//
+// The legacy single-stream `Interpreter` (graph/interpreter.h) is now a
+// thin wrapper owning one CompiledModel plus one ExecutionContext.
+#ifndef LCE_GRAPH_COMPILED_MODEL_H_
+#define LCE_GRAPH_COMPILED_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aligned_buffer.h"
+#include "core/resource_limits.h"
+#include "core/status.h"
+#include "core/tensor.h"
+#include "gemm/context.h"
+#include "graph/ir.h"
+#include "kernels/bconv2d.h"
+#include "kernels/bfully_connected.h"
+#include "kernels/conv2d_float.h"
+#include "kernels/conv2d_int8.h"
+#include "kernels/depthwise_conv.h"
+#include "kernels/fully_connected.h"
+
+namespace lce {
+
+struct CompileOptions {
+  // Size of the thread pool used by this model's execution contexts. When
+  // `thread_pool` is null, Compile() installs ThreadPool::Shared(num_threads)
+  // so every model compiled with the same size shares one set of workers.
+  int num_threads = 1;
+  std::shared_ptr<ThreadPool> thread_pool;
+  gemm::KernelProfile kernel_profile = gemm::KernelProfile::kSimd;
+  // Turns on the process-wide telemetry tracer at Compile() (equivalent to
+  // telemetry::Tracer::Global().Enable() or the LCE_TRACE env var).
+  bool enable_tracing = false;
+  // Enforced on the graph and its memory plan; see core/resource_limits.h.
+  ResourceLimits limits;
+};
+
+// One executed node's latency record.
+struct OpProfile {
+  int node_id = -1;
+  std::string name;
+  OpType type = OpType::kConv2D;
+  double seconds = 0.0;
+  BConvStageTimes bconv;  // only meaningful for kLceBConv2d
+  // True for the binary operators (LceQuantize/LceBConv2d/LceBMaxPool2d).
+  bool is_binary_op = false;
+};
+
+class ExecutionContext;
+
+class CompiledModel {
+ public:
+  // Validates the graph (semantics + resource limits), plans the arena and
+  // prepares kernels (packing binary weights). On success `*out` holds the
+  // finished model; on failure `*out` is untouched and no partially-built
+  // state escapes. The graph must outlive the model.
+  static Status Compile(const Graph& graph, CompileOptions options,
+                        std::shared_ptr<const CompiledModel>* out);
+
+  ~CompiledModel();
+
+  CompiledModel(const CompiledModel&) = delete;
+  CompiledModel& operator=(const CompiledModel&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  int num_inputs() const { return static_cast<int>(graph_.input_ids().size()); }
+  int num_outputs() const {
+    return static_cast<int>(graph_.output_ids().size());
+  }
+  // Bytes each ExecutionContext allocates for its arena.
+  std::size_t arena_bytes() const { return arena_size_; }
+  // Bytes of bitpacked weights held by this model's kernels -- allocated
+  // once here, shared by every context.
+  std::size_t packed_weight_bytes() const { return packed_weight_bytes_; }
+  const std::shared_ptr<ThreadPool>& thread_pool() const { return pool_; }
+  gemm::KernelProfile kernel_profile() const { return kernel_profile_; }
+
+ private:
+  friend class ExecutionContext;
+
+  explicit CompiledModel(const Graph& graph);
+  Status Build(CompileOptions options);
+
+  const Graph& graph_;
+  std::shared_ptr<ThreadPool> pool_;
+  gemm::KernelProfile kernel_profile_ = gemm::KernelProfile::kSimd;
+
+  std::vector<int> order_;                // topological node order
+  std::vector<std::size_t> offsets_;      // per-value arena offset
+  std::vector<bool> in_arena_;            // per-value: placed in arena?
+  std::size_t arena_size_ = 0;
+  std::size_t packed_weight_bytes_ = 0;
+
+  // Prepared kernel objects, indexed by node id (only one is non-null).
+  // Kernel Run() is const and keeps no per-invocation state (all scratch
+  // comes from the caller's gemm::Context), so one kernel instance serves
+  // all concurrent contexts.
+  struct PreparedKernels {
+    std::unique_ptr<BConv2D> bconv;
+    std::unique_ptr<BFullyConnected> bfc;
+    std::unique_ptr<Conv2DFloat> conv;
+    std::unique_ptr<Conv2DInt8> conv_int8;
+    std::unique_ptr<DepthwiseConv2DFloat> dwconv;
+    std::unique_ptr<FullyConnectedFloat> fc;
+  };
+  std::vector<PreparedKernels> kernels_;
+};
+
+struct ExecutionOptions {
+  // Record a per-op profile() on every Invoke.
+  bool enable_profiling = false;
+  // Called after each node executes with its output tensor (still valid at
+  // that point; the arena may reuse it later). Used by the post-training
+  // quantizer's range calibration.
+  std::function<void(const Node&, const Tensor&)> observer;
+};
+
+// Mutable per-request execution state. Not thread-safe itself: one context
+// serves one request at a time; run concurrent requests on separate
+// contexts sharing one CompiledModel.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(std::shared_ptr<const CompiledModel> model,
+                            ExecutionOptions options = {});
+  ~ExecutionContext();
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  // Tensor views into this context's arena; write inputs before Invoke,
+  // read outputs after. Indices follow the graph's declaration order.
+  Tensor input(int i);
+  Tensor output(int i);
+  int num_inputs() const { return model_->num_inputs(); }
+  int num_outputs() const { return model_->num_outputs(); }
+
+  // Executes the graph against this context's arena. Safe to call while
+  // other contexts on the same model Invoke concurrently.
+  void Invoke();
+
+  // Per-op profile of the last Invoke (empty unless profiling enabled).
+  const std::vector<OpProfile>& profile() const { return profile_; }
+
+  std::size_t arena_bytes() const { return model_->arena_bytes(); }
+  const CompiledModel& model() const { return *model_; }
+  gemm::Context& gemm_context() { return ctx_; }
+
+ private:
+  friend class Interpreter;
+
+  Tensor ValueTensor(int value_id);
+  void RunNode(const Node& node, OpProfile* prof);
+
+  std::shared_ptr<const CompiledModel> model_;
+  ExecutionOptions options_;
+  gemm::Context ctx_;
+  AlignedBuffer arena_;
+  std::vector<OpProfile> profile_;
+};
+
+}  // namespace lce
+
+#endif  // LCE_GRAPH_COMPILED_MODEL_H_

@@ -1,10 +1,17 @@
-// Graph interpreter: the runtime that plays TFLite's role in the paper.
+// Graph interpreter: the single-stream compatibility wrapper over the
+// CompiledModel / ExecutionContext split (graph/compiled_model.h,
+// docs/SERVING.md).
 //
-// Prepare() runs shape checking, plans one static arena for all intermediate
-// tensors (lifetime-based sharing) and instantiates kernel objects with
-// pre-packed weights. Invoke() executes nodes in topological order. Per-op
-// profiling (latencies + LceBConv2d stage breakdown) supports the paper's
-// Figure 5 / Table 4 experiments.
+// Prepare() compiles the graph -- shape checking, one static arena plan for
+// all intermediate tensors (lifetime-based sharing), kernel instantiation
+// with pre-packed weights -- and attaches one ExecutionContext. Invoke()
+// executes nodes in topological order on that context. Per-op profiling
+// (latencies + LceBConv2d stage breakdown) supports the paper's Figure 5 /
+// Table 4 experiments.
+//
+// For concurrent serving (N requests against one set of packed weights),
+// use CompiledModel::Compile + one ExecutionContext per request instead;
+// `compiled_model()` exposes this interpreter's model for sharing.
 #ifndef LCE_GRAPH_INTERPRETER_H_
 #define LCE_GRAPH_INTERPRETER_H_
 
@@ -13,18 +20,12 @@
 #include <string>
 #include <vector>
 
-#include "core/aligned_buffer.h"
 #include "core/resource_limits.h"
 #include "core/status.h"
 #include "core/tensor.h"
 #include "gemm/context.h"
+#include "graph/compiled_model.h"
 #include "graph/ir.h"
-#include "kernels/bconv2d.h"
-#include "kernels/bfully_connected.h"
-#include "kernels/conv2d_float.h"
-#include "kernels/conv2d_int8.h"
-#include "kernels/depthwise_conv.h"
-#include "kernels/fully_connected.h"
 
 namespace lce {
 
@@ -47,17 +48,6 @@ struct InterpreterOptions {
   std::function<void(const Node&, const Tensor&)> observer;
 };
 
-// One executed node's latency record.
-struct OpProfile {
-  int node_id = -1;
-  std::string name;
-  OpType type = OpType::kConv2D;
-  double seconds = 0.0;
-  BConvStageTimes bconv;  // only meaningful for kLceBConv2d
-  // True for the binary operators (LceQuantize/LceBConv2d/LceBMaxPool2d).
-  bool is_binary_op = false;
-};
-
 class Interpreter {
  public:
   // The graph must outlive the interpreter.
@@ -67,6 +57,13 @@ class Interpreter {
   // prepares kernels. Must be called before Invoke. Any defect in a
   // model-derived graph is reported here as a Status; after an OK Prepare,
   // Invoke cannot fail.
+  //
+  // Re-Prepare contract: after a successful Prepare, further calls are
+  // idempotent no-ops returning Ok -- nothing is re-planned, re-packed,
+  // re-counted in the metrics, and the tracer is not re-enabled. After a
+  // failed Prepare no partially-built state is retained, so a retry starts
+  // from a clean slate (and input/output/Invoke still abort until some
+  // Prepare succeeds).
   Status Prepare();
 
   // Tensor views into the arena; write inputs before Invoke, read outputs
@@ -84,38 +81,23 @@ class Interpreter {
   // Per-op profile of the last Invoke (empty unless profiling enabled).
   // Each record is the structured view of the tracer's per-node span: both
   // are produced from the same telemetry-clock timestamp pair.
-  const std::vector<OpProfile>& profile() const { return profile_; }
+  const std::vector<OpProfile>& profile() const;
 
-  std::size_t arena_bytes() const { return arena_size_; }
-  gemm::Context& context() { return ctx_; }
+  std::size_t arena_bytes() const;
+  gemm::Context& context();
+
+  // The underlying immutable model; share it with additional
+  // ExecutionContexts to serve concurrent requests against one set of
+  // packed weights. Null before a successful Prepare.
+  const std::shared_ptr<const CompiledModel>& compiled_model() const {
+    return model_;
+  }
 
  private:
-  Tensor ValueTensor(int value_id);
-  void RunNode(const Node& node, OpProfile* prof);
-
   const Graph& graph_;
   InterpreterOptions options_;
-  gemm::Context ctx_;
-
-  bool prepared_ = false;
-  std::vector<int> order_;                // topological node order
-  std::vector<std::size_t> offsets_;      // per-value arena offset
-  std::vector<bool> in_arena_;            // per-value: placed in arena?
-  AlignedBuffer arena_;
-  std::size_t arena_size_ = 0;
-
-  // Prepared kernel objects, indexed by node id (only one is non-null).
-  struct PreparedKernels {
-    std::unique_ptr<BConv2D> bconv;
-    std::unique_ptr<BFullyConnected> bfc;
-    std::unique_ptr<Conv2DFloat> conv;
-    std::unique_ptr<Conv2DInt8> conv_int8;
-    std::unique_ptr<DepthwiseConv2DFloat> dwconv;
-    std::unique_ptr<FullyConnectedFloat> fc;
-  };
-  std::vector<PreparedKernels> kernels_;
-
-  std::vector<OpProfile> profile_;
+  std::shared_ptr<const CompiledModel> model_;
+  std::unique_ptr<ExecutionContext> exec_;
 };
 
 }  // namespace lce

@@ -3,6 +3,7 @@
 // the baseline (DaBNN/TVM/BMXNet-style) kernels.
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -95,6 +96,52 @@ TEST(BGemm, MultithreadedMatchesSingleThreaded) {
   BGemm(p.lhs.data(), p.m, p.rhs.data(), p.n, p.kw(), p.k_bits, mt.data(),
         p.n, ctx);
   EXPECT_EQ(mt, p.expected);
+}
+
+TEST(BGemm, OddTilesMultithreadedMatchesReference) {
+  // m and n deliberately not multiples of the 4x4 tile: the edge tiles must
+  // stay correct when the row-tile loop is sharded across threads.
+  const BinaryProblem p = MakeProblem(37, 29, 576, 23);
+  std::vector<std::int32_t> mt(37 * 29);
+  Context ctx(4);
+  BGemm(p.lhs.data(), p.m, p.rhs.data(), p.n, p.kw(), p.k_bits, mt.data(),
+        p.n, ctx);
+  EXPECT_EQ(mt, p.expected);
+}
+
+TEST(BGemm, ConcurrentCallsOnSharedPoolMatchReference) {
+  // Serving configuration: several request threads run BGemm at once, each
+  // with its own Context (own scratch) on one shared pool. Results must be
+  // identical to the serial reference for every caller.
+  auto pool = ThreadPool::Shared(4);
+  constexpr int kThreads = 4;
+  std::vector<BinaryProblem> problems;
+  for (int t = 0; t < kThreads; ++t) {
+    problems.push_back(MakeProblem(37 + t, 29 + t, 320, 1000 + t));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const BinaryProblem& p = problems[t];
+      Context ctx(pool);
+      for (int round = 0; round < 10; ++round) {
+        std::vector<std::int32_t> out(static_cast<std::size_t>(p.m) * p.n);
+        BGemm(p.lhs.data(), p.m, p.rhs.data(), p.n, p.kw(), p.k_bits,
+              out.data(), p.n, ctx);
+        ASSERT_EQ(out, p.expected) << "thread " << t << " round " << round;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(ContextDeathTest, ScratchSlotOutOfRangeAborts) {
+  // Slot indices are a fixed contract between the kernels; an out-of-range
+  // slot must abort instead of silently indexing off the end of scratch_.
+  Context ctx(1);
+  EXPECT_DEATH(ctx.Scratch(Context::kNumScratchSlots, 16),
+               "slot out of range");
+  EXPECT_DEATH(ctx.Scratch(-1, 16), "slot out of range");
 }
 
 TEST(BGemm, PrepackedRhsIsReusable) {

@@ -1,11 +1,16 @@
-// ThreadPool tests: full index coverage, inline single-thread execution and
-// concurrent-safety of sharded writes.
+// ThreadPool tests: full index coverage, inline single-thread execution,
+// concurrent-safety of sharded writes, the balanced shard split, and
+// concurrent submitters sharing one pool (the serving configuration).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/thread_pool.h"
+#include "telemetry/metrics.h"
 
 namespace lce {
 namespace {
@@ -52,6 +57,67 @@ TEST(ThreadPool, SequentialCallsReusePool) {
     });
   }
   EXPECT_EQ(sum.load(), 20 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, BalancedSplitLeavesNoShardEmpty) {
+  // Regression: the old ceil-based split gave count=5, shards=4 the loads
+  // 2,2,1,0 -- a silently idle shard that was still counted as executed.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> shards;
+  telemetry::Metric* executed =
+      telemetry::MetricsRegistry::Global().Counter("threadpool.shards_executed");
+  const std::int64_t executed_before = executed->value();
+  pool.ParallelFor(5, [&](std::int64_t begin, std::int64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    shards.emplace_back(begin, end);
+  });
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(executed->value() - executed_before, 4)
+      << "shards_executed must count only non-empty shards";
+  std::sort(shards.begin(), shards.end());
+  std::int64_t expect_begin = 0;
+  std::int64_t min_load = 5, max_load = 0;
+  for (const auto& [begin, end] : shards) {
+    EXPECT_EQ(begin, expect_begin) << "shards must tile [0, count)";
+    EXPECT_LT(begin, end) << "no shard may be empty";
+    min_load = std::min(min_load, end - begin);
+    max_load = std::max(max_load, end - begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 5);
+  EXPECT_LE(max_load - min_load, 1) << "split must be balanced";
+}
+
+TEST(ThreadPool, ConcurrentSubmittersShareOnePool) {
+  // The serving path: many request threads issue ParallelFor on one
+  // process-shared pool. Every call must see all of its own indices exactly
+  // once regardless of interleaving with other submitters.
+  auto pool = ThreadPool::Shared(4);
+  ASSERT_EQ(pool.get(), ThreadPool::Shared(4).get())
+      << "Shared() must return one instance per size";
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 25;
+  constexpr std::int64_t kCount = 997;  // prime: uneven shard loads
+  std::vector<std::thread> submitters;
+  std::vector<std::int64_t> sums(kSubmitters, 0);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        pool->ParallelFor(kCount, [&](std::int64_t begin, std::int64_t end) {
+          std::int64_t local = 0;
+          for (std::int64_t i = begin; i < end; ++i) local += i;
+          sum.fetch_add(local);
+        });
+        sums[t] = sum.load();
+        ASSERT_EQ(sums[t], kCount * (kCount - 1) / 2)
+            << "submitter " << t << " round " << round;
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  for (std::int64_t s : sums) EXPECT_EQ(s, kCount * (kCount - 1) / 2);
 }
 
 TEST(ThreadPool, SingleThreadRunsInline) {
