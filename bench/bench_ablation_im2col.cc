@@ -1,19 +1,42 @@
-// Ablation: im2col + packed BGEMM vs indirect BGEMM (pointer indirection,
-// the alternative kernel family in the upstream LCE codebase), plus the
-// 1x1 fast path that skips patch materialization entirely.
+// Three-way BConv2D execution-mode ablation on the QuickNet-S 3x3 shapes:
+//
+//   im2col    -- full-image bitpacked im2col + packed BGEMM + full-image
+//                accumulator (the legacy pipeline, forced unfused);
+//   indirect  -- per-call pointer indirection + scalar indirect BGEMM into
+//                a full-image accumulator (the unfused indirect baseline);
+//   fused     -- the production path: cached indirection offsets + row-tile
+//                pipeline (gather-pack -> SIMD BGEMM -> padding correction
+//                -> output transform per cache-resident tile).
+//
+// `--json=<path>` writes a RunReport with per-shape milliseconds and the
+// fused-vs-im2col speedups; the committed BENCH_bconv_fusion.json at the
+// repo root is this report for the default single-threaded run.
+#include <array>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
 #include "core/bitpack.h"
 #include "kernels/bconv2d.h"
+#include "telemetry/metrics.h"
+#include "telemetry/run_report.h"
 
 namespace {
 
 using namespace lce;
 using namespace lce::bench;
 
-double BConvLatency(int hw, int channels, int kernel, bool indirect,
-                    gemm::Context& ctx) {
+enum class ExecMode { kIm2Col, kIndirectUnfused, kFusedIndirect };
+
+// Measures all three execution modes of one shape with round-robin
+// interleaved single-run samples: slow noise (frequency drift, other
+// tenants on the core) hits every mode equally instead of corrupting
+// whichever mode happened to be on the clock, which matters for the
+// mode-vs-mode ratios this ablation exists to report. Returns per-mode
+// median seconds indexed by ExecMode.
+std::array<double, 3> BConvModeLatencies(int hw, int channels, int kernel,
+                                         gemm::Context& ctx) {
   Conv2DGeometry g;
   g.in_h = g.in_w = hw;
   g.in_c = g.out_c = channels;
@@ -27,40 +50,113 @@ double BConvLatency(int hw, int channels, int kernel, bool indirect,
   std::vector<float> w(static_cast<std::size_t>(channels) * kernel * kernel *
                        channels);
   for (auto& v : w) v = rng.Sign();
-  BConv2DAttrs attrs;
-  attrs.geo = g;
-  attrs.output_type = BConvOutputType::kFloat;
-  attrs.use_indirect_bgemm = indirect;
-  BConv2D op(w.data(), attrs);
+
+  std::vector<std::unique_ptr<BConv2D>> ops;
   Tensor out(DataType::kFloat32, Shape{1, g.out_h(), g.out_w(), channels});
-  return profiling::MeasureMedianSeconds([&] { op.Run(input, out, ctx); }, 2,
-                                         11, 50, 0.1);
+  for (ExecMode mode : {ExecMode::kIm2Col, ExecMode::kIndirectUnfused,
+                        ExecMode::kFusedIndirect}) {
+    BConv2DAttrs attrs;
+    attrs.geo = g;
+    attrs.output_type = BConvOutputType::kFloat;
+    attrs.use_indirect_bgemm = mode != ExecMode::kIm2Col;
+    attrs.force_unfused = mode != ExecMode::kFusedIndirect;
+    ops.push_back(std::make_unique<BConv2D>(w.data(), attrs));
+  }
+  constexpr int kWarmup = 2, kSamples = 41;
+  std::array<std::vector<double>, 3> samples;
+  for (int m = 0; m < 3; ++m) {
+    for (int i = 0; i < kWarmup; ++i) ops[m]->Run(input, out, ctx);
+    samples[m].reserve(kSamples);
+  }
+  for (int s = 0; s < kSamples; ++s) {
+    for (int m = 0; m < 3; ++m) {
+      const double t0 = profiling::NowSeconds();
+      ops[m]->Run(input, out, ctx);
+      samples[m].push_back(profiling::NowSeconds() - t0);
+    }
+  }
+  return {profiling::Median(std::move(samples[0])),
+          profiling::Median(std::move(samples[1])),
+          profiling::Median(std::move(samples[2]))};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto profile = ParseProfile(argc, argv);
-  gemm::Context ctx(1, profile);
+  const std::string json_path = ParseJsonPath(argc, argv);
+  const int threads = std::atoi(
+      ParseStringFlag(argc, argv, "--threads=", "1").c_str());
+  gemm::Context ctx(threads > 0 ? threads : 1, profile);
 
-  std::printf("=== Ablation: im2col BGEMM vs indirect BGEMM (profile=%s) "
-              "===\n\n",
-              ProfileName(profile));
-  std::printf("%-24s %14s %15s %10s\n", "Convolution", "im2col (ms)",
-              "indirect (ms)", "ratio");
+  telemetry::RunReport report("bench_ablation_im2col");
+  report.AddMeta("profile", ProfileName(profile));
+  report.AddMetaInt("threads", ctx.num_threads());
+
+  std::printf(
+      "=== Ablation: im2col BGEMM vs unfused indirect vs fused tiled "
+      "(profile=%s, threads=%d) ===\n\n",
+      ProfileName(profile), ctx.num_threads());
+  std::printf("%-22s %12s %13s %10s %17s\n", "Convolution", "im2col (ms)",
+              "indirect (ms)", "fused (ms)", "fused vs im2col");
+  CsvWriter csv("ablation_bconv_fusion",
+                "hw,channels,kernel,im2col_ms,indirect_ms,fused_ms,"
+                "fused_speedup_vs_im2col");
   struct Case {
     int hw, ch, k;
   };
-  for (const Case& c : {Case{56, 64, 3}, Case{28, 128, 3}, Case{14, 256, 3},
-                        Case{7, 256, 3}, Case{28, 128, 1}, Case{14, 256, 1}}) {
-    const double a = BConvLatency(c.hw, c.ch, c.k, /*indirect=*/false, ctx);
-    const double b = BConvLatency(c.hw, c.ch, c.k, /*indirect=*/true, ctx);
-    std::printf("%dx%dx%dx%d k=%d %*s %14.3f %15.3f %9.2fx\n", c.hw, c.hw,
-                c.ch, c.ch, c.k, 2, "", a * 1e3, b * 1e3, b / a);
+  // The four QuickNet-S binary 3x3 stages (sections at 56/28/14/7 spatial
+  // with 32/64/256/512 filters), plus two 1x1 shapes showing the pointwise
+  // fast path is mode-independent.
+  double log_speedup_3x3 = 0.0;
+  int n_3x3 = 0;
+  for (const Case& c : {Case{56, 32, 3}, Case{28, 64, 3}, Case{14, 256, 3},
+                        Case{7, 512, 3}, Case{28, 64, 1}, Case{14, 256, 1}}) {
+    const auto lat = BConvModeLatencies(c.hw, c.ch, c.k, ctx);
+    const double im2col = lat[static_cast<int>(ExecMode::kIm2Col)];
+    const double indirect = lat[static_cast<int>(ExecMode::kIndirectUnfused)];
+    const double fused = lat[static_cast<int>(ExecMode::kFusedIndirect)];
+    const double speedup = fused > 0 ? im2col / fused : 0.0;
+    std::printf("%dx%dx%dx%d k=%d %*s %10.3f %13.3f %10.3f %15.2fx\n", c.hw,
+                c.hw, c.ch, c.ch, c.k, 2, "", im2col * 1e3, indirect * 1e3,
+                fused * 1e3, speedup);
+    char row[160];
+    std::snprintf(row, sizeof(row), "%d,%d,%d,%.6f,%.6f,%.6f,%.3f", c.hw, c.ch,
+                  c.k, im2col * 1e3, indirect * 1e3, fused * 1e3, speedup);
+    csv.Row(row);
+    char key[64];
+    std::snprintf(key, sizeof(key), "%dx%dx%d_k%d", c.hw, c.hw, c.ch, c.k);
+    report.AddResult(std::string("im2col_ms.") + key, im2col * 1e3);
+    report.AddResult(std::string("indirect_ms.") + key, indirect * 1e3);
+    report.AddResult(std::string("fused_ms.") + key, fused * 1e3);
+    report.AddResult(std::string("fused_speedup_vs_im2col.") + key, speedup);
+    if (c.k == 3 && speedup > 0) {
+      log_speedup_3x3 += std::log(speedup);
+      ++n_3x3;
+    }
+  }
+  if (n_3x3 > 0) {
+    const double geomean = std::exp(log_speedup_3x3 / n_3x3);
+    std::printf("\ngeomean fused speedup over the 3x3 stages: %.2fx\n",
+                geomean);
+    report.AddResult("fused_speedup_vs_im2col.geomean_3x3", geomean);
   }
   std::printf(
-      "\nThe packed-BGEMM path pays the im2col copy but gains the tiled\n"
-      "SIMD kernel; indirect avoids the copy at the cost of scalar gather\n"
-      "loops. For 1x1 convolutions the im2col path is free (identity).\n");
+      "\nim2col pays the patch copy and a full-image accumulator round trip;\n"
+      "unfused indirect trades the copy for per-call pointer setup and a\n"
+      "scalar gather kernel; the fused row-tile pipeline keeps the SIMD\n"
+      "micro-kernels, gathers through prepare-time offsets, and never leaves\n"
+      "the cache between BGEMM and output transform. 1x1 shapes skip patch\n"
+      "materialization in every mode.\n");
+  if (!json_path.empty()) {
+    const Status s = report.WriteJson(json_path);
+    if (s.ok()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   s.message().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -147,6 +147,48 @@ void BM_BConv2D(benchmark::State& state) {
 }
 BENCHMARK(BM_BConv2D)->Arg(0)->Arg(1);
 
+// Execution-mode comparison on a QuickNet-S shape (28x28x128, 3x3).
+// Mode 0 = unfused im2col + BGEMM, 1 = unfused indirect (scalar gather),
+// 2 = fused tiled indirect (the production default). The second argument is
+// the thread count, showing the fused pipeline's row-tile sharding.
+void BM_BConv2DExecMode(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Conv2DGeometry g;
+  g.in_h = g.in_w = 28;
+  g.in_c = g.out_c = 128;
+  g.filter_h = g.filter_w = 3;
+  g.padding = Padding::kSameOne;
+  Rng rng(7);
+  Tensor in_f(DataType::kFloat32, Shape{1, 28, 28, 128});
+  FillSigns(in_f, rng);
+  Tensor in(DataType::kBitpacked, in_f.shape());
+  BitpackTensor(in_f, in);
+  std::vector<float> w(static_cast<std::size_t>(128) * 9 * 128);
+  for (auto& v : w) v = rng.Sign();
+  BConv2DAttrs attrs;
+  attrs.geo = g;
+  attrs.output_type = BConvOutputType::kFloat;
+  attrs.use_indirect_bgemm = mode != 0;
+  attrs.force_unfused = mode != 2;
+  BConv2D op(w.data(), attrs);
+  Tensor out(DataType::kFloat32, Shape{1, 28, 28, 128});
+  gemm::Context ctx(threads);
+  for (auto _ : state) {
+    op.Run(in, out, ctx);
+    benchmark::DoNotOptimize(out.raw_data());
+  }
+  state.counters["GMAC/s"] = benchmark::Counter(
+      static_cast<double>(g.macs()) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BConv2DExecMode)
+    ->ArgNames({"mode", "threads"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({2, 4});
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -70,9 +70,15 @@ bool ThreadPool::RunOneTask() {
 void ThreadPool::ParallelFor(
     std::int64_t count,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ParallelForShard(count, [&fn](int /*shard*/, std::int64_t begin,
+                                std::int64_t end) { fn(begin, end); });
+}
+
+void ThreadPool::ParallelForShard(
+    std::int64_t count,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
   if (count <= 0) return;
-  const int shards = static_cast<int>(
-      std::min<std::int64_t>(num_threads_, count));
+  const int shards = PlannedShards(count);
   static telemetry::Metric* pf_calls =
       telemetry::MetricsRegistry::Global().Counter(
           "threadpool.parallel_for_calls");
@@ -87,12 +93,12 @@ void ThreadPool::ParallelFor(
   if (shards == 1) {
     if (tracing) {
       const std::uint64_t s0 = telemetry::NowNanos();
-      fn(0, count);
+      fn(0, 0, count);
       telemetry::Tracer::Global().RecordCompleteWithArg(
           "threadpool/shard", "threadpool", s0, telemetry::NowNanos(), "shard",
           0);
     } else {
-      fn(0, count);
+      fn(0, 0, count);
     }
     return;
   }
@@ -124,13 +130,13 @@ void ThreadPool::ParallelFor(
       queue_.push(Task{[&, s, begin, end] {
         if (tracing) {
           const std::uint64_t s0 = telemetry::NowNanos();
-          fn(begin, end);
+          fn(s, begin, end);
           const std::uint64_t s1 = telemetry::NowNanos();
           telemetry::Tracer::Global().RecordCompleteWithArg(
               "threadpool/shard", "threadpool", s0, s1, "shard", s);
           shard_ns[s] = s1 - s0;
         } else {
-          fn(begin, end);
+          fn(s, begin, end);
         }
         std::lock_guard<std::mutex> done_lock(done_mu);
         if (--remaining == 0) done_cv.notify_one();
@@ -141,13 +147,13 @@ void ThreadPool::ParallelFor(
   const std::int64_t shard0_end = shard_begin(1);
   if (tracing) {
     const std::uint64_t s0 = telemetry::NowNanos();
-    fn(0, shard0_end);
+    fn(0, 0, shard0_end);
     const std::uint64_t s1 = telemetry::NowNanos();
     telemetry::Tracer::Global().RecordCompleteWithArg(
         "threadpool/shard", "threadpool", s0, s1, "shard", 0);
     shard_ns[0] = s1 - s0;
   } else {
-    fn(0, shard0_end);
+    fn(0, 0, shard0_end);
   }
   // Help drain the queue while our shards are still pending. The popped
   // task may belong to another concurrent submitter -- tasks are

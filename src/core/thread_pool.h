@@ -18,6 +18,7 @@
 #ifndef LCE_CORE_THREAD_POOL_H_
 #define LCE_CORE_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -54,6 +55,22 @@ class ThreadPool {
   // count%num_shards shards, so no shard is ever empty.
   void ParallelFor(std::int64_t count,
                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  // Number of shards ParallelFor/ParallelForShard will split `count` indices
+  // into. Lets callers pre-allocate shard-local scratch before submitting.
+  int PlannedShards(std::int64_t count) const {
+    return static_cast<int>(
+        std::min<std::int64_t>(num_threads_, std::max<std::int64_t>(count, 0)));
+  }
+
+  // ParallelFor variant passing the shard index: fn(shard, begin, end) with
+  // shard in [0, PlannedShards(count)). Each shard index is used by exactly
+  // one concurrent call of fn, so fn may own mutable per-shard state (e.g. a
+  // scratch slice) indexed by it -- the fused BConv2D pipeline keeps one
+  // A-panel and one accumulator tile per shard this way.
+  void ParallelForShard(
+      std::int64_t count,
+      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
 
  private:
   void WorkerLoop();

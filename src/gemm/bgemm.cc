@@ -15,42 +15,24 @@
 #include "telemetry/tracer.h"
 
 namespace lce::gemm {
-namespace {
 
-// Number of 256-bit k-blocks for kw 32-bit words.
-int KBlocks(int kw) {
-  const int words_per_block = kBgemmKWords64 * 2;  // 8 x uint32
-  return (kw + words_per_block - 1) / words_per_block;
-}
-
-// Packs `tile_rows` rows (starting at `row0`, zero-padding beyond `n`) of a
-// [n][kw] bitpacked matrix into the panel layout [k_blocks][tile_rows][4]
-// uint64. Zero padding encodes +1 values, but padded k-words are 0 in both
-// operands so they never affect the popcount, and padded rows are never
-// written back.
-void PackTile(const TBitpacked* src, int n, int kw, int row0, int tile_rows,
-              int k_blocks, std::uint64_t* dst) {
-  std::memset(dst, 0,
-              static_cast<std::size_t>(k_blocks) * tile_rows * kBgemmKWords64 *
-                  sizeof(std::uint64_t));
+void BGemmPackLhsTile(const TBitpacked* src, int n, int kw, int row0,
+                      int tile_rows, int k_blocks, std::uint64_t* dst) {
   for (int r = 0; r < tile_rows; ++r) {
     const int row = row0 + r;
-    if (row >= n) continue;
-    const TBitpacked* s = src + static_cast<std::int64_t>(row) * kw;
-    for (int w = 0; w < kw; ++w) {
-      const int kb = w / 8;
-      const int w64 = (w % 8) / 2;
-      const int half = w % 2;
-      std::uint64_t& d =
-          dst[(static_cast<std::int64_t>(kb) * tile_rows + r) * kBgemmKWords64 +
-              w64];
-      d |= static_cast<std::uint64_t>(s[w]) << (half * 32);
+    if (row >= n) {
+      BGemmZeroLhsRow(k_blocks, r, tile_rows, dst);
+      continue;
     }
+    BGemmPackLhsRow(src + static_cast<std::int64_t>(row) * kw, kw, k_blocks, r,
+                    tile_rows, dst);
   }
 }
 
+namespace {
+
 // Scalar micro-kernel: 4x4 tile of accumulators over [k_blocks] panel steps.
-// Each k-block contributes 4x4x4 = 64 popcounts of 64 bits = 4096 MACs.
+// Each k-block contributes 4x4x8 = 128 popcounts of 64 bits = 8192 MACs.
 void KernelScalar4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
                      int k_blocks, std::int32_t acc[kBgemmMr][kBgemmNr]) {
   std::memset(acc, 0, sizeof(std::int32_t) * kBgemmMr * kBgemmNr);
@@ -58,12 +40,14 @@ void KernelScalar4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
     const std::uint64_t* a = apanel + kb * kBgemmMr * kBgemmKWords64;
     const std::uint64_t* b = bpanel + kb * kBgemmNr * kBgemmKWords64;
     for (int i = 0; i < kBgemmMr; ++i) {
-      const std::uint64_t a0 = a[i * 4 + 0], a1 = a[i * 4 + 1];
-      const std::uint64_t a2 = a[i * 4 + 2], a3 = a[i * 4 + 3];
+      const std::uint64_t* ai = a + i * kBgemmKWords64;
       for (int j = 0; j < kBgemmNr; ++j) {
-        const std::uint64_t* bj = b + j * 4;
-        acc[i][j] += std::popcount(a0 ^ bj[0]) + std::popcount(a1 ^ bj[1]) +
-                     std::popcount(a2 ^ bj[2]) + std::popcount(a3 ^ bj[3]);
+        const std::uint64_t* bj = b + j * kBgemmKWords64;
+        std::int32_t s = 0;
+        for (int w = 0; w < kBgemmKWords64; ++w) {
+          s += std::popcount(ai[w] ^ bj[w]);
+        }
+        acc[i][j] += s;
       }
     }
   }
@@ -73,10 +57,10 @@ void KernelScalar4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
 #define LCE_BGEMM_NEON 1
 // NEON micro-kernel implementing exactly the paper's Table 1 sequence:
 // eor (multiply), cnt (per-byte popcount), and pairwise-add-accumulate
-// (vpadal) to widen the counts. Processes the 4x4 tile two 128-bit halves
-// per 256-bit k-block. Byte counters are widened every block, so no
-// overflow management is needed. (Compile-guarded: exercised on ARM builds;
-// x86 hosts use the AVX-512/AVX2 kernels below.)
+// (vpadal) to widen the counts. Processes the 4x4 tile four 128-bit
+// quarters per 512-bit k-block. Byte counters are widened every block, so
+// no overflow management is needed. (Compile-guarded: exercised on ARM
+// builds; x86 hosts use the AVX-512/AVX2 kernels below.)
 void KernelNeon4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
                    int k_blocks, std::int32_t acc_out[kBgemmMr][kBgemmNr]) {
   uint32x4_t acc[kBgemmMr][kBgemmNr];
@@ -89,20 +73,25 @@ void KernelNeon4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
     const std::uint64_t* b =
         bpanel + static_cast<std::int64_t>(kb) * kBgemmNr * kBgemmKWords64;
     for (int i = 0; i < kBgemmMr; ++i) {
-      const uint8x16_t a0 =
-          vreinterpretq_u8_u64(vld1q_u64(a + i * kBgemmKWords64));
-      const uint8x16_t a1 =
-          vreinterpretq_u8_u64(vld1q_u64(a + i * kBgemmKWords64 + 2));
+      uint8x16_t av[4];
+      for (int h = 0; h < 4; ++h) {
+        av[h] = vreinterpretq_u8_u64(vld1q_u64(a + i * kBgemmKWords64 + 2 * h));
+      }
       for (int j = 0; j < kBgemmNr; ++j) {
-        const uint8x16_t b0 =
-            vreinterpretq_u8_u64(vld1q_u64(b + j * kBgemmKWords64));
-        const uint8x16_t b1 =
-            vreinterpretq_u8_u64(vld1q_u64(b + j * kBgemmKWords64 + 2));
-        // eor + cnt on both halves; byte counts <= 8 per lane.
-        const uint8x16_t c0 = vcntq_u8(veorq_u8(a0, b0));
-        const uint8x16_t c1 = vcntq_u8(veorq_u8(a1, b1));
-        // 8-bit -> 16-bit pairwise add, then accumulate into 32-bit lanes.
-        const uint16x8_t s = vaddq_u16(vpaddlq_u8(c0), vpaddlq_u8(c1));
+        const std::uint64_t* bj = b + j * kBgemmKWords64;
+        // eor + cnt on all four quarters; byte counts <= 8 per lane.
+        const uint8x16_t c0 =
+            vcntq_u8(veorq_u8(av[0], vreinterpretq_u8_u64(vld1q_u64(bj))));
+        const uint8x16_t c1 =
+            vcntq_u8(veorq_u8(av[1], vreinterpretq_u8_u64(vld1q_u64(bj + 2))));
+        const uint8x16_t c2 =
+            vcntq_u8(veorq_u8(av[2], vreinterpretq_u8_u64(vld1q_u64(bj + 4))));
+        const uint8x16_t c3 =
+            vcntq_u8(veorq_u8(av[3], vreinterpretq_u8_u64(vld1q_u64(bj + 6))));
+        // 8-bit -> 16-bit pairwise adds, then accumulate into 32-bit lanes.
+        const uint16x8_t s =
+            vaddq_u16(vaddq_u16(vpaddlq_u8(c0), vpaddlq_u8(c1)),
+                      vaddq_u16(vpaddlq_u8(c2), vpaddlq_u8(c3)));
         acc[i][j] = vpadalq_u16(acc[i][j], s);
       }
     }
@@ -120,48 +109,63 @@ void KernelNeon4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
 #if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512VL__)
 #define LCE_BGEMM_AVX512 1
 // AVX-512 micro-kernel: full 4x4 register tile using the hardware vector
-// popcount (vpopcntq), the closest x86 analogue of the paper's NEON cnt
-// path -- one xor + one popcount + one add per 256 binary MACs.
+// popcount (vpopcntq) on whole zmm registers, the closest x86 analogue of
+// the paper's NEON cnt path -- one xor + one popcount + one add per 512
+// binary MACs. 16 accumulators + 4 B operands + 1 A operand use 21 of the
+// 32 zmm registers.
 void KernelAvx512_4x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
                       int k_blocks, std::int32_t acc_out[kBgemmMr][kBgemmNr]) {
-  __m256i acc[kBgemmMr][kBgemmNr];
+  __m512i acc[kBgemmMr][kBgemmNr];
   for (int i = 0; i < kBgemmMr; ++i)
-    for (int j = 0; j < kBgemmNr; ++j) acc[i][j] = _mm256_setzero_si256();
+    for (int j = 0; j < kBgemmNr; ++j) acc[i][j] = _mm512_setzero_si512();
 
   for (int kb = 0; kb < k_blocks; ++kb) {
     const std::uint64_t* a =
         apanel + static_cast<std::int64_t>(kb) * kBgemmMr * kBgemmKWords64;
     const std::uint64_t* b =
         bpanel + static_cast<std::int64_t>(kb) * kBgemmNr * kBgemmKWords64;
-    __m256i bv[kBgemmNr];
+    __m512i bv[kBgemmNr];
     for (int j = 0; j < kBgemmNr; ++j) {
-      bv[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(b + j * 4));
+      bv[j] = _mm512_load_si512(b + j * kBgemmKWords64);
     }
     for (int i = 0; i < kBgemmMr; ++i) {
-      const __m256i av =
-          _mm256_load_si256(reinterpret_cast<const __m256i*>(a + i * 4));
+      const __m512i av = _mm512_load_si512(a + i * kBgemmKWords64);
       for (int j = 0; j < kBgemmNr; ++j) {
-        acc[i][j] = _mm256_add_epi64(
-            acc[i][j], _mm256_popcnt_epi64(_mm256_xor_si256(av, bv[j])));
+        acc[i][j] = _mm512_add_epi64(
+            acc[i][j], _mm512_popcnt_epi64(_mm512_xor_si512(av, bv[j])));
       }
     }
   }
+  // Vectorized horizontal reduction: collapse row i's four 8-lane
+  // accumulators into one xmm of four int32 sums with a tree of adds --
+  // roughly 3x fewer uops than 16 independent reduce_add calls, which
+  // matters for the small-k tiles of early conv layers where the epilogue
+  // rivals the popcount loop itself.
   for (int i = 0; i < kBgemmMr; ++i) {
+    __m256i r[kBgemmNr];
     for (int j = 0; j < kBgemmNr; ++j) {
-      alignas(32) std::uint64_t lanes[4];
-      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[i][j]);
-      acc_out[i][j] =
-          static_cast<std::int32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+      r[j] = _mm256_add_epi64(_mm512_castsi512_si256(acc[i][j]),
+                              _mm512_extracti64x4_epi64(acc[i][j], 1));
     }
+    const __m256i s01 = _mm256_add_epi64(_mm256_unpacklo_epi64(r[0], r[1]),
+                                         _mm256_unpackhi_epi64(r[0], r[1]));
+    const __m256i s23 = _mm256_add_epi64(_mm256_unpacklo_epi64(r[2], r[3]),
+                                         _mm256_unpackhi_epi64(r[2], r[3]));
+    const __m256i s =
+        _mm256_add_epi64(_mm256_permute2x128_si256(s01, s23, 0x20),
+                         _mm256_permute2x128_si256(s01, s23, 0x31));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc_out[i]),
+                     _mm256_cvtepi64_epi32(s));
   }
 }
 #endif  // AVX512VPOPCNTDQ && AVX512VL
 
 #ifdef __AVX2__
-// AVX2 micro-kernel processing two LHS rows against four RHS rows. Popcount
-// of each 256-bit XOR result is computed with the classic nibble-LUT pshufb
-// sequence and accumulated via sad_epu8 into 64-bit lanes. This mirrors the
-// role of the paper's NEON eor/cnt/addp/uadalp sequence.
+// AVX2 micro-kernel processing two LHS rows against four RHS rows, each
+// 512-bit k-block as two 256-bit halves. Popcount of each XOR result is
+// computed with the classic nibble-LUT pshufb sequence and accumulated via
+// sad_epu8 into 64-bit lanes. This mirrors the role of the paper's NEON
+// eor/cnt/addp/uadalp sequence.
 void KernelAvx2_2x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
                     int row_pair, int k_blocks,
                     std::int32_t acc_out[2][kBgemmNr]) {
@@ -175,30 +179,35 @@ void KernelAvx2_2x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
     for (int j = 0; j < kBgemmNr; ++j) acc[i][j] = zero;
 
   for (int kb = 0; kb < k_blocks; ++kb) {
-    const std::uint64_t* a =
-        apanel + (static_cast<std::int64_t>(kb) * kBgemmMr + 2 * row_pair) *
-                     kBgemmKWords64;
-    const std::uint64_t* b =
-        bpanel + static_cast<std::int64_t>(kb) * kBgemmNr * kBgemmKWords64;
-    const __m256i a0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(a));
-    const __m256i a1 =
-        _mm256_load_si256(reinterpret_cast<const __m256i*>(a + 4));
-    for (int j = 0; j < kBgemmNr; ++j) {
-      const __m256i bj =
-          _mm256_load_si256(reinterpret_cast<const __m256i*>(b + j * 4));
-      const __m256i x0 = _mm256_xor_si256(a0, bj);
-      const __m256i x1 = _mm256_xor_si256(a1, bj);
-      // popcount bytes of x0, x1.
-      const __m256i c0 = _mm256_add_epi8(
-          _mm256_shuffle_epi8(lut, _mm256_and_si256(x0, low_mask)),
-          _mm256_shuffle_epi8(
-              lut, _mm256_and_si256(_mm256_srli_epi32(x0, 4), low_mask)));
-      const __m256i c1 = _mm256_add_epi8(
-          _mm256_shuffle_epi8(lut, _mm256_and_si256(x1, low_mask)),
-          _mm256_shuffle_epi8(
-              lut, _mm256_and_si256(_mm256_srli_epi32(x1, 4), low_mask)));
-      acc[0][j] = _mm256_add_epi64(acc[0][j], _mm256_sad_epu8(c0, zero));
-      acc[1][j] = _mm256_add_epi64(acc[1][j], _mm256_sad_epu8(c1, zero));
+    for (int h = 0; h < 2; ++h) {  // 256-bit halves of the 512-bit block
+      const std::uint64_t* a =
+          apanel +
+          (static_cast<std::int64_t>(kb) * kBgemmMr + 2 * row_pair) *
+              kBgemmKWords64 +
+          4 * h;
+      const std::uint64_t* b =
+          bpanel + static_cast<std::int64_t>(kb) * kBgemmNr * kBgemmKWords64 +
+          4 * h;
+      const __m256i a0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(a));
+      const __m256i a1 = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(a + kBgemmKWords64));
+      for (int j = 0; j < kBgemmNr; ++j) {
+        const __m256i bj = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(b + j * kBgemmKWords64));
+        const __m256i x0 = _mm256_xor_si256(a0, bj);
+        const __m256i x1 = _mm256_xor_si256(a1, bj);
+        // popcount bytes of x0, x1.
+        const __m256i c0 = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(x0, low_mask)),
+            _mm256_shuffle_epi8(
+                lut, _mm256_and_si256(_mm256_srli_epi32(x0, 4), low_mask)));
+        const __m256i c1 = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lut, _mm256_and_si256(x1, low_mask)),
+            _mm256_shuffle_epi8(
+                lut, _mm256_and_si256(_mm256_srli_epi32(x1, 4), low_mask)));
+        acc[0][j] = _mm256_add_epi64(acc[0][j], _mm256_sad_epu8(c0, zero));
+        acc[1][j] = _mm256_add_epi64(acc[1][j], _mm256_sad_epu8(c1, zero));
+      }
     }
   }
   for (int i = 0; i < 2; ++i) {
@@ -212,9 +221,11 @@ void KernelAvx2_2x4(const std::uint64_t* apanel, const std::uint64_t* bpanel,
 }
 #endif  // __AVX2__
 
-void ComputeTile(const std::uint64_t* apanel, const std::uint64_t* bpanel,
-                 int k_blocks, KernelProfile profile,
-                 std::int32_t acc[kBgemmMr][kBgemmNr]) {
+}  // namespace
+
+void BGemmComputeTile(const std::uint64_t* apanel, const std::uint64_t* bpanel,
+                      int k_blocks, KernelProfile profile,
+                      std::int32_t acc[kBgemmMr][kBgemmNr]) {
 #ifdef LCE_BGEMM_AVX512
   if (profile == KernelProfile::kSimd) {
     KernelAvx512_4x4(apanel, bpanel, k_blocks, acc);
@@ -242,18 +253,39 @@ void ComputeTile(const std::uint64_t* apanel, const std::uint64_t* bpanel,
   KernelScalar4x4(apanel, bpanel, k_blocks, acc);
 }
 
-}  // namespace
+void BGemmComputeBlock(const std::uint64_t* apanels, std::int64_t a_elems,
+                       const PackedBinaryMatrix& rhs, int k_bits,
+                       KernelProfile profile, int block_tiles, int block_rows,
+                       std::int32_t* out) {
+  const int k_blocks = rhs.k_blocks();
+  const int n = rhs.n();
+  std::int32_t acc[kBgemmMr][kBgemmNr];
+  for (int nt = 0; nt < rhs.num_tiles(); ++nt) {
+    const int col0 = nt * kBgemmNr;
+    const int cols = std::min(kBgemmNr, n - col0);
+    const std::uint64_t* btile = rhs.tile(nt);
+    for (int t = 0; t < block_tiles; ++t) {
+      const int row0 = t * kBgemmMr;
+      const int rows = std::min(kBgemmMr, block_rows - row0);
+      BGemmComputeTile(apanels + t * a_elems, btile, k_blocks, profile, acc);
+      for (int i = 0; i < rows; ++i) {
+        std::int32_t* o = out + static_cast<std::int64_t>(row0 + i) * n + col0;
+        for (int j = 0; j < cols; ++j) o[j] = k_bits - 2 * acc[i][j];
+      }
+    }
+  }
+}
 
 PackedBinaryMatrix::PackedBinaryMatrix(const TBitpacked* rows, int n, int kw)
-    : n_(n), kw_(kw), k_blocks_(KBlocks(kw)) {
+    : n_(n), kw_(kw), k_blocks_(BGemmKBlocks(kw)) {
   LCE_TRACE_SCOPE_CAT("bgemm/pack_weights", "gemm");
   num_tiles_ = (n + kBgemmNr - 1) / kBgemmNr;
   buf_ = AlignedBuffer(static_cast<std::size_t>(num_tiles_) * tile_elems() *
                        sizeof(std::uint64_t));
   auto* d = reinterpret_cast<std::uint64_t*>(buf_.data());
   for (int t = 0; t < num_tiles_; ++t) {
-    PackTile(rows, n, kw, t * kBgemmNr, kBgemmNr, k_blocks_,
-             d + static_cast<std::int64_t>(t) * tile_elems());
+    BGemmPackLhsTile(rows, n, kw, t * kBgemmNr, kBgemmNr, k_blocks_,
+                     d + static_cast<std::int64_t>(t) * tile_elems());
   }
 }
 
@@ -277,8 +309,8 @@ void BGemm(const TBitpacked* lhs, int m, const PackedBinaryMatrix& rhs,
     LCE_TRACE_SCOPE_CAT("bgemm/pack", "gemm");
     ctx.pool().ParallelFor(m_tiles, [&](std::int64_t begin, std::int64_t end) {
       for (std::int64_t t = begin; t < end; ++t) {
-        PackTile(lhs, m, kw, static_cast<int>(t) * kBgemmMr, kBgemmMr, k_blocks,
-                 apanels + t * a_tile_elems);
+        BGemmPackLhsTile(lhs, m, kw, static_cast<int>(t) * kBgemmMr, kBgemmMr,
+                         k_blocks, apanels + t * a_tile_elems);
       }
     });
   }
@@ -296,8 +328,8 @@ void BGemm(const TBitpacked* lhs, int m, const PackedBinaryMatrix& rhs,
       for (std::int64_t mt = begin; mt < end; ++mt) {
         const int row0 = static_cast<int>(mt) * kBgemmMr;
         const int rows = std::min(kBgemmMr, m - row0);
-        ComputeTile(apanels + mt * a_tile_elems, rhs.tile(nt), k_blocks,
-                    profile, acc);
+        BGemmComputeTile(apanels + mt * a_tile_elems, rhs.tile(nt), k_blocks,
+                         profile, acc);
         for (int i = 0; i < rows; ++i) {
           std::int32_t* o = out + static_cast<std::int64_t>(row0 + i) * ldc + col0;
           for (int j = 0; j < cols; ++j) o[j] = k_bits - 2 * acc[i][j];

@@ -26,10 +26,12 @@
 
 namespace lce::gemm {
 
-// Micro-tile sizes of the BGEMM kernel. K is processed in 256-bit blocks.
+// Micro-tile sizes of the BGEMM kernel. K is processed in 512-bit blocks:
+// one full zmm register on AVX-512, two ymm halves on AVX2, four NEON
+// q-registers on ARM.
 inline constexpr int kBgemmMr = 4;
 inline constexpr int kBgemmNr = 4;
-inline constexpr int kBgemmKWords64 = 4;  // 4 x uint64 = 256 bits per k-block
+inline constexpr int kBgemmKWords64 = 8;  // 8 x uint64 = 512 bits per k-block
 
 // A weights-side matrix packed once at op-preparation time (the paper's
 // "weight packing to optimize memory access patterns").
@@ -44,7 +46,7 @@ class PackedBinaryMatrix {
   int kw() const { return kw_; }
   int k_blocks() const { return k_blocks_; }
   int num_tiles() const { return num_tiles_; }
-  // Packed data for tile t: [k_blocks][NR][4] uint64.
+  // Packed data for tile t: [k_blocks][NR][8] uint64.
   const std::uint64_t* tile(int t) const {
     return data() + static_cast<std::int64_t>(t) * tile_elems();
   }
@@ -62,6 +64,84 @@ class PackedBinaryMatrix {
   int num_tiles_ = 0;
   AlignedBuffer buf_;
 };
+
+// Number of 512-bit k-blocks covering `kw` bitpacked 32-bit words.
+inline int BGemmKBlocks(int kw) {
+  const int words_per_block = kBgemmKWords64 * 2;  // 16 x uint32
+  return (kw + words_per_block - 1) / words_per_block;
+}
+
+// Elements (uint64) of an A-panel holding `tile_rows` rows over `k_blocks`.
+inline std::int64_t BGemmApanelElems(int k_blocks, int tile_rows) {
+  return static_cast<std::int64_t>(k_blocks) * tile_rows * kBgemmKWords64;
+}
+
+// Packs one contiguous bitpacked row of `kw` words into panel row `r` of a
+// [k_blocks][tile_rows][8]-uint64 panel. Destination-major: every u64 of the
+// row is written exactly once (including zeroed k-padding), so the panel
+// needs no prior clearing. This is the hot inner step of both LHS packing
+// and the fused gather-pack.
+inline void BGemmPackLhsRow(const TBitpacked* s, int kw, int k_blocks, int r,
+                            int tile_rows, std::uint64_t* dst) {
+  std::uint64_t* d = dst + static_cast<std::int64_t>(r) * kBgemmKWords64;
+  const std::int64_t kb_stride =
+      static_cast<std::int64_t>(tile_rows) * kBgemmKWords64;
+  constexpr int kBlockWords = kBgemmKWords64 * 2;  // 32-bit words per block
+  const int full = kw / kBlockWords;  // k-blocks fully covered by the row
+  int w = 0;
+  for (int kb = 0; kb < full; ++kb, d += kb_stride, w += kBlockWords) {
+    for (int i = 0; i < kBgemmKWords64; ++i) {
+      d[i] = static_cast<std::uint64_t>(s[w + 2 * i]) |
+             static_cast<std::uint64_t>(s[w + 2 * i + 1]) << 32;
+    }
+  }
+  for (int kb = full; kb < k_blocks; ++kb, d += kb_stride) {
+    std::uint64_t tmp[kBgemmKWords64] = {};
+    for (int i = 0; w < kw && i < kBlockWords; ++i, ++w) {
+      tmp[i / 2] |= static_cast<std::uint64_t>(s[w]) << ((i % 2) * 32);
+    }
+    for (int i = 0; i < kBgemmKWords64; ++i) d[i] = tmp[i];
+  }
+}
+
+// Zero-fills panel row `r` (for tile rows past the end of the matrix).
+inline void BGemmZeroLhsRow(int k_blocks, int r, int tile_rows,
+                            std::uint64_t* dst) {
+  std::uint64_t* d = dst + static_cast<std::int64_t>(r) * kBgemmKWords64;
+  const std::int64_t kb_stride =
+      static_cast<std::int64_t>(tile_rows) * kBgemmKWords64;
+  for (int kb = 0; kb < k_blocks; ++kb, d += kb_stride) {
+    for (int i = 0; i < kBgemmKWords64; ++i) d[i] = 0;
+  }
+}
+
+// Packs `tile_rows` rows (starting at `row0`, zero-padded beyond `n`) of a
+// [n][kw] bitpacked matrix into the [k_blocks][tile_rows][8]-uint64 panel
+// layout consumed by the micro-kernels. Zero padding encodes +1 values, but
+// padded k-words are 0 in both operands so they never affect the popcount.
+void BGemmPackLhsTile(const TBitpacked* src, int n, int kw, int row0,
+                      int tile_rows, int k_blocks, std::uint64_t* dst);
+
+// One micro-kernel invocation: a kBgemmMr x kBgemmNr tile of XOR-popcount
+// accumulators over `k_blocks` panel steps, dispatched to the best kernel
+// for `profile` (AVX-512 / AVX2 / NEON / scalar). Shared by the packed
+// BGEMM below and the fused indirect path (gemm/indirect_bgemm.h).
+void BGemmComputeTile(const std::uint64_t* apanel, const std::uint64_t* bpanel,
+                      int k_blocks, KernelProfile profile,
+                      std::int32_t acc[kBgemmMr][kBgemmNr]);
+
+// Computes `block_rows` x rhs.n() outputs from `block_tiles` consecutive
+// packed A-panels (each `a_elems` uint64 long, starting at `apanels`)
+// against every weight tile of `rhs`, writing k_bits - 2 * popcount into
+// `out` (row-major, leading dimension rhs.n()). Loop order is
+// nt-outer / tile-inner so each packed weight tile stays cache-resident
+// across the whole block -- the compute core of both the unfused BGemm and
+// the fused BConv2D row-tile pipeline. Defined in bgemm.cc so the
+// micro-kernels inline into the loop.
+void BGemmComputeBlock(const std::uint64_t* apanels, std::int64_t a_elems,
+                       const PackedBinaryMatrix& rhs, int k_bits,
+                       KernelProfile profile, int block_tiles, int block_rows,
+                       std::int32_t* out);
 
 // out[i][j] = k_bits - 2*popcount(lhs_i ^ rhs_j); out is row-major MxN with
 // leading dimension ldc. LHS is packed into context scratch per call.

@@ -22,6 +22,7 @@
 #include "core/aligned_buffer.h"
 #include "core/macros.h"
 #include "core/thread_pool.h"
+#include "telemetry/metrics.h"
 
 namespace lce::gemm {
 
@@ -57,9 +58,19 @@ class Context {
   // Slot 0 and 1 are independent (LHS / RHS packing buffers). Slots are a
   // fixed contract between the kernels (see their header comments); an
   // out-of-range slot is a programmer error, not a resize request.
+  //
+  // Every request is recorded in the per-slot high-water gauges
+  // `gemm.scratch_bytes.slot<N>`, which is what the fused-BConv2D tests use
+  // to prove the full-image accumulator is gone from the hot path.
   std::uint8_t* Scratch(int slot, std::size_t bytes) {
     LCE_CHECK(slot >= 0 && slot < kNumScratchSlots &&
               "Context::Scratch slot out of range");
+    static telemetry::Metric* gauges[kNumScratchSlots] = {
+        telemetry::MetricsRegistry::Global().Gauge("gemm.scratch_bytes.slot0"),
+        telemetry::MetricsRegistry::Global().Gauge("gemm.scratch_bytes.slot1"),
+        telemetry::MetricsRegistry::Global().Gauge("gemm.scratch_bytes.slot2"),
+        telemetry::MetricsRegistry::Global().Gauge("gemm.scratch_bytes.slot3")};
+    gauges[slot]->SetMax(static_cast<std::int64_t>(bytes));
     auto& buf = scratch_[slot];
     if (!buf || buf->size() < bytes) {
       buf = std::make_unique<AlignedBuffer>(bytes);

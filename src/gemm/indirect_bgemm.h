@@ -2,12 +2,22 @@
 // family in the upstream LCE codebase).
 //
 // Instead of materializing [out_pixels][fh*fw*words] patch rows, a setup
-// step builds an *indirection buffer* of pointers -- one per (output pixel,
-// filter tap) -- into the bitpacked input feature map, with padded taps
-// pointing at a shared zero (one-padding) row. The kernel then walks the
-// pointers, XOR-popcounting words straight out of the feature map. This
-// trades the im2col copy for indirect loads; it wins when the patch buffer
-// would not fit in cache and for small output tiles.
+// step builds an *indirection table* -- one entry per (output pixel, filter
+// tap) -- into the bitpacked input feature map, with padded taps marked by a
+// sentinel. The table is stored as input-relative word offsets, so it
+// depends only on the convolution geometry: BConv2D builds it once at
+// prepare time (CompiledModel::Compile) and every Invoke rebases offsets to
+// pointers on the fly while gathering. This trades the im2col copy for
+// indirect loads; it wins whenever the patch buffer round-trip would cost
+// more than the gather.
+//
+// Two consumers:
+//   * GatherPackTile packs a micro-kernel A-panel straight from the feature
+//     map, feeding the same register-tiled SIMD kernels as the packed BGEMM
+//     (gemm/bgemm.h) -- the fused BConv2D row-tile pipeline.
+//   * The legacy IndirectionBuffer + IndirectBGemm pair (pointer table
+//     rebuilt per call, scalar 1x4 kernel) is kept as the unfused baseline
+//     for the ablation benchmarks.
 #ifndef LCE_GEMM_INDIRECT_BGEMM_H_
 #define LCE_GEMM_INDIRECT_BGEMM_H_
 
@@ -20,8 +30,47 @@
 
 namespace lce::gemm {
 
-// Precomputed per-convolution indirection state: rebuild only when the
-// input pointer or geometry changes.
+// Geometry-only indirection table: for every (output position, filter tap),
+// the word offset of the source pixel's channel vector in the bitpacked
+// NHWC input, or kPaddedTap for taps that fall outside the image. Built
+// once per convolution (the geometry, including batch, is fixed at prepare
+// time) and shared read-only by all invocations and shards.
+class IndirectionOffsets {
+ public:
+  // Sentinel for taps reading spatial padding (one-padding: all-zero words).
+  static constexpr std::int32_t kPaddedTap = -1;
+
+  IndirectionOffsets() = default;
+  explicit IndirectionOffsets(const Conv2DGeometry& geo);
+
+  bool empty() const { return offsets_.empty(); }
+  std::int64_t rows() const { return rows_; }  // batch * out_h * out_w
+  int taps() const { return taps_; }           // filter_h * filter_w
+  int words() const { return words_; }         // words(in_c)
+  // Offsets for output position r: taps() entries.
+  const std::int32_t* row(std::int64_t r) const {
+    return offsets_.data() + r * taps_;
+  }
+
+ private:
+  std::int64_t rows_ = 0;
+  int taps_ = 0, words_ = 0;
+  std::vector<std::int32_t> offsets_;  // [rows][taps]
+};
+
+// Packs `tile_rows` patch rows starting at output position `row0` into the
+// BGEMM A-panel layout ([k_blocks][tile_rows][8] uint64; gemm/bgemm.h),
+// gathering words straight from the bitpacked feature map through `ind`.
+// Equivalent to bitpacked im2col of those rows followed by
+// BGemmPackLhsTile, without materializing the patches. Padded taps read
+// from `zero_row` (words(in_c) zero words = +1.0 one-padding); rows beyond
+// ind.rows() are left zero (never written back by the caller).
+void GatherPackTile(const TBitpacked* input, const IndirectionOffsets& ind,
+                    const TBitpacked* zero_row, std::int64_t row0,
+                    int tile_rows, int k_blocks, std::uint64_t* dst);
+
+// Legacy per-call pointer table: rebuilt from the geometry and input pointer
+// on every construction. Kept as the unfused-indirect ablation baseline.
 class IndirectionBuffer {
  public:
   IndirectionBuffer() = default;
@@ -43,7 +92,8 @@ class IndirectionBuffer {
 
 // out[r][n] = k_bits - 2 * popcount over the r-th output position's taps
 // against weight row n. Weights layout: [n][taps][words] (the BConv2D
-// packed_rows_ layout). Single-threaded (the caller shards if needed).
+// packed_rows_ layout). Single-threaded scalar 1x4 kernel; the fused
+// BConv2D pipeline supersedes this for production use.
 void IndirectBGemm(const IndirectionBuffer& indirection,
                    const TBitpacked* weight_rows, int n, int k_bits,
                    std::int32_t* out, int ldc);

@@ -269,6 +269,13 @@ Status CompiledModel::Build(CompileOptions options) {
         attrs.pre_activation = n.attrs.pre_activation;
         attrs.multiplier = n.attrs.multiplier;
         attrs.bias = n.attrs.bias;
+        // Kernel selection (docs/PERFORMANCE.md): non-pointwise
+        // convolutions gather through the prepare-time indirection table
+        // instead of materializing im2col patches per Invoke; pointwise
+        // convolutions feed the input to the BGEMM directly either way.
+        attrs.use_indirect_bgemm =
+            attrs.geo.filter_h > 1 || attrs.geo.filter_w > 1 ||
+            attrs.geo.stride_h > 1 || attrs.geo.stride_w > 1;
         if (w.dtype == DataType::kBitpacked) {
           k.bconv = std::make_unique<BConv2D>(
               w.constant_data.data<TBitpacked>(), attrs);

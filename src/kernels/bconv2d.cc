@@ -1,8 +1,11 @@
 #include "kernels/bconv2d.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 #include "core/bitpack.h"
 #include "core/macros.h"
@@ -165,39 +168,56 @@ void BConv2D::Init() {
       }
     }
   }
+
+  // Indirect path: the indirection table depends only on the geometry, so
+  // build it once here instead of on every Run (the paper's indirect BGEMM
+  // setup cost moves entirely out of the inference hot path). Pointwise
+  // convolutions feed the input to the GEMM directly and need no table.
+  const bool pointwise = g.filter_h == 1 && g.filter_w == 1 &&
+                         g.stride_h == 1 && g.stride_w == 1;
+  if (attrs_.use_indirect_bgemm && groups == 1 && !pointwise) {
+    indirection_ = gemm::IndirectionOffsets(g);
+    zero_row_.assign(words, 0);  // 0 bits = +1.0 one-padding
+  }
 }
 
-void BConv2D::ApplyZeroPaddingCorrection(std::int32_t* acc) const {
+void BConv2D::ApplyZeroPaddingCorrectionRows(std::int32_t* acc,
+                                             std::int64_t row0,
+                                             std::int64_t nrows) const {
   const Conv2DGeometry& g = attrs_.geo;
   const int out_h = g.out_h(), out_w = g.out_w();
   const int pad_h = g.pad_h_begin(), pad_w = g.pad_w_begin();
-  for (int b = 0; b < g.batch; ++b) {
-    for (int oy = 0; oy < out_h; ++oy) {
-      const int iy0 = oy * g.stride_h - pad_h;
-      const bool y_interior = iy0 >= 0 && iy0 + g.filter_h <= g.in_h;
-      for (int ox = 0; ox < out_w; ++ox) {
-        const int ix0 = ox * g.stride_w - pad_w;
-        const bool x_interior = ix0 >= 0 && ix0 + g.filter_w <= g.in_w;
-        if (y_interior && x_interior) continue;  // no padded taps
-        std::int32_t* row =
-            acc + ((static_cast<std::int64_t>(b) * out_h + oy) * out_w + ox) *
-                      g.out_c;
-        for (int ky = 0; ky < g.filter_h; ++ky) {
-          const int iy = iy0 + ky;
-          for (int kx = 0; kx < g.filter_w; ++kx) {
-            const int ix = ix0 + kx;
-            if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) continue;
-            // This tap read one-padding (+1) but should contribute 0:
-            // subtract the weight value at this position, per channel.
-            const std::int32_t* wsum =
-                filter_pos_weight_sums_.data() +
-                static_cast<std::size_t>(ky * g.filter_w + kx) * g.out_c;
-            for (int n = 0; n < g.out_c; ++n) row[n] -= wsum[n];
-          }
-        }
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    // Decompose the flattened output position; the batch index is
+    // irrelevant since padding geometry repeats per image.
+    const std::int64_t pos = row0 + r;
+    const int ox = static_cast<int>(pos % out_w);
+    const int oy = static_cast<int>((pos / out_w) % out_h);
+    const int iy0 = oy * g.stride_h - pad_h;
+    const int ix0 = ox * g.stride_w - pad_w;
+    if (iy0 >= 0 && iy0 + g.filter_h <= g.in_h && ix0 >= 0 &&
+        ix0 + g.filter_w <= g.in_w) {
+      continue;  // no padded taps
+    }
+    std::int32_t* row = acc + r * g.out_c;
+    for (int ky = 0; ky < g.filter_h; ++ky) {
+      const int iy = iy0 + ky;
+      for (int kx = 0; kx < g.filter_w; ++kx) {
+        const int ix = ix0 + kx;
+        if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) continue;
+        // This tap read one-padding (+1) but should contribute 0:
+        // subtract the weight value at this position, per channel.
+        const std::int32_t* wsum =
+            filter_pos_weight_sums_.data() +
+            static_cast<std::size_t>(ky * g.filter_w + kx) * g.out_c;
+        for (int n = 0; n < g.out_c; ++n) row[n] -= wsum[n];
       }
     }
   }
+}
+
+void BConv2D::ApplyZeroPaddingCorrection(std::int32_t* acc) const {
+  ApplyZeroPaddingCorrectionRows(acc, 0, Im2ColRows(attrs_.geo));
 }
 
 void BConv2D::OutputTransformFloat(const std::int32_t* acc, std::int64_t rows,
@@ -290,6 +310,227 @@ void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
   LCE_CHECK(input.dtype() == DataType::kBitpacked);
   LCE_CHECK_EQ(input.shape().dim(3), g.in_c);
 
+  const int groups = std::max(1, attrs_.groups);
+  if (groups > 1 || attrs_.force_unfused) {
+    RunUnfused(input, output, ctx, times);
+    return;
+  }
+
+  // Fused row-tile pipeline. The only full-image stage left is the im2col
+  // copy of the non-indirect variant; everything downstream (pack, BGEMM,
+  // zero-padding correction, output transform) runs per row tile inside
+  // RunFused, so no full-image accumulator is ever allocated.
+  const bool pointwise = g.filter_h == 1 && g.filter_w == 1 &&
+                         g.stride_h == 1 && g.stride_w == 1;
+  const bool indirect = attrs_.use_indirect_bgemm && !pointwise;
+  const bool timed = telemetry::TracingActive() || times != nullptr;
+
+  std::uint64_t t0 = 0;
+  if (timed) t0 = NowNanos();
+  const TBitpacked* patches = nullptr;
+  if (pointwise) {
+    // A 1x1 stride-1 convolution's im2col is the identity, so the bitpacked
+    // input feeds the tile packer directly (no patch materialization).
+    patches = input.data<TBitpacked>();
+  } else if (!indirect) {
+    const std::int64_t rows = Im2ColRows(g);
+    const int patch_words = Im2ColDepthBitpacked(g);
+    const std::size_t patch_bytes =
+        static_cast<std::size_t>(rows) * patch_words * sizeof(TBitpacked);
+    auto* scratch = reinterpret_cast<TBitpacked*>(ctx.Scratch(1, patch_bytes));
+    static telemetry::Metric* im2col_bytes =
+        telemetry::MetricsRegistry::Global().Gauge("bconv2d.im2col_bytes");
+    im2col_bytes->SetMax(static_cast<std::int64_t>(patch_bytes));
+    Im2ColBitpacked(input.data<TBitpacked>(), g, scratch);
+    patches = scratch;
+  }
+  const std::uint64_t t1 = timed ? NowNanos() : 0;
+  RunFused(input.data<TBitpacked>(), patches, output, ctx, times, t0, t1);
+}
+
+void BConv2D::RunFused(const TBitpacked* input, const TBitpacked* patches,
+                       Tensor& output, gemm::Context& ctx,
+                       BConvStageTimes* times, std::uint64_t t0,
+                       std::uint64_t t1) const {
+  const Conv2DGeometry& g = attrs_.geo;
+  const std::int64_t rows = Im2ColRows(g);
+  const int patch_words = Im2ColDepthBitpacked(g);
+  const bool indirect = patches == nullptr;
+  LCE_CHECK(!indirect || !indirection_.empty());
+
+  const gemm::PackedBinaryMatrix& weights = group_weights_[0];
+  const int n = g.out_c;
+  const int k_blocks = weights.k_blocks();
+  const int out_words = BitpackedWords(n);
+  const std::int64_t m_tiles =
+      (rows + gemm::kBgemmMr - 1) / gemm::kBgemmMr;
+  const int shards = ctx.pool().PlannedShards(m_tiles);
+
+  static telemetry::Metric* fused_tiles =
+      telemetry::MetricsRegistry::Global().Counter("bconv2d.fused_tiles");
+  fused_tiles->Add(m_tiles);
+  static telemetry::Metric* macs =
+      telemetry::MetricsRegistry::Global().Counter("bgemm.binary_macs");
+  macs->Add(rows * n * k_bits_);
+
+  // Each shard walks its M-tile range in blocks of up to kBlockTiles tiles
+  // (kBlockTiles * MR output rows). Within a block the loop order is
+  // nt-outer / mt-inner, so every packed weight tile is reused across the
+  // whole block instead of being re-streamed per 4 rows -- without the
+  // block, the fused pipeline loses the B-locality that makes the packed
+  // BGEMM fast in the first place.
+  constexpr int kBlockTiles = 16;
+
+  // Per-shard scratch: kBlockTiles A-panels plus a block accumulator, both
+  // strides rounded to 64 bytes (the panels need 32-byte alignment for the
+  // AVX kernels' aligned loads; 64 avoids false sharing between shards).
+  // Total is shards * O(block) -- independent of the image size, unlike the
+  // legacy full-image accumulator.
+  const auto align64 = [](std::size_t v) {
+    return (v + 63) & ~static_cast<std::size_t>(63);
+  };
+  const std::int64_t a_elems =
+      gemm::BGemmApanelElems(k_blocks, gemm::kBgemmMr);
+  const std::size_t apanel_bytes =
+      align64(static_cast<std::size_t>(a_elems) * kBlockTiles *
+              sizeof(std::uint64_t));
+  const std::size_t acc_bytes =
+      align64(static_cast<std::size_t>(kBlockTiles) * gemm::kBgemmMr * n *
+              sizeof(std::int32_t));
+  const std::size_t per_shard = apanel_bytes + acc_bytes;
+  std::uint8_t* scratch = ctx.Scratch(2, static_cast<std::size_t>(shards) * per_shard);
+
+  float* out_f = nullptr;
+  TBitpacked* out_b = nullptr;
+  std::int32_t* out_i = nullptr;
+  switch (attrs_.output_type) {
+    case BConvOutputType::kFloat:
+      LCE_CHECK(output.dtype() == DataType::kFloat32);
+      out_f = output.data<float>();
+      break;
+    case BConvOutputType::kBitpacked:
+      LCE_CHECK(output.dtype() == DataType::kBitpacked);
+      out_b = output.data<TBitpacked>();
+      break;
+    case BConvOutputType::kInt32:
+      LCE_CHECK(output.dtype() == DataType::kInt32);
+      out_i = output.data<std::int32_t>();
+      break;
+  }
+
+  const bool tracing = telemetry::TracingActive();
+  const bool timed = tracing || times != nullptr;
+  const bool correct_padding = g.padding == Padding::kSameZero;
+  const gemm::KernelProfile profile = ctx.profile();
+  const TBitpacked* zero_row = zero_row_.empty() ? nullptr : zero_row_.data();
+
+  // Per-shard stage nanoseconds; the fused loop interleaves gemm and
+  // transform work, so the Table 4 split is reconstructed below by scaling
+  // these busy-time totals to the parallel section's wall clock.
+  std::vector<std::uint64_t> shard_gemm_ns(timed ? shards : 0, 0);
+  std::vector<std::uint64_t> shard_transform_ns(timed ? shards : 0, 0);
+
+  const std::uint64_t tp0 = timed ? NowNanos() : 0;
+  ctx.pool().ParallelForShard(
+      m_tiles, [&](int shard, std::int64_t tbegin, std::int64_t tend) {
+        std::uint8_t* base = scratch + static_cast<std::size_t>(shard) * per_shard;
+        auto* apanels = reinterpret_cast<std::uint64_t*>(base);
+        auto* block_acc = reinterpret_cast<std::int32_t*>(base + apanel_bytes);
+        std::uint64_t gemm_ns = 0, transform_ns = 0;
+        for (std::int64_t t = tbegin; t < tend; t += kBlockTiles) {
+          const int block_tiles = static_cast<int>(
+              std::min<std::int64_t>(kBlockTiles, tend - t));
+          const std::int64_t row0 = t * gemm::kBgemmMr;
+          const int block_rows = static_cast<int>(std::min<std::int64_t>(
+              rows - row0, static_cast<std::int64_t>(block_tiles) *
+                               gemm::kBgemmMr));
+          const std::uint64_t s0 = timed ? NowNanos() : 0;
+          for (int i = 0; i < block_tiles; ++i) {
+            std::uint64_t* panel = apanels + static_cast<std::int64_t>(i) * a_elems;
+            const std::int64_t tile_row0 = row0 + static_cast<std::int64_t>(i) *
+                                                      gemm::kBgemmMr;
+            if (indirect) {
+              gemm::GatherPackTile(input, indirection_, zero_row, tile_row0,
+                                   gemm::kBgemmMr, k_blocks, panel);
+            } else {
+              gemm::BGemmPackLhsTile(patches, static_cast<int>(rows),
+                                     patch_words, static_cast<int>(tile_row0),
+                                     gemm::kBgemmMr, k_blocks, panel);
+            }
+          }
+          gemm::BGemmComputeBlock(apanels, a_elems, weights, k_bits_, profile,
+                                  block_tiles, block_rows, block_acc);
+          const std::uint64_t s1 = timed ? NowNanos() : 0;
+          if (correct_padding) {
+            ApplyZeroPaddingCorrectionRows(block_acc, row0, block_rows);
+          }
+          if (out_f != nullptr) {
+            OutputTransformFloat(block_acc, block_rows, out_f + row0 * n);
+          } else if (out_b != nullptr) {
+            OutputTransformBitpacked(block_acc, block_rows,
+                                     out_b + row0 * out_words);
+          } else {
+            std::memcpy(out_i + row0 * n, block_acc,
+                        static_cast<std::size_t>(block_rows) * n *
+                            sizeof(std::int32_t));
+          }
+          if (timed) {
+            const std::uint64_t s2 = NowNanos();
+            gemm_ns += s1 - s0;
+            transform_ns += s2 - s1;
+          }
+        }
+        if (timed) {
+          shard_gemm_ns[shard] = gemm_ns;
+          shard_transform_ns[shard] = transform_ns;
+        }
+      });
+  if (!timed) return;
+  const std::uint64_t tp1 = NowNanos();
+
+  std::uint64_t gemm_busy = 0, transform_busy = 0, busy_max = 0, busy_min = 0;
+  for (int s = 0; s < shards; ++s) {
+    gemm_busy += shard_gemm_ns[s];
+    transform_busy += shard_transform_ns[s];
+    const std::uint64_t busy = shard_gemm_ns[s] + shard_transform_ns[s];
+    busy_max = std::max(busy_max, busy);
+    busy_min = s == 0 ? busy : std::min(busy_min, busy);
+  }
+  if (busy_max > 0) {
+    // Load imbalance across fused shards (0 = perfectly balanced).
+    static telemetry::Metric* imbalance =
+        telemetry::MetricsRegistry::Global().Gauge(
+            "bconv2d.fused_shard_imbalance_pct");
+    imbalance->SetMax(
+        static_cast<std::int64_t>((busy_max - busy_min) * 100 / busy_max));
+  }
+
+  // Attribute the parallel section's wall clock to gemm vs transform in
+  // proportion to the shards' busy time, so the per-stage profiler (Table 4)
+  // and the Chrome trace keep reporting the stage split under fusion.
+  const std::uint64_t wall = tp1 - tp0;
+  const std::uint64_t busy_total = gemm_busy + transform_busy;
+  const double gemm_frac =
+      busy_total > 0 ? static_cast<double>(gemm_busy) / busy_total : 1.0;
+  const auto gemm_wall = static_cast<std::uint64_t>(wall * gemm_frac);
+
+  if (tracing) {
+    telemetry::Tracer& tracer = telemetry::Tracer::Global();
+    tracer.RecordComplete("bconv2d/im2col", "kernel", t0, t1);
+    tracer.RecordComplete("bconv2d/gemm", "kernel", tp0, tp0 + gemm_wall);
+    tracer.RecordComplete("bconv2d/output_transform", "kernel",
+                          tp0 + gemm_wall, tp1);
+  }
+  if (times != nullptr) {
+    times->im2col = static_cast<double>(t1 - t0) * 1e-9;
+    times->gemm = static_cast<double>(gemm_wall) * 1e-9;
+    times->transform = static_cast<double>(wall - gemm_wall) * 1e-9;
+  }
+}
+
+void BConv2D::RunUnfused(const Tensor& input, Tensor& output,
+                         gemm::Context& ctx, BConvStageTimes* times) const {
+  const Conv2DGeometry& g = attrs_.geo;
   const std::int64_t rows = Im2ColRows(g);
   const int patch_words = Im2ColDepthBitpacked(g);
 
@@ -303,6 +544,7 @@ void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
   // bitpacked input feeds the BGEMM directly (no patch materialization).
   const bool pointwise = groups == 1 && g.filter_h == 1 && g.filter_w == 1 &&
                          g.stride_h == 1 && g.stride_w == 1;
+  const bool indirect = groups == 1 && attrs_.use_indirect_bgemm;
 
   // Stage timestamps are taken only when someone consumes them: the per-op
   // profiler (`times`) and/or the tracer. Both are fed from the same
@@ -315,25 +557,29 @@ void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
 
   std::uint64_t t0 = 0;
   if (timed) t0 = NowNanos();
-  TBitpacked* patches = nullptr;
+  const TBitpacked* patches = nullptr;
+  TBitpacked* patch_scratch = nullptr;
   if (pointwise) {
-    patches = const_cast<TBitpacked*>(input.data<TBitpacked>());
-  } else {
+    patches = input.data<TBitpacked>();
+  } else if (!indirect) {
+    // The indirect path needs no patch buffer: gathering replaces im2col,
+    // so neither the slot-1 scratch nor the im2col gauge is touched.
     const std::size_t patch_bytes =
         static_cast<std::size_t>(rows) * patch_words * sizeof(TBitpacked);
-    patches = reinterpret_cast<TBitpacked*>(ctx.Scratch(1, patch_bytes));
+    patch_scratch = reinterpret_cast<TBitpacked*>(ctx.Scratch(1, patch_bytes));
     static telemetry::Metric* im2col_bytes =
         telemetry::MetricsRegistry::Global().Gauge("bconv2d.im2col_bytes");
     im2col_bytes->SetMax(static_cast<std::int64_t>(patch_bytes));
-    if (groups == 1 && !attrs_.use_indirect_bgemm) {
-      Im2ColBitpacked(input.data<TBitpacked>(), g, patches);
+    if (groups == 1) {
+      Im2ColBitpacked(input.data<TBitpacked>(), g, patch_scratch);
     }
+    patches = patch_scratch;
   }
 
   std::uint64_t t1 = timed ? NowNanos() : 0;
   auto* acc = reinterpret_cast<std::int32_t*>(ctx.Scratch(
       2, static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t)));
-  if (groups == 1 && attrs_.use_indirect_bgemm) {
+  if (indirect && !pointwise) {
     // Indirect path: pointer setup replaces im2col entirely.
     const gemm::IndirectionBuffer ind(input.data<TBitpacked>(), g);
     if (timed) t1 = NowNanos();
@@ -347,9 +593,9 @@ void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
     for (int grp = 0; grp < groups; ++grp) {
       const std::uint64_t g0 = timed ? NowNanos() : 0;
       Im2ColBitpackedGroup(input.data<TBitpacked>(), g, total_words,
-                           grp * group_words, group_words, patches);
+                           grp * group_words, group_words, patch_scratch);
       const std::uint64_t g1 = timed ? NowNanos() : 0;
-      gemm::BGemm(patches, static_cast<int>(rows), group_weights_[grp],
+      gemm::BGemm(patch_scratch, static_cast<int>(rows), group_weights_[grp],
                   k_bits_, acc + static_cast<std::int64_t>(grp) * out_c_pg,
                   g.out_c, ctx);
       if (timed) {

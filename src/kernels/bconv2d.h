@@ -25,6 +25,7 @@
 #include "core/types.h"
 #include "gemm/bgemm.h"
 #include "gemm/context.h"
+#include "gemm/indirect_bgemm.h"
 #include "kernels/conv_params.h"
 
 namespace lce {
@@ -49,9 +50,14 @@ struct BConv2DAttrs {
   // whole, and in_c/groups must be a multiple of 32 so that group
   // boundaries fall on bitpacked word boundaries.
   int groups = 1;
-  // Use the indirect BGEMM kernel (pointer indirection instead of im2col;
+  // Use the indirect BGEMM kernel (offset indirection instead of im2col;
   // see gemm/indirect_bgemm.h). Only honored for groups == 1.
   bool use_indirect_bgemm = false;
+  // Escape hatch for benchmarks and parity tests: run the legacy unfused
+  // pipeline (full-image im2col / indirection -> full-image accumulator ->
+  // transform) instead of the fused row-tile pipeline. Only honored for
+  // groups == 1; grouped convolutions always take the legacy path.
+  bool force_unfused = false;
   // Fused activation applied to the integer accumulator *before* the
   // channel-wise transform (matches conv -> ReLU -> BatchNorm graphs, the
   // QuickNet pattern).
@@ -84,7 +90,9 @@ class BConv2D {
 
   // input: bitpacked NHWC [batch, in_h, in_w, in_c(packed)].
   // output: dtype matching attrs.output_type, shape [batch, oh, ow, out_c].
-  // scratch usage: context slots 1 (im2col) and 2 (accumulators).
+  // scratch usage: context slot 1 (im2col patches; untouched on the
+  // indirect path) and slot 2 (fused path: per-shard A-panel + row-tile
+  // accumulator; legacy path: full-image accumulator).
   void Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
            BConvStageTimes* times = nullptr) const;
 
@@ -98,11 +106,27 @@ class BConv2D {
  private:
   // Shared setup once packed_rows_ and filter_pos_weight_sums_ are filled.
   void Init();
+  // Fused row-tile pipeline: shards output row tiles across the pool; each
+  // shard packs an A-panel (gathered through indirection_ or from im2col
+  // patches), sweeps the packed weight tiles, corrects zero-padding and
+  // runs the output transform on a cache-resident MR x out_c tile, writing
+  // final output directly. `patches` is the full patch matrix for the
+  // im2col variant, or nullptr / the raw input for indirect / pointwise.
+  void RunFused(const TBitpacked* input, const TBitpacked* patches,
+                Tensor& output, gemm::Context& ctx,
+                BConvStageTimes* times, std::uint64_t im2col_t0,
+                std::uint64_t im2col_t1) const;
+  void RunUnfused(const Tensor& input, Tensor& output, gemm::Context& ctx,
+                  BConvStageTimes* times) const;
   void OutputTransformFloat(const std::int32_t* acc, std::int64_t rows,
                             float* out) const;
   void OutputTransformBitpacked(const std::int32_t* acc, std::int64_t rows,
                                 TBitpacked* out) const;
   void ApplyZeroPaddingCorrection(std::int32_t* acc) const;
+  // Corrects `nrows` output positions starting at flattened position `row0`;
+  // `acc` points at the first of those rows (tile-local, stride out_c).
+  void ApplyZeroPaddingCorrectionRows(std::int32_t* acc, std::int64_t row0,
+                                      std::int64_t nrows) const;
 
   BConv2DAttrs attrs_;
   // [out_c][fh*fw*words(in_c/groups)]
@@ -121,6 +145,12 @@ class BConv2D {
 
   // Zero-padding correction: weight sums per (filter position, channel).
   std::vector<std::int32_t> filter_pos_weight_sums_;  // [fh*fw][out_c]
+
+  // Indirect path (use_indirect_bgemm, groups == 1, non-pointwise): the
+  // geometry-only indirection table, built once here rather than per Run,
+  // plus the all-zero row padded taps gather from (one-padding).
+  gemm::IndirectionOffsets indirection_;
+  std::vector<TBitpacked> zero_row_;
 };
 
 }  // namespace lce
