@@ -12,12 +12,24 @@
 // as the overhead of full-precision channel-wise operations can become
 // significant when full-precision convolutions are replaced with binary
 // ones."
+// The `--json=<path>` variant sweep below additionally ablates the shared
+// ConvPipeline row-tile engine at the kernel level: binarized depthwise,
+// grouped binary, and int8 convolutions, each fused (the production
+// row-tile path) vs force_unfused (the legacy full-image pipeline). The
+// committed BENCH_conv_pipeline.json at the repo root is this report; the
+// perf-smoke CI job asserts its per-variant fused/interior tile counters
+// and the fused >= legacy geomean per variant.
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "bench_common.h"
+#include "kernels/bconv2d.h"
+#include "kernels/bdepthwise.h"
+#include "kernels/conv2d_int8.h"
 #include "models/zoo.h"
+#include "telemetry/run_report.h"
 
 namespace {
 
@@ -81,10 +93,201 @@ void Run(const char* name, const std::function<Graph(int)>& build,
               t_nofu * 1e3, 100.0 * (t_nofu - t_full) / t_full);
 }
 
+// Interleaved fused-vs-legacy medians for one prepared kernel pair; the
+// round-robin sampling is the same drift defense the graph ablation uses.
+template <typename RunFused, typename RunLegacy>
+std::pair<double, double> FusedVsLegacy(const RunFused& fused,
+                                        const RunLegacy& legacy) {
+  constexpr int kWarmup = 2, kSamples = 31;
+  std::vector<double> s_fused, s_legacy;
+  s_fused.reserve(kSamples);
+  s_legacy.reserve(kSamples);
+  for (int i = 0; i < kWarmup; ++i) {
+    fused();
+    legacy();
+  }
+  for (int s = 0; s < kSamples; ++s) {
+    double t0 = profiling::NowSeconds();
+    fused();
+    double t1 = profiling::NowSeconds();
+    legacy();
+    double t2 = profiling::NowSeconds();
+    s_fused.push_back(t1 - t0);
+    s_legacy.push_back(t2 - t1);
+  }
+  return {profiling::Median(std::move(s_fused)),
+          profiling::Median(std::move(s_legacy))};
+}
+
+// Accumulates per-shape speedups into a per-variant geomean and the report.
+class VariantSweep {
+ public:
+  VariantSweep(const char* variant, telemetry::RunReport& report)
+      : variant_(variant), report_(report) {}
+
+  void Add(const std::string& shape, double fused_s, double legacy_s) {
+    const double speedup = fused_s > 0 ? legacy_s / fused_s : 0.0;
+    std::printf("  %-24s %12.3f %12.3f %10.2fx\n", shape.c_str(),
+                fused_s * 1e3, legacy_s * 1e3, speedup);
+    report_.AddResult(variant_ + ".fused_ms." + shape, fused_s * 1e3);
+    report_.AddResult(variant_ + ".legacy_ms." + shape, legacy_s * 1e3);
+    report_.AddResult(variant_ + ".fused_speedup." + shape, speedup);
+    if (speedup > 0) {
+      log_speedup_ += std::log(speedup);
+      ++n_;
+    }
+  }
+
+  void Finish() {
+    if (n_ == 0) return;
+    const double geomean = std::exp(log_speedup_ / n_);
+    std::printf("  %s geomean fused-vs-legacy: %.2fx\n\n", variant_.c_str(),
+                geomean);
+    report_.AddResult(variant_ + ".geomean_fused_vs_legacy", geomean);
+  }
+
+ private:
+  std::string variant_;
+  telemetry::RunReport& report_;
+  double log_speedup_ = 0.0;
+  int n_ = 0;
+};
+
+void SweepConvPipelineVariants(gemm::Context& ctx,
+                               telemetry::RunReport& report) {
+  std::printf(
+      "=== ConvPipeline variant ablation: fused row-tile vs legacy "
+      "full-image ===\n\n");
+  std::printf("  %-24s %12s %12s %11s\n", "shape", "fused-ms", "legacy-ms",
+              "speedup");
+
+  {  // Binarized depthwise (the QuickNet spatial reduction stages).
+    VariantSweep sweep("bdepthwise", report);
+    const struct {
+      int hw, ch, stride;
+    } cases[] = {{56, 64, 1}, {28, 128, 2}, {14, 256, 1}};
+    for (const auto& c : cases) {
+      Conv2DGeometry g;
+      g.in_h = g.in_w = c.hw;
+      g.in_c = g.out_c = c.ch;
+      g.filter_h = g.filter_w = 3;
+      g.stride_h = g.stride_w = c.stride;
+      g.padding = Padding::kSameOne;
+      Rng rng(c.hw + c.ch);
+      Tensor in(DataType::kBitpacked, Shape{1, c.hw, c.hw, c.ch});
+      FillBitpacked(in, rng);
+      std::vector<float> w(static_cast<std::size_t>(9) * c.ch);
+      for (auto& v : w) v = rng.Sign();
+      BDepthwiseConv2DAttrs attrs;
+      attrs.geo = g;
+      BDepthwiseConv2D fused(w.data(), attrs);
+      attrs.force_unfused = true;
+      BDepthwiseConv2D legacy(w.data(), attrs);
+      Tensor out(DataType::kFloat32, Shape{1, g.out_h(), g.out_w(), c.ch});
+      const auto [f, l] =
+          FusedVsLegacy([&] { fused.Run(in, out, ctx); },
+                        [&] { legacy.Run(in, out, ctx); });
+      char shape[64];
+      std::snprintf(shape, sizeof(shape), "%dx%dx%d_s%d", c.hw, c.hw, c.ch,
+                    c.stride);
+      sweep.Add(shape, f, l);
+    }
+    sweep.Finish();
+  }
+
+  {  // Grouped binary convolution (previously always fell back to unfused).
+    VariantSweep sweep("bconv2d_grouped", report);
+    const struct {
+      int hw, ch, groups;
+    } cases[] = {{28, 64, 2}, {14, 128, 4}, {14, 256, 2}};
+    for (const auto& c : cases) {
+      Conv2DGeometry g;
+      g.in_h = g.in_w = c.hw;
+      g.in_c = g.out_c = c.ch;
+      g.filter_h = g.filter_w = 3;
+      g.padding = Padding::kSameOne;
+      Rng rng(c.hw + c.ch + c.groups);
+      Tensor in(DataType::kBitpacked, Shape{1, c.hw, c.hw, c.ch});
+      FillBitpacked(in, rng);
+      std::vector<float> w(static_cast<std::size_t>(c.ch) * 9 *
+                           (c.ch / c.groups));
+      for (auto& v : w) v = rng.Sign();
+      BConv2DAttrs attrs;
+      attrs.geo = g;
+      attrs.groups = c.groups;
+      BConv2D fused(w.data(), attrs);
+      attrs.force_unfused = true;
+      BConv2D legacy(w.data(), attrs);
+      Tensor out(DataType::kFloat32, Shape{1, g.out_h(), g.out_w(), c.ch});
+      const auto [f, l] =
+          FusedVsLegacy([&] { fused.Run(in, out, ctx); },
+                        [&] { legacy.Run(in, out, ctx); });
+      char shape[64];
+      std::snprintf(shape, sizeof(shape), "%dx%dx%d_g%d", c.hw, c.hw, c.ch,
+                    c.groups);
+      sweep.Add(shape, f, l);
+    }
+    sweep.Finish();
+  }
+
+  {  // Int8 (the PTQ first/last stages that stay full-precision).
+    VariantSweep sweep("conv2d_int8", report);
+    const struct {
+      int hw, in_c, out_c;
+    } cases[] = {{56, 32, 64}, {28, 64, 64}, {14, 128, 128}};
+    for (const auto& c : cases) {
+      Conv2DGeometry g;
+      g.in_h = g.in_w = c.hw;
+      g.in_c = c.in_c;
+      g.out_c = c.out_c;
+      g.filter_h = g.filter_w = 3;
+      g.padding = Padding::kSameZero;
+      Rng rng(c.hw + c.in_c);
+      Tensor in(DataType::kInt8, Shape{1, c.hw, c.hw, c.in_c});
+      FillInt8(in, rng);
+      std::vector<std::int8_t> w(static_cast<std::size_t>(c.out_c) * 9 *
+                                 c.in_c);
+      for (auto& v : w) v = rng.Int8(-127, 127);
+      Conv2DInt8Attrs attrs;
+      attrs.geo = g;
+      attrs.input_quant = {0.02f, 3};
+      attrs.weight_quant = {0.005f, 0};
+      attrs.output_quant = {0.05f, -4};
+      Conv2DInt8 fused(w.data(), attrs);
+      attrs.force_unfused = true;
+      Conv2DInt8 legacy(w.data(), attrs);
+      Tensor out(DataType::kInt8, Shape{1, g.out_h(), g.out_w(), c.out_c});
+      const auto [f, l] =
+          FusedVsLegacy([&] { fused.Run(in, out, ctx); },
+                        [&] { legacy.Run(in, out, ctx); });
+      char shape[64];
+      std::snprintf(shape, sizeof(shape), "%dx%dx%d-%d", c.hw, c.hw, c.in_c,
+                    c.out_c);
+      sweep.Add(shape, f, l);
+    }
+    sweep.Finish();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto profile = ParseProfile(argc, argv);
+  const std::string json_path = ParseJsonPath(argc, argv);
+  const int threads =
+      std::atoi(ParseStringFlag(argc, argv, "--threads=", "1").c_str());
+
+  // Kernel-level ConvPipeline ablation first: its fused runs populate the
+  // per-variant fused/interior tile counters that the report snapshot (and
+  // the perf-smoke CI assertion) read.
+  telemetry::RunReport report("bench_ablation_fusion");
+  report.AddMeta("profile", ProfileName(profile));
+  report.AddMetaInt("threads", threads > 0 ? threads : 1);
+  {
+    gemm::Context ctx(threads > 0 ? threads : 1, profile);
+    SweepConvPipelineVariants(ctx, report);
+  }
+
   std::printf("=== Ablation: converter graph optimizations (profile=%s) "
               "===\n\n",
               ProfileName(profile));
@@ -100,5 +303,15 @@ int main(int argc, char** argv) {
       "\nShape: disabling bitpacked chaining and transform fusion adds\n"
       "full-precision glue back and increases latency, most on the\n"
       "shortcut-free network where every layer chains bitpacked.\n");
+  if (!json_path.empty()) {
+    const Status s = report.WriteJson(json_path);
+    if (s.ok()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   s.message().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -256,7 +256,7 @@ void BGemmComputeTile(const std::uint64_t* apanel, const std::uint64_t* bpanel,
 void BGemmComputeBlock(const std::uint64_t* apanels, std::int64_t a_elems,
                        const PackedBinaryMatrix& rhs, int k_bits,
                        KernelProfile profile, int block_tiles, int block_rows,
-                       std::int32_t* out) {
+                       std::int32_t* out, int ldc) {
   const int k_blocks = rhs.k_blocks();
   const int n = rhs.n();
   std::int32_t acc[kBgemmMr][kBgemmNr];
@@ -269,7 +269,7 @@ void BGemmComputeBlock(const std::uint64_t* apanels, std::int64_t a_elems,
       const int rows = std::min(kBgemmMr, block_rows - row0);
       BGemmComputeTile(apanels + t * a_elems, btile, k_blocks, profile, acc);
       for (int i = 0; i < rows; ++i) {
-        std::int32_t* o = out + static_cast<std::int64_t>(row0 + i) * n + col0;
+        std::int32_t* o = out + static_cast<std::int64_t>(row0 + i) * ldc + col0;
         for (int j = 0; j < cols; ++j) o[j] = k_bits - 2 * acc[i][j];
       }
     }

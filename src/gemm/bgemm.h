@@ -133,15 +133,16 @@ void BGemmComputeTile(const std::uint64_t* apanel, const std::uint64_t* bpanel,
 // Computes `block_rows` x rhs.n() outputs from `block_tiles` consecutive
 // packed A-panels (each `a_elems` uint64 long, starting at `apanels`)
 // against every weight tile of `rhs`, writing k_bits - 2 * popcount into
-// `out` (row-major, leading dimension rhs.n()). Loop order is
-// nt-outer / tile-inner so each packed weight tile stays cache-resident
-// across the whole block -- the compute core of both the unfused BGemm and
-// the fused BConv2D row-tile pipeline. Defined in bgemm.cc so the
+// `out` (row-major, leading dimension `ldc` >= rhs.n(); grouped
+// convolutions write each group's columns into a wider accumulator). Loop
+// order is nt-outer / tile-inner so each packed weight tile stays
+// cache-resident across the whole block -- the compute core of both the
+// unfused BGemm and the fused ConvPipeline. Defined in bgemm.cc so the
 // micro-kernels inline into the loop.
 void BGemmComputeBlock(const std::uint64_t* apanels, std::int64_t a_elems,
                        const PackedBinaryMatrix& rhs, int k_bits,
                        KernelProfile profile, int block_tiles, int block_rows,
-                       std::int32_t* out);
+                       std::int32_t* out, int ldc);
 
 // out[i][j] = k_bits - 2*popcount(lhs_i ^ rhs_j); out is row-major MxN with
 // leading dimension ldc. LHS is packed into context scratch per call.

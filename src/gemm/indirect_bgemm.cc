@@ -12,14 +12,19 @@
 
 namespace lce::gemm {
 
-IndirectionOffsets::IndirectionOffsets(const Conv2DGeometry& g) {
-  words_ = BitpackedWords(g.in_c);
+IndirectionOffsets::IndirectionOffsets(const Conv2DGeometry& g)
+    : IndirectionOffsets(g, BitpackedWords(g.in_c)) {}
+
+IndirectionOffsets::IndirectionOffsets(const Conv2DGeometry& g,
+                                       int elems_per_pixel) {
+  words_ = elems_per_pixel;
   taps_ = g.filter_h * g.filter_w;
   const int out_h = g.out_h(), out_w = g.out_w();
   rows_ = static_cast<std::int64_t>(g.batch) * out_h * out_w;
-  // Offsets are stored as int32 word indices; any input addressable within
-  // that range is far beyond the resource limits of the untrusted-model
-  // path, so this only guards the trusted standalone-kernel API.
+  // Offsets are stored as int32 element indices; any input addressable
+  // within that range is far beyond the resource limits of the
+  // untrusted-model path, so this only guards the trusted
+  // standalone-kernel API.
   LCE_CHECK(static_cast<std::int64_t>(g.batch) * g.in_h * g.in_w * words_ <=
             std::numeric_limits<std::int32_t>::max());
   offsets_.resize(static_cast<std::size_t>(rows_) * taps_);
@@ -44,97 +49,6 @@ IndirectionOffsets::IndirectionOffsets(const Conv2DGeometry& g) {
             }
           }
         }
-      }
-    }
-  }
-}
-
-void GatherPackTile(const TBitpacked* input, const IndirectionOffsets& ind,
-                    const TBitpacked* zero_row, std::int64_t row0,
-                    int tile_rows, int k_blocks, std::uint64_t* dst) {
-  const int taps = ind.taps();
-  const int words = ind.words();
-  const int kw = taps * words;
-  const std::int64_t kb_stride =
-      static_cast<std::int64_t>(tile_rows) * kBgemmKWords64;
-
-  // Fast path (every realistic geometry: words is even whenever
-  // in_c > 32 is a multiple of 64, and always for the common power-of-two
-  // channel counts): merge each tap's word pairs straight into the panel's
-  // u64 lanes, walking k-blocks as the lane index wraps. Each destination
-  // word is written exactly once -- no staging buffer, no memset.
-  if (words % 2 == 0) {
-    for (int r = 0; r < tile_rows; ++r) {
-      const std::int64_t row = row0 + r;
-      if (row >= ind.rows()) {
-        BGemmZeroLhsRow(k_blocks, r, tile_rows, dst);
-        continue;
-      }
-      const std::int32_t* offs = ind.row(row);
-      std::uint64_t* drow = dst + static_cast<std::int64_t>(r) * kBgemmKWords64;
-      int lane = 0;  // u64 lane within the current k-block row [0, 8)
-      for (int t = 0; t < taps; ++t) {
-        const std::int32_t off = offs[t];
-        const TBitpacked* src = off < 0 ? zero_row : input + off;
-        for (int wi = 0; wi < words; wi += 2) {
-          drow[lane] = static_cast<std::uint64_t>(src[wi]) |
-                       static_cast<std::uint64_t>(src[wi + 1]) << 32;
-          if (++lane == kBgemmKWords64) {
-            lane = 0;
-            drow += kb_stride;
-          }
-        }
-      }
-      if (lane != 0) {  // zero the k-padding lanes of the last block
-        for (; lane < kBgemmKWords64; ++lane) drow[lane] = 0;
-      }
-    }
-    return;
-  }
-
-  // Odd-words path: gather the taps of one logical patch row into a
-  // contiguous stack staging buffer (a tiny, cache-hot im2col of exactly
-  // one row), then pack it with the same destination-major row packer as
-  // the contiguous LHS path.
-  constexpr int kStageWords = 1024;
-  if (kw <= kStageWords) {
-    TBitpacked stage[kStageWords];
-    for (int r = 0; r < tile_rows; ++r) {
-      const std::int64_t row = row0 + r;
-      if (row >= ind.rows()) {
-        BGemmZeroLhsRow(k_blocks, r, tile_rows, dst);
-        continue;
-      }
-      const std::int32_t* offs = ind.row(row);
-      TBitpacked* sp = stage;
-      for (int t = 0; t < taps; ++t, sp += words) {
-        const std::int32_t off = offs[t];
-        const TBitpacked* src = off < 0 ? zero_row : input + off;
-        for (int wi = 0; wi < words; ++wi) sp[wi] = src[wi];
-      }
-      BGemmPackLhsRow(stage, kw, k_blocks, r, tile_rows, dst);
-    }
-    return;
-  }
-
-  // Generic fallback for giant patch rows: scatter word-by-word.
-  std::memset(dst, 0,
-              static_cast<std::size_t>(k_blocks) * tile_rows * kBgemmKWords64 *
-                  sizeof(std::uint64_t));
-  for (int r = 0; r < tile_rows; ++r) {
-    const std::int64_t row = row0 + r;
-    if (row >= ind.rows()) break;
-    const std::int32_t* offs = ind.row(row);
-    int w = 0;  // word index within the logical patch row
-    for (int t = 0; t < taps; ++t) {
-      const std::int32_t off = offs[t];
-      const TBitpacked* src = off < 0 ? zero_row : input + off;
-      for (int wi = 0; wi < words; ++wi, ++w) {
-        const int kb = w / 8;
-        const int w64 = (w % 8) / 2;
-        const int half = w % 2;
-        dst[(static_cast<std::int64_t>(kb) * tile_rows + r) * kBgemmKWords64 +
-            w64] |= static_cast<std::uint64_t>(src[wi]) << (half * 32);
       }
     }
   }

@@ -12,9 +12,11 @@
 // more than the gather.
 //
 // Two consumers:
-//   * GatherPackTile packs a micro-kernel A-panel straight from the feature
-//     map, feeding the same register-tiled SIMD kernels as the packed BGEMM
-//     (gemm/bgemm.h) -- the fused BConv2D row-tile pipeline.
+//   * The gather/pack strategies in kernels/pipeline/gather_pack.h pack
+//     micro-kernel A-panels straight from the feature map, feeding the same
+//     register-tiled SIMD kernels as the packed BGEMM (gemm/bgemm.h) -- the
+//     fused ConvPipeline used by BConv2D, grouped BConv2D, BDepthwiseConv2D
+//     and Conv2DInt8.
 //   * The legacy IndirectionBuffer + IndirectBGemm pair (pointer table
 //     rebuilt per call, scalar 1x4 kernel) is kept as the unfused baseline
 //     for the ablation benchmarks.
@@ -31,22 +33,31 @@
 namespace lce::gemm {
 
 // Geometry-only indirection table: for every (output position, filter tap),
-// the word offset of the source pixel's channel vector in the bitpacked
-// NHWC input, or kPaddedTap for taps that fall outside the image. Built
-// once per convolution (the geometry, including batch, is fixed at prepare
-// time) and shared read-only by all invocations and shards.
+// the element offset of the source pixel's channel vector in the NHWC
+// input, or kPaddedTap for taps that fall outside the image. Built once per
+// convolution (the geometry, including batch, is fixed at prepare time) and
+// shared read-only by all invocations and shards.
+//
+// The element stride is the per-pixel channel-vector length: words(in_c)
+// for bitpacked inputs (the default constructor), or any caller-chosen
+// stride -- Conv2DInt8 builds byte offsets with elems_per_pixel = in_c.
 class IndirectionOffsets {
  public:
-  // Sentinel for taps reading spatial padding (one-padding: all-zero words).
+  // Sentinel for taps reading spatial padding.
   static constexpr std::int32_t kPaddedTap = -1;
 
   IndirectionOffsets() = default;
+  // Bitpacked default: offsets are word indices (elems = words(in_c)).
   explicit IndirectionOffsets(const Conv2DGeometry& geo);
+  // General stride: offsets are elems_per_pixel * pixel_index.
+  IndirectionOffsets(const Conv2DGeometry& geo, int elems_per_pixel);
 
   bool empty() const { return offsets_.empty(); }
   std::int64_t rows() const { return rows_; }  // batch * out_h * out_w
   int taps() const { return taps_; }           // filter_h * filter_w
-  int words() const { return words_; }         // words(in_c)
+  // Elements per pixel: words(in_c) for bitpacked inputs, the constructor's
+  // elems_per_pixel otherwise (e.g. in_c bytes for int8 inputs).
+  int words() const { return words_; }
   // Offsets for output position r: taps() entries.
   const std::int32_t* row(std::int64_t r) const {
     return offsets_.data() + r * taps_;
@@ -57,17 +68,6 @@ class IndirectionOffsets {
   int taps_ = 0, words_ = 0;
   std::vector<std::int32_t> offsets_;  // [rows][taps]
 };
-
-// Packs `tile_rows` patch rows starting at output position `row0` into the
-// BGEMM A-panel layout ([k_blocks][tile_rows][8] uint64; gemm/bgemm.h),
-// gathering words straight from the bitpacked feature map through `ind`.
-// Equivalent to bitpacked im2col of those rows followed by
-// BGemmPackLhsTile, without materializing the patches. Padded taps read
-// from `zero_row` (words(in_c) zero words = +1.0 one-padding); rows beyond
-// ind.rows() are left zero (never written back by the caller).
-void GatherPackTile(const TBitpacked* input, const IndirectionOffsets& ind,
-                    const TBitpacked* zero_row, std::int64_t row0,
-                    int tile_rows, int k_blocks, std::uint64_t* dst);
 
 // Legacy per-call pointer table: rebuilt from the geometry and input pointer
 // on every construction. Kept as the unfused-indirect ablation baseline.

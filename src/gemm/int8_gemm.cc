@@ -14,28 +14,6 @@ namespace {
 
 int KBlocks(int k) { return (k + kInt8Kc - 1) / kInt8Kc; }
 
-// Packs rows into [k_blocks][rows][kInt8Kc] layout. When `bias` is set, each
-// byte is XORed with 0x80 (maps int8 x to uint8 x+128); padding bytes become
-// 0x80 = biased zero. Without bias, padding bytes are 0.
-void PackTileInt8(const std::int8_t* src, int n, int k, int row0, int rows,
-                  int k_blocks, bool bias, std::int8_t* dst) {
-  const std::int8_t pad = bias ? static_cast<std::int8_t>(0x80) : 0;
-  std::memset(dst, pad,
-              static_cast<std::size_t>(k_blocks) * rows * kInt8Kc);
-  for (int r = 0; r < rows; ++r) {
-    const int row = row0 + r;
-    if (row >= n) continue;
-    const std::int8_t* s = src + static_cast<std::int64_t>(row) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      const int kb = kk / kInt8Kc;
-      std::int8_t v = s[kk];
-      if (bias) v = static_cast<std::int8_t>(v ^ 0x80);
-      dst[(static_cast<std::int64_t>(kb) * rows + r) * kInt8Kc +
-          (kk % kInt8Kc)] = v;
-    }
-  }
-}
-
 // Scalar kernel on biased-LHS panels: acc = sum (uint8 a)*(int8 b), exact.
 void KernelScalar(const std::int8_t* apanel, const std::int8_t* bpanel,
                   int k_blocks, std::int32_t acc_out[kInt8Mr][kInt8Nr]) {
@@ -144,14 +122,76 @@ void KernelAvx2(const std::int8_t* apanel, const std::int8_t* bpanel,
 
 }  // namespace
 
+void Int8GemmPackLhsTile(const std::int8_t* src, int n, int k, int row0,
+                         int rows, int k_blocks, bool bias, std::int8_t* dst) {
+  const std::int8_t pad = bias ? static_cast<std::int8_t>(0x80) : 0;
+  std::memset(dst, pad,
+              static_cast<std::size_t>(k_blocks) * rows * kInt8Kc);
+  for (int r = 0; r < rows; ++r) {
+    const int row = row0 + r;
+    if (row >= n) continue;
+    const std::int8_t* s = src + static_cast<std::int64_t>(row) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const int kb = kk / kInt8Kc;
+      std::int8_t v = s[kk];
+      if (bias) v = static_cast<std::int8_t>(v ^ 0x80);
+      dst[(static_cast<std::int64_t>(kb) * rows + r) * kInt8Kc +
+          (kk % kInt8Kc)] = v;
+    }
+  }
+}
+
+void Int8ComputeTile(const std::int8_t* apanel, const std::int8_t* bpanel,
+                     int k_blocks, KernelProfile profile,
+                     std::int32_t acc[kInt8Mr][kInt8Nr]) {
+  if (profile == KernelProfile::kSimd) {
+#if defined(LCE_INT8_GEMM_AVX512)
+    KernelAvx512(apanel, bpanel, k_blocks, acc);
+    return;
+#elif defined(__AVX2__)
+    KernelAvx2(apanel, bpanel, k_blocks, acc);
+    return;
+#endif
+  }
+  KernelScalar(apanel, bpanel, k_blocks, acc);
+}
+
+void Int8ComputeBlock(const std::int8_t* apanels, std::int64_t a_elems,
+                      const PackedInt8Matrix& rhs, KernelProfile profile,
+                      int block_tiles, int block_rows, std::int32_t* out,
+                      int ldc) {
+  const int k_blocks = rhs.k_blocks();
+  const int n = rhs.n();
+  std::int32_t acc[kInt8Mr][kInt8Nr];
+  for (int nt = 0; nt < rhs.num_tiles(); ++nt) {
+    const int col0 = nt * kInt8Nr;
+    const int cols = std::min(kInt8Nr, n - col0);
+    const std::int8_t* btile = rhs.tile(nt);
+    for (int t = 0; t < block_tiles; ++t) {
+      const int row0 = t * kInt8Mr;
+      const int rows = std::min(kInt8Mr, block_rows - row0);
+      Int8ComputeTile(apanels + t * a_elems, btile, k_blocks, profile, acc);
+      for (int i = 0; i < rows; ++i) {
+        std::int32_t* o = out + static_cast<std::int64_t>(row0 + i) * ldc + col0;
+        for (int j = 0; j < cols; ++j) {
+          // Remove the +128 activation bias: acc was computed on
+          // (a+128, b), so subtract 128 * rowsum(b).
+          o[j] = acc[i][j] - 128 * rhs.row_sums()[col0 + j];
+        }
+      }
+    }
+  }
+}
+
 PackedInt8Matrix::PackedInt8Matrix(const std::int8_t* rows, int n, int k)
     : n_(n), k_(k), k_blocks_(KBlocks(k)) {
   num_tiles_ = (n + kInt8Nr - 1) / kInt8Nr;
   buf_ = AlignedBuffer(static_cast<std::size_t>(num_tiles_) * tile_elems());
   auto* d = reinterpret_cast<std::int8_t*>(buf_.data());
   for (int t = 0; t < num_tiles_; ++t) {
-    PackTileInt8(rows, n, k, t * kInt8Nr, kInt8Nr, k_blocks_,
-                 /*bias=*/false, d + static_cast<std::int64_t>(t) * tile_elems());
+    Int8GemmPackLhsTile(rows, n, k, t * kInt8Nr, kInt8Nr, k_blocks_,
+                        /*bias=*/false,
+                        d + static_cast<std::int64_t>(t) * tile_elems());
   }
   row_sums_.resize(n);
   for (int r = 0; r < n; ++r) {
@@ -174,8 +214,8 @@ void Int8Gemm(const std::int8_t* lhs, int m, const PackedInt8Matrix& rhs,
       ctx.Scratch(0, static_cast<std::size_t>(m_tiles) * a_tile_elems));
   ctx.pool().ParallelFor(m_tiles, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t t = begin; t < end; ++t) {
-      PackTileInt8(lhs, m, k, static_cast<int>(t) * kInt8Mr, kInt8Mr, k_blocks,
-                   /*bias=*/true, apanels + t * a_tile_elems);
+      Int8GemmPackLhsTile(lhs, m, k, static_cast<int>(t) * kInt8Mr, kInt8Mr,
+                          k_blocks, /*bias=*/true, apanels + t * a_tile_elems);
     }
   });
 
@@ -189,20 +229,8 @@ void Int8Gemm(const std::int8_t* lhs, int m, const PackedInt8Matrix& rhs,
       for (std::int64_t mt = begin; mt < end; ++mt) {
         const int row0 = static_cast<int>(mt) * kInt8Mr;
         const int rows = std::min(kInt8Mr, m - row0);
-        if (profile == KernelProfile::kSimd) {
-#if defined(LCE_INT8_GEMM_AVX512)
-          KernelAvx512(apanels + mt * a_tile_elems, rhs.tile(nt), k_blocks,
-                       acc);
-#elif defined(__AVX2__)
-          KernelAvx2(apanels + mt * a_tile_elems, rhs.tile(nt), k_blocks, acc);
-#else
-          KernelScalar(apanels + mt * a_tile_elems, rhs.tile(nt), k_blocks,
-                       acc);
-#endif
-        } else {
-          KernelScalar(apanels + mt * a_tile_elems, rhs.tile(nt), k_blocks,
-                       acc);
-        }
+        Int8ComputeTile(apanels + mt * a_tile_elems, rhs.tile(nt), k_blocks,
+                        profile, acc);
         for (int i = 0; i < rows; ++i) {
           std::int32_t* o = out + static_cast<std::int64_t>(row0 + i) * ldc + col0;
           for (int j = 0; j < cols; ++j) {

@@ -54,6 +54,35 @@ class PackedInt8Matrix {
   std::vector<std::int32_t> row_sums_;
 };
 
+// Packs `rows` rows (starting at `row0`, padded beyond `n`) of a [n][k]
+// int8 matrix into the [k_blocks][rows][kInt8Kc] panel layout consumed by
+// the micro-kernels. With `bias` set, each byte is XORed with 0x80 (maps
+// int8 x to uint8 x+128, the maddubs trick) and padding bytes become
+// 0x80 = biased zero; without bias, padding bytes are 0. Used for LHS
+// packing here, weight packing (PackedInt8Matrix) and the fused int8
+// gather-pack (kernels/pipeline/gather_pack.h).
+void Int8GemmPackLhsTile(const std::int8_t* src, int n, int k, int row0,
+                         int rows, int k_blocks, bool bias, std::int8_t* dst);
+
+// One micro-kernel invocation: a kInt8Mr x kInt8Nr tile of exact widened
+// multiply-add accumulators over `k_blocks` panel steps, dispatched to the
+// best kernel for `profile` (AVX-512BW / AVX2 / scalar). The A-panel holds
+// biased (x+128) activations; the raw accumulator still includes the
+// +128 bias -- callers must subtract 128 * rhs row sums.
+void Int8ComputeTile(const std::int8_t* apanel, const std::int8_t* bpanel,
+                     int k_blocks, KernelProfile profile,
+                     std::int32_t acc[kInt8Mr][kInt8Nr]);
+
+// Computes `block_rows` x rhs.n() exact int8 dot products from `block_tiles`
+// consecutive biased A-panels (each `a_elems` bytes, starting at `apanels`),
+// writing into `out` (row-major, leading dimension `ldc`). The 128*rowsum
+// bias correction is applied internally. nt-outer / tile-inner loop order
+// for weight-tile reuse -- the int8 compute core of the fused ConvPipeline.
+void Int8ComputeBlock(const std::int8_t* apanels, std::int64_t a_elems,
+                      const PackedInt8Matrix& rhs, KernelProfile profile,
+                      int block_tiles, int block_rows, std::int32_t* out,
+                      int ldc);
+
 void Int8Gemm(const std::int8_t* lhs, int m, const PackedInt8Matrix& rhs,
               std::int32_t* out, int ldc, Context& ctx);
 

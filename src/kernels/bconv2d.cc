@@ -2,36 +2,21 @@
 
 #include <algorithm>
 #include <bit>
-#include <cmath>
 #include <cstring>
-#include <limits>
+#include <utility>
 #include <vector>
 
 #include "core/bitpack.h"
 #include "core/macros.h"
-#include "gemm/indirect_bgemm.h"
 #include "kernels/im2col.h"
+#include "kernels/pipeline/gather_pack.h"
 #include "telemetry/clock.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 
 namespace lce {
-namespace {
 
 using telemetry::NowNanos;
-
-// The channel-wise transform applied to the accumulator for channel n:
-//   f(d) = mult[n] * pre_act(d) + bias[n]
-// f is monotone (non-decreasing for mult >= 0, non-increasing otherwise)
-// because pre_act is non-decreasing, which is what makes threshold-based
-// bitpacked output possible.
-float TransformValue(std::int32_t d, float mult, float bias, Activation pre) {
-  float v = static_cast<float>(d);
-  v = ApplyActivation(v, pre);
-  return v * mult + bias;
-}
-
-}  // namespace
 
 BConv2D::BConv2D(const float* weights_ohwi, BConv2DAttrs attrs)
     : attrs_(std::move(attrs)) {
@@ -118,67 +103,40 @@ void BConv2D::Init() {
     }
   }
 
-  // Precompute bitpacked-output thresholds by binary search over the
-  // monotone transform (the converter's "thresholds pre-computed ... to
-  // decide whether each output value is a one or zero bit").
-  if (attrs_.output_type == BConvOutputType::kBitpacked) {
-    threshold_cmp_.resize(g.out_c);
-    threshold_flip_.resize(g.out_c);
-    for (int n = 0; n < g.out_c; ++n) {
-      const float mult = attrs_.multiplier.empty() ? 1.0f : attrs_.multiplier[n];
-      const float bias = attrs_.bias.empty() ? 0.0f : attrs_.bias[n];
-      if (mult == 0.0f) {
-        // Constant bit: cmp never fires; flip carries the constant.
-        threshold_cmp_[n] = std::numeric_limits<std::int32_t>::min();
-        threshold_flip_[n] = bias < 0.0f ? 1u : 0u;
-        continue;
-      }
-      const bool increasing = mult > 0.0f;
-      // Search d in [-k_bits, k_bits] for the transition point of
-      // sign(f(d)). For increasing f: threshold = min{d : f(d) >= 0}; the
-      // output bit is set (value -1.0) iff d < threshold. For decreasing f:
-      // threshold = max{d : f(d) >= 0}; bit set iff d > threshold.
-      std::int32_t lo = -k_bits_ - 1, hi = k_bits_ + 1;
-      if (increasing) {
-        // Find the smallest d with f(d) >= 0 (may be hi if none); the
-        // output bit (-1.0) is set iff acc < that threshold.
-        while (lo < hi) {
-          const std::int32_t mid = lo + (hi - lo) / 2;
-          if (TransformValue(mid, mult, bias, attrs_.pre_activation) >= 0.0f) {
-            hi = mid;
-          } else {
-            lo = mid + 1;
-          }
-        }
-        threshold_cmp_[n] = lo;
-        threshold_flip_[n] = 0u;
-      } else {
-        // Find the largest d with f(d) >= 0 (may be lo if none); bit set
-        // iff acc > t, i.e. !(acc < t + 1).
-        while (lo < hi) {
-          const std::int32_t mid = lo + (hi - lo + 1) / 2;
-          if (TransformValue(mid, mult, bias, attrs_.pre_activation) >= 0.0f) {
-            lo = mid;
-          } else {
-            hi = mid - 1;
-          }
-        }
-        threshold_cmp_[n] = lo + 1;
-        threshold_flip_[n] = 1u;
-      }
-    }
+  // Output transform policy, shared verbatim by the fused and legacy paths
+  // (the bitpacked flavor precomputes its thresholds in its constructor).
+  switch (attrs_.output_type) {
+    case BConvOutputType::kFloat:
+      transform_ = std::make_unique<pipeline::FloatOutputTransform>(
+          g.out_c, attrs_.pre_activation, attrs_.multiplier, attrs_.bias);
+      break;
+    case BConvOutputType::kBitpacked:
+      transform_ = std::make_unique<pipeline::BitpackedOutputTransform>(
+          g.out_c, k_bits_, attrs_.pre_activation, attrs_.multiplier,
+          attrs_.bias);
+      break;
+    case BConvOutputType::kInt32:
+      transform_ = std::make_unique<pipeline::Int32OutputTransform>(g.out_c);
+      break;
   }
 
-  // Indirect path: the indirection table depends only on the geometry, so
-  // build it once here instead of on every Run (the paper's indirect BGEMM
-  // setup cost moves entirely out of the inference hot path). Pointwise
-  // convolutions feed the input to the GEMM directly and need no table.
+  // Gather path setup. Grouped convolutions always gather (their per-group
+  // word slices have no contiguous im2col-free form); for groups == 1 the
+  // indirection table is built when the user asked for the indirect BGEMM
+  // and the convolution is not pointwise (a 1x1 stride-1 convolution feeds
+  // the input to the GEMM directly and needs no table). The table depends
+  // only on the geometry, so it is built once here instead of on every Run
+  // (the paper's indirect BGEMM setup cost moves entirely out of the
+  // inference hot path).
   const bool pointwise = g.filter_h == 1 && g.filter_w == 1 &&
                          g.stride_h == 1 && g.stride_w == 1;
-  if (attrs_.use_indirect_bgemm && groups == 1 && !pointwise) {
+  if (groups > 1 || (attrs_.use_indirect_bgemm && !pointwise)) {
     indirection_ = gemm::IndirectionOffsets(g);
     zero_row_.assign(words, 0);  // 0 bits = +1.0 one-padding
   }
+
+  // Interior/border row-tile classification for the fused engine.
+  tile_plan_ = pipeline::TilePlan(g, gemm::kBgemmMr);
 }
 
 void BConv2D::ApplyZeroPaddingCorrectionRows(std::int32_t* acc,
@@ -216,125 +174,159 @@ void BConv2D::ApplyZeroPaddingCorrectionRows(std::int32_t* acc,
   }
 }
 
-void BConv2D::ApplyZeroPaddingCorrection(std::int32_t* acc) const {
-  ApplyZeroPaddingCorrectionRows(acc, 0, Im2ColRows(attrs_.geo));
-}
+// TileCompute policy of the binary convolution: pack BGEMM A-panels (from
+// contiguous patches, by gathering through the indirection cache, or by
+// per-group sliced gathering) and run the XOR-popcount block kernel.
+class BConvTileCompute final : public pipeline::TileCompute {
+ public:
+  enum class Mode {
+    kPatches,        // contiguous patch rows (im2col output or pointwise input)
+    kGather,         // indirect gather, groups == 1
+    kGatherGrouped,  // per-group sliced gather, one GEMM per group
+  };
 
-void BConv2D::OutputTransformFloat(const std::int32_t* acc, std::int64_t rows,
-                                   float* out) const {
-  const int out_c = attrs_.geo.out_c;
-  const bool has_mult = !attrs_.multiplier.empty();
-  const bool has_bias = !attrs_.bias.empty();
-  const float* mult = has_mult ? attrs_.multiplier.data() : nullptr;
-  const float* bias = has_bias ? attrs_.bias.data() : nullptr;
-  const std::int64_t total = rows * out_c;
+  BConvTileCompute(const BConv2D& op, Mode mode, const TBitpacked* input,
+                   const TBitpacked* patches, std::int64_t rows,
+                   int patch_words)
+      : op_(op),
+        mode_(mode),
+        input_(input),
+        patches_(patches),
+        rows_(rows),
+        patch_words_(patch_words),
+        k_blocks_(op.group_weights_[0].k_blocks()),
+        a_elems_(gemm::BGemmApanelElems(k_blocks_, gemm::kBgemmMr)) {}
 
-  // Specialized branch-free inner loops so the compiler vectorizes the
-  // int->float conversion and the fused affine (this transform runs on
-  // every output element; see Table 4).
-  const bool relu = attrs_.pre_activation == Activation::kRelu;
-  if (!has_mult && !has_bias) {
-    if (relu) {
-      for (std::int64_t i = 0; i < total; ++i) {
-        out[i] = static_cast<float>(acc[i] > 0 ? acc[i] : 0);
-      }
-    } else {
-      for (std::int64_t i = 0; i < total; ++i) {
-        out[i] = static_cast<float>(acc[i]);
-      }
-    }
-    return;
+  std::size_t ShardScratchBytes(int block_tiles) const override {
+    return static_cast<std::size_t>(a_elems_) * block_tiles *
+           sizeof(std::uint64_t);
   }
-  if (attrs_.pre_activation == Activation::kNone || relu) {
-    for (std::int64_t r = 0; r < rows; ++r) {
-      const std::int32_t* a = acc + r * out_c;
-      float* o = out + r * out_c;
-      if (relu) {
-        for (int n = 0; n < out_c; ++n) {
-          const float v = static_cast<float>(a[n] > 0 ? a[n] : 0);
-          o[n] = v * (mult != nullptr ? mult[n] : 1.0f) +
-                 (bias != nullptr ? bias[n] : 0.0f);
+
+  void ComputeBlock(std::int64_t tile0, int block_tiles, std::int64_t row0,
+                    int block_rows, const pipeline::TilePlan& plan,
+                    gemm::KernelProfile profile, std::uint8_t* scratch,
+                    std::int32_t* acc) const override {
+    auto* apanels = reinterpret_cast<std::uint64_t*>(scratch);
+    const int out_c = op_.attrs_.geo.out_c;
+
+    if (mode_ == Mode::kGatherGrouped) {
+      // One sliced gather + GEMM per group; each group's columns land in
+      // their slice of the shared block accumulator (ldc = out_c), so the
+      // correction and transform downstream see one plain dense block.
+      const int groups = op_.attrs_.groups;
+      const int out_c_pg = out_c / groups;
+      const int group_words = static_cast<int>(op_.zero_row_.size());
+      for (int grp = 0; grp < groups; ++grp) {
+        for (int i = 0; i < block_tiles; ++i) {
+          pipeline::GatherPackBitpackedGroup(
+              input_, op_.indirection_, op_.zero_row_.data(),
+              grp * group_words, group_words,
+              row0 + static_cast<std::int64_t>(i) * gemm::kBgemmMr,
+              gemm::kBgemmMr, k_blocks_, plan.interior(tile0 + i),
+              apanels + static_cast<std::int64_t>(i) * a_elems_);
         }
+        gemm::BGemmComputeBlock(apanels, a_elems_, op_.group_weights_[grp],
+                                op_.k_bits_, profile, block_tiles, block_rows,
+                                acc + grp * out_c_pg, out_c);
+      }
+      return;
+    }
+
+    for (int i = 0; i < block_tiles; ++i) {
+      std::uint64_t* panel = apanels + static_cast<std::int64_t>(i) * a_elems_;
+      const std::int64_t tile_row0 =
+          row0 + static_cast<std::int64_t>(i) * gemm::kBgemmMr;
+      if (mode_ == Mode::kGather) {
+        pipeline::GatherPackBitpacked(input_, op_.indirection_,
+                                      op_.zero_row_.data(), tile_row0,
+                                      gemm::kBgemmMr, k_blocks_,
+                                      plan.interior(tile0 + i), panel);
       } else {
-        for (int n = 0; n < out_c; ++n) {
-          o[n] = static_cast<float>(a[n]) * (mult != nullptr ? mult[n] : 1.0f) +
-                 (bias != nullptr ? bias[n] : 0.0f);
-        }
+        gemm::BGemmPackLhsTile(patches_, static_cast<int>(rows_), patch_words_,
+                               static_cast<int>(tile_row0), gemm::kBgemmMr,
+                               k_blocks_, panel);
       }
     }
-    return;
+    gemm::BGemmComputeBlock(apanels, a_elems_, op_.group_weights_[0],
+                            op_.k_bits_, profile, block_tiles, block_rows, acc,
+                            out_c);
   }
-  // General (rare) activations: the straightforward loop.
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int32_t* a = acc + r * out_c;
-    float* o = out + r * out_c;
-    for (int n = 0; n < out_c; ++n) {
-      float v = ApplyActivation(static_cast<float>(a[n]),
-                                attrs_.pre_activation);
-      if (has_mult) v *= mult[n];
-      if (has_bias) v += bias[n];
-      o[n] = v;
-    }
-  }
-}
 
-void BConv2D::OutputTransformBitpacked(const std::int32_t* acc,
-                                       std::int64_t rows,
-                                       TBitpacked* out) const {
-  const int out_c = attrs_.geo.out_c;
-  const int words = BitpackedWords(out_c);
-  const std::int32_t* cmp = threshold_cmp_.data();
-  const std::uint32_t* flip = threshold_flip_.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int32_t* a = acc + r * out_c;
-    TBitpacked* o = out + r * words;
-    for (int w = 0; w < words; ++w) {
-      const int base = w * kBitpackWordSize;
-      const int valid = std::min(kBitpackWordSize, out_c - base);
-      TBitpacked bits = 0;
-      // Branch-free: bit = (acc < cmp) XOR flip; auto-vectorizable.
-      for (int b = 0; b < valid; ++b) {
-        const std::uint32_t bit =
-            static_cast<std::uint32_t>(a[base + b] < cmp[base + b]) ^
-            flip[base + b];
-        bits |= static_cast<TBitpacked>(bit) << b;
-      }
-      o[w] = bits;
-    }
+ private:
+  const BConv2D& op_;
+  Mode mode_;
+  const TBitpacked* input_;
+  const TBitpacked* patches_;
+  std::int64_t rows_;
+  int patch_words_;
+  int k_blocks_;
+  std::int64_t a_elems_;
+};
+
+// RowCorrector policy: zero-padding fixup, invoked by the engine only for
+// blocks containing at least one border tile.
+class BConvZeroPadCorrector final : public pipeline::RowCorrector {
+ public:
+  explicit BConvZeroPadCorrector(const BConv2D& op) : op_(op) {}
+  void Apply(std::int32_t* acc, std::int64_t row0,
+             std::int64_t nrows) const override {
+    op_.ApplyZeroPaddingCorrectionRows(acc, row0, nrows);
   }
-}
+
+ private:
+  const BConv2D& op_;
+};
 
 void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
                   BConvStageTimes* times) const {
   const Conv2DGeometry& g = attrs_.geo;
   LCE_CHECK(input.dtype() == DataType::kBitpacked);
   LCE_CHECK_EQ(input.shape().dim(3), g.in_c);
+  switch (attrs_.output_type) {
+    case BConvOutputType::kFloat:
+      LCE_CHECK(output.dtype() == DataType::kFloat32);
+      break;
+    case BConvOutputType::kBitpacked:
+      LCE_CHECK(output.dtype() == DataType::kBitpacked);
+      break;
+    case BConvOutputType::kInt32:
+      LCE_CHECK(output.dtype() == DataType::kInt32);
+      break;
+  }
 
-  const int groups = std::max(1, attrs_.groups);
-  if (groups > 1 || attrs_.force_unfused) {
+  if (attrs_.force_unfused) {
+    static telemetry::Metric* forced =
+        telemetry::MetricsRegistry::Global().Counter("bconv2d.forced_unfused");
+    forced->Add(1);
     RunUnfused(input, output, ctx, times);
     return;
   }
 
-  // Fused row-tile pipeline. The only full-image stage left is the im2col
-  // copy of the non-indirect variant; everything downstream (pack, BGEMM,
-  // zero-padding correction, output transform) runs per row tile inside
-  // RunFused, so no full-image accumulator is ever allocated.
+  // Fused row-tile pipeline for every configuration, grouped included. The
+  // only full-image stage left is the im2col copy of the non-indirect
+  // ungrouped variant; everything downstream (pack, BGEMM, zero-padding
+  // correction, output transform) runs per row tile inside the shared
+  // engine, so no full-image accumulator is ever allocated.
+  const int groups = std::max(1, attrs_.groups);
+  const std::int64_t rows = Im2ColRows(g);
+  const int patch_words = Im2ColDepthBitpacked(g);
   const bool pointwise = g.filter_h == 1 && g.filter_w == 1 &&
                          g.stride_h == 1 && g.stride_w == 1;
-  const bool indirect = attrs_.use_indirect_bgemm && !pointwise;
   const bool timed = telemetry::TracingActive() || times != nullptr;
 
   std::uint64_t t0 = 0;
   if (timed) t0 = NowNanos();
+  BConvTileCompute::Mode mode = BConvTileCompute::Mode::kPatches;
   const TBitpacked* patches = nullptr;
-  if (pointwise) {
+  if (groups > 1) {
+    mode = BConvTileCompute::Mode::kGatherGrouped;
+  } else if (pointwise) {
     // A 1x1 stride-1 convolution's im2col is the identity, so the bitpacked
     // input feeds the tile packer directly (no patch materialization).
     patches = input.data<TBitpacked>();
-  } else if (!indirect) {
-    const std::int64_t rows = Im2ColRows(g);
-    const int patch_words = Im2ColDepthBitpacked(g);
+  } else if (attrs_.use_indirect_bgemm) {
+    mode = BConvTileCompute::Mode::kGather;
+  } else {
     const std::size_t patch_bytes =
         static_cast<std::size_t>(rows) * patch_words * sizeof(TBitpacked);
     auto* scratch = reinterpret_cast<TBitpacked*>(ctx.Scratch(1, patch_bytes));
@@ -345,191 +337,41 @@ void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
     patches = scratch;
   }
   const std::uint64_t t1 = timed ? NowNanos() : 0;
-  RunFused(input.data<TBitpacked>(), patches, output, ctx, times, t0, t1);
-}
 
-void BConv2D::RunFused(const TBitpacked* input, const TBitpacked* patches,
-                       Tensor& output, gemm::Context& ctx,
-                       BConvStageTimes* times, std::uint64_t t0,
-                       std::uint64_t t1) const {
-  const Conv2DGeometry& g = attrs_.geo;
-  const std::int64_t rows = Im2ColRows(g);
-  const int patch_words = Im2ColDepthBitpacked(g);
-  const bool indirect = patches == nullptr;
-  LCE_CHECK(!indirect || !indirection_.empty());
-
-  const gemm::PackedBinaryMatrix& weights = group_weights_[0];
-  const int n = g.out_c;
-  const int k_blocks = weights.k_blocks();
-  const int out_words = BitpackedWords(n);
-  const std::int64_t m_tiles =
-      (rows + gemm::kBgemmMr - 1) / gemm::kBgemmMr;
-  const int shards = ctx.pool().PlannedShards(m_tiles);
-
-  static telemetry::Metric* fused_tiles =
-      telemetry::MetricsRegistry::Global().Counter("bconv2d.fused_tiles");
-  fused_tiles->Add(m_tiles);
   static telemetry::Metric* macs =
       telemetry::MetricsRegistry::Global().Counter("bgemm.binary_macs");
-  macs->Add(rows * n * k_bits_);
+  macs->Add(rows * (g.out_c / groups) * k_bits_ * groups);
 
-  // Each shard walks its M-tile range in blocks of up to kBlockTiles tiles
-  // (kBlockTiles * MR output rows). Within a block the loop order is
-  // nt-outer / mt-inner, so every packed weight tile is reused across the
-  // whole block instead of being re-streamed per 4 rows -- without the
-  // block, the fused pipeline loses the B-locality that makes the packed
-  // BGEMM fast in the first place.
-  constexpr int kBlockTiles = 16;
+  const BConvTileCompute compute(*this, mode, input.data<TBitpacked>(),
+                                 patches, rows, patch_words);
+  const BConvZeroPadCorrector corrector(*this);
 
-  // Per-shard scratch: kBlockTiles A-panels plus a block accumulator, both
-  // strides rounded to 64 bytes (the panels need 32-byte alignment for the
-  // AVX kernels' aligned loads; 64 avoids false sharing between shards).
-  // Total is shards * O(block) -- independent of the image size, unlike the
-  // legacy full-image accumulator.
-  const auto align64 = [](std::size_t v) {
-    return (v + 63) & ~static_cast<std::size_t>(63);
-  };
-  const std::int64_t a_elems =
-      gemm::BGemmApanelElems(k_blocks, gemm::kBgemmMr);
-  const std::size_t apanel_bytes =
-      align64(static_cast<std::size_t>(a_elems) * kBlockTiles *
-              sizeof(std::uint64_t));
-  const std::size_t acc_bytes =
-      align64(static_cast<std::size_t>(kBlockTiles) * gemm::kBgemmMr * n *
-              sizeof(std::int32_t));
-  const std::size_t per_shard = apanel_bytes + acc_bytes;
-  std::uint8_t* scratch = ctx.Scratch(2, static_cast<std::size_t>(shards) * per_shard);
-
-  float* out_f = nullptr;
-  TBitpacked* out_b = nullptr;
-  std::int32_t* out_i = nullptr;
-  switch (attrs_.output_type) {
-    case BConvOutputType::kFloat:
-      LCE_CHECK(output.dtype() == DataType::kFloat32);
-      out_f = output.data<float>();
-      break;
-    case BConvOutputType::kBitpacked:
-      LCE_CHECK(output.dtype() == DataType::kBitpacked);
-      out_b = output.data<TBitpacked>();
-      break;
-    case BConvOutputType::kInt32:
-      LCE_CHECK(output.dtype() == DataType::kInt32);
-      out_i = output.data<std::int32_t>();
-      break;
-  }
-
-  const bool tracing = telemetry::TracingActive();
-  const bool timed = tracing || times != nullptr;
-  const bool correct_padding = g.padding == Padding::kSameZero;
-  const gemm::KernelProfile profile = ctx.profile();
-  const TBitpacked* zero_row = zero_row_.empty() ? nullptr : zero_row_.data();
-
-  // Per-shard stage nanoseconds; the fused loop interleaves gemm and
-  // transform work, so the Table 4 split is reconstructed below by scaling
-  // these busy-time totals to the parallel section's wall clock.
-  std::vector<std::uint64_t> shard_gemm_ns(timed ? shards : 0, 0);
-  std::vector<std::uint64_t> shard_transform_ns(timed ? shards : 0, 0);
-
-  const std::uint64_t tp0 = timed ? NowNanos() : 0;
-  ctx.pool().ParallelForShard(
-      m_tiles, [&](int shard, std::int64_t tbegin, std::int64_t tend) {
-        std::uint8_t* base = scratch + static_cast<std::size_t>(shard) * per_shard;
-        auto* apanels = reinterpret_cast<std::uint64_t*>(base);
-        auto* block_acc = reinterpret_cast<std::int32_t*>(base + apanel_bytes);
-        std::uint64_t gemm_ns = 0, transform_ns = 0;
-        for (std::int64_t t = tbegin; t < tend; t += kBlockTiles) {
-          const int block_tiles = static_cast<int>(
-              std::min<std::int64_t>(kBlockTiles, tend - t));
-          const std::int64_t row0 = t * gemm::kBgemmMr;
-          const int block_rows = static_cast<int>(std::min<std::int64_t>(
-              rows - row0, static_cast<std::int64_t>(block_tiles) *
-                               gemm::kBgemmMr));
-          const std::uint64_t s0 = timed ? NowNanos() : 0;
-          for (int i = 0; i < block_tiles; ++i) {
-            std::uint64_t* panel = apanels + static_cast<std::int64_t>(i) * a_elems;
-            const std::int64_t tile_row0 = row0 + static_cast<std::int64_t>(i) *
-                                                      gemm::kBgemmMr;
-            if (indirect) {
-              gemm::GatherPackTile(input, indirection_, zero_row, tile_row0,
-                                   gemm::kBgemmMr, k_blocks, panel);
-            } else {
-              gemm::BGemmPackLhsTile(patches, static_cast<int>(rows),
-                                     patch_words, static_cast<int>(tile_row0),
-                                     gemm::kBgemmMr, k_blocks, panel);
-            }
-          }
-          gemm::BGemmComputeBlock(apanels, a_elems, weights, k_bits_, profile,
-                                  block_tiles, block_rows, block_acc);
-          const std::uint64_t s1 = timed ? NowNanos() : 0;
-          if (correct_padding) {
-            ApplyZeroPaddingCorrectionRows(block_acc, row0, block_rows);
-          }
-          if (out_f != nullptr) {
-            OutputTransformFloat(block_acc, block_rows, out_f + row0 * n);
-          } else if (out_b != nullptr) {
-            OutputTransformBitpacked(block_acc, block_rows,
-                                     out_b + row0 * out_words);
-          } else {
-            std::memcpy(out_i + row0 * n, block_acc,
-                        static_cast<std::size_t>(block_rows) * n *
-                            sizeof(std::int32_t));
-          }
-          if (timed) {
-            const std::uint64_t s2 = NowNanos();
-            gemm_ns += s1 - s0;
-            transform_ns += s2 - s1;
-          }
-        }
-        if (timed) {
-          shard_gemm_ns[shard] = gemm_ns;
-          shard_transform_ns[shard] = transform_ns;
-        }
-      });
-  if (!timed) return;
-  const std::uint64_t tp1 = NowNanos();
-
-  std::uint64_t gemm_busy = 0, transform_busy = 0, busy_max = 0, busy_min = 0;
-  for (int s = 0; s < shards; ++s) {
-    gemm_busy += shard_gemm_ns[s];
-    transform_busy += shard_transform_ns[s];
-    const std::uint64_t busy = shard_gemm_ns[s] + shard_transform_ns[s];
-    busy_max = std::max(busy_max, busy);
-    busy_min = s == 0 ? busy : std::min(busy_min, busy);
-  }
-  if (busy_max > 0) {
-    // Load imbalance across fused shards (0 = perfectly balanced).
-    static telemetry::Metric* imbalance =
-        telemetry::MetricsRegistry::Global().Gauge(
-            "bconv2d.fused_shard_imbalance_pct");
-    imbalance->SetMax(
-        static_cast<std::int64_t>((busy_max - busy_min) * 100 / busy_max));
-  }
-
-  // Attribute the parallel section's wall clock to gemm vs transform in
-  // proportion to the shards' busy time, so the per-stage profiler (Table 4)
-  // and the Chrome trace keep reporting the stage split under fusion.
-  const std::uint64_t wall = tp1 - tp0;
-  const std::uint64_t busy_total = gemm_busy + transform_busy;
-  const double gemm_frac =
-      busy_total > 0 ? static_cast<double>(gemm_busy) / busy_total : 1.0;
-  const auto gemm_wall = static_cast<std::uint64_t>(wall * gemm_frac);
-
-  if (tracing) {
-    telemetry::Tracer& tracer = telemetry::Tracer::Global();
-    tracer.RecordComplete("bconv2d/im2col", "kernel", t0, t1);
-    tracer.RecordComplete("bconv2d/gemm", "kernel", tp0, tp0 + gemm_wall);
-    tracer.RecordComplete("bconv2d/output_transform", "kernel",
-                          tp0 + gemm_wall, tp1);
-  }
-  if (times != nullptr) {
-    times->im2col = static_cast<double>(t1 - t0) * 1e-9;
-    times->gemm = static_cast<double>(gemm_wall) * 1e-9;
-    times->transform = static_cast<double>(wall - gemm_wall) * 1e-9;
-  }
+  pipeline::ConvPipelineArgs args;
+  args.variant = "bconv2d";
+  args.out_c = g.out_c;
+  args.plan = &tile_plan_;
+  args.compute = &compute;
+  args.corrector =
+      g.padding == Padding::kSameZero ? &corrector : nullptr;
+  args.transform = transform_.get();
+  args.out = output.raw_data();
+  args.pre_t0 = t0;
+  args.pre_t1 = t1;
+  pipeline::RunConvPipeline(args, ctx, times);
 }
 
 void BConv2D::RunUnfused(const Tensor& input, Tensor& output,
                          gemm::Context& ctx, BConvStageTimes* times) const {
+  // Tripwire: the legacy path must only ever run when explicitly forced.
+  // If a future change reintroduces a silent fallback, this counter goes
+  // nonzero and the perf-smoke CI assertion catches it.
+  if (!attrs_.force_unfused) {
+    static telemetry::Metric* fallback =
+        telemetry::MetricsRegistry::Global().Counter(
+            "bconv2d.fallback_unfused");
+    fallback->Add(1);
+  }
+
   const Conv2DGeometry& g = attrs_.geo;
   const std::int64_t rows = Im2ColRows(g);
   const int patch_words = Im2ColDepthBitpacked(g);
@@ -611,23 +453,11 @@ void BConv2D::RunUnfused(const Tensor& input, Tensor& output,
   }
 
   const std::uint64_t t2 = timed ? NowNanos() : 0;
-  if (g.padding == Padding::kSameZero) ApplyZeroPaddingCorrection(acc);
-
-  switch (attrs_.output_type) {
-    case BConvOutputType::kFloat:
-      LCE_CHECK(output.dtype() == DataType::kFloat32);
-      OutputTransformFloat(acc, rows, output.data<float>());
-      break;
-    case BConvOutputType::kBitpacked:
-      LCE_CHECK(output.dtype() == DataType::kBitpacked);
-      OutputTransformBitpacked(acc, rows, output.data<TBitpacked>());
-      break;
-    case BConvOutputType::kInt32:
-      LCE_CHECK(output.dtype() == DataType::kInt32);
-      std::memcpy(output.data<std::int32_t>(), acc,
-                  static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t));
-      break;
+  if (g.padding == Padding::kSameZero) {
+    ApplyZeroPaddingCorrectionRows(acc, 0, rows);
   }
+  transform_->Apply(acc, 0, rows, output.raw_data());
+
   if (!timed) return;
   const std::uint64_t t3 = NowNanos();
   if (tracing) {

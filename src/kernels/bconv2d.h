@@ -1,7 +1,9 @@
 // LceBConv2d: the primary binarized operator (paper section 3.2).
 //
 // Three-stage pipeline, exactly as described in the paper:
-//   1. im2col on bitpacked activations (one-padding falls out naturally);
+//   1. im2col on bitpacked activations (one-padding falls out naturally) --
+//      or, on the fused path, a gather through the prepare-time indirection
+//      cache that never materializes patches;
 //   2. BGEMM (XOR + POPCOUNT) accumulating into int32;
 //   3. an output-type-specific output transform that applies the fused
 //      channel-wise multiplier/bias (from batch-norm fusion), the fused
@@ -9,6 +11,10 @@
 //      against precomputed per-channel thresholds and writes bitpacked
 //      output directly (enabling binarized-layer chaining without
 //      materializing full-precision values).
+//
+// Production execution runs through the shared fused row-tile engine
+// (kernels/pipeline/conv_pipeline.h) for all group counts; the transforms
+// are the shared policies in kernels/pipeline/output_transform.h.
 //
 // Zero-padding support: bitpacked data cannot represent 0, so SAME_ZERO
 // convolutions are computed with one-padding and then corrected by
@@ -19,6 +25,7 @@
 #define LCE_KERNELS_BCONV2D_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/tensor.h"
@@ -27,6 +34,7 @@
 #include "gemm/context.h"
 #include "gemm/indirect_bgemm.h"
 #include "kernels/conv_params.h"
+#include "kernels/pipeline/conv_pipeline.h"
 
 namespace lce {
 
@@ -50,13 +58,16 @@ struct BConv2DAttrs {
   // whole, and in_c/groups must be a multiple of 32 so that group
   // boundaries fall on bitpacked word boundaries.
   int groups = 1;
-  // Use the indirect BGEMM kernel (offset indirection instead of im2col;
-  // see gemm/indirect_bgemm.h). Only honored for groups == 1.
+  // Use the indirect BGEMM A-side (gather through the offset cache instead
+  // of im2col; see gemm/indirect_bgemm.h). Only consulted for groups == 1:
+  // grouped convolutions always gather (their per-group sliced views have
+  // no im2col-free contiguous form).
   bool use_indirect_bgemm = false;
   // Escape hatch for benchmarks and parity tests: run the legacy unfused
   // pipeline (full-image im2col / indirection -> full-image accumulator ->
-  // transform) instead of the fused row-tile pipeline. Only honored for
-  // groups == 1; grouped convolutions always take the legacy path.
+  // transform) instead of the fused row-tile pipeline. This is the ONLY
+  // way to reach the legacy path; involuntary fallbacks would show up in
+  // the `bconv2d.fallback_unfused` counter (asserted zero in CI).
   bool force_unfused = false;
   // Fused activation applied to the integer accumulator *before* the
   // channel-wise transform (matches conv -> ReLU -> BatchNorm graphs, the
@@ -69,11 +80,7 @@ struct BConv2DAttrs {
 
 // Wall-clock seconds spent in each stage of the last Run() call; used by the
 // profiler for the Table 4 accumulation-loop vs output-transform breakdown.
-struct BConvStageTimes {
-  double im2col = 0.0;
-  double gemm = 0.0;
-  double transform = 0.0;
-};
+using BConvStageTimes = pipeline::ConvStageTimes;
 
 class BConv2D {
  public:
@@ -91,8 +98,8 @@ class BConv2D {
   // input: bitpacked NHWC [batch, in_h, in_w, in_c(packed)].
   // output: dtype matching attrs.output_type, shape [batch, oh, ow, out_c].
   // scratch usage: context slot 1 (im2col patches; untouched on the
-  // indirect path) and slot 2 (fused path: per-shard A-panel + row-tile
-  // accumulator; legacy path: full-image accumulator).
+  // indirect/grouped paths) and slot 2 (fused path: per-shard A-panel +
+  // row-tile accumulator; legacy path: full-image accumulator).
   void Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
            BConvStageTimes* times = nullptr) const;
 
@@ -104,29 +111,23 @@ class BConv2D {
   }
 
  private:
-  // Shared setup once packed_rows_ and filter_pos_weight_sums_ are filled.
-  void Init();
-  // Fused row-tile pipeline: shards output row tiles across the pool; each
-  // shard packs an A-panel (gathered through indirection_ or from im2col
-  // patches), sweeps the packed weight tiles, corrects zero-padding and
-  // runs the output transform on a cache-resident MR x out_c tile, writing
-  // final output directly. `patches` is the full patch matrix for the
-  // im2col variant, or nullptr / the raw input for indirect / pointwise.
-  void RunFused(const TBitpacked* input, const TBitpacked* patches,
-                Tensor& output, gemm::Context& ctx,
-                BConvStageTimes* times, std::uint64_t im2col_t0,
-                std::uint64_t im2col_t1) const;
+  // Legacy unfused pipeline (full-image accumulator), reachable only via
+  // attrs.force_unfused; shares the output transform with the fused path.
   void RunUnfused(const Tensor& input, Tensor& output, gemm::Context& ctx,
                   BConvStageTimes* times) const;
-  void OutputTransformFloat(const std::int32_t* acc, std::int64_t rows,
-                            float* out) const;
-  void OutputTransformBitpacked(const std::int32_t* acc, std::int64_t rows,
-                                TBitpacked* out) const;
-  void ApplyZeroPaddingCorrection(std::int32_t* acc) const;
+  // Shared setup once packed_rows_ is filled: packed weight matrices, the
+  // zero-padding correction table, the output transform policy, the
+  // indirection cache and the interior/border tile plan.
+  void Init();
   // Corrects `nrows` output positions starting at flattened position `row0`;
   // `acc` points at the first of those rows (tile-local, stride out_c).
   void ApplyZeroPaddingCorrectionRows(std::int32_t* acc, std::int64_t row0,
                                       std::int64_t nrows) const;
+
+  // The pipeline policies are implemented in bconv2d.cc and need access to
+  // the prepared state above.
+  friend class BConvTileCompute;
+  friend class BConvZeroPadCorrector;
 
   BConv2DAttrs attrs_;
   // [out_c][fh*fw*words(in_c/groups)]
@@ -135,22 +136,23 @@ class BConv2D {
   std::vector<gemm::PackedBinaryMatrix> group_weights_;
   int k_bits_ = 0;  // logical K per group: fh*fw*(in_c/groups)
 
-  // Bitpacked-output thresholds in branch-free canonical form:
-  //   bit = (acc < cmp[n]) XOR flip[n]
-  // Flipped channels (negative multiplier) store cmp = threshold+1 and
-  // flip = 1 (a > t  <=>  !(a < t+1)); constant channels use
-  // cmp = INT32_MIN with flip carrying the constant bit.
-  std::vector<std::int32_t> threshold_cmp_;
-  std::vector<std::uint32_t> threshold_flip_;
+  // Output transform policy (float / bitpacked-threshold / raw int32),
+  // shared verbatim between the fused and legacy paths.
+  std::unique_ptr<pipeline::OutputTransform> transform_;
 
   // Zero-padding correction: weight sums per (filter position, channel).
   std::vector<std::int32_t> filter_pos_weight_sums_;  // [fh*fw][out_c]
 
-  // Indirect path (use_indirect_bgemm, groups == 1, non-pointwise): the
-  // geometry-only indirection table, built once here rather than per Run,
-  // plus the all-zero row padded taps gather from (one-padding).
+  // Gather path (always for groups > 1; for groups == 1 when
+  // use_indirect_bgemm and non-pointwise): the geometry-only indirection
+  // table, built once here rather than per Run, plus the all-zero row
+  // padded taps gather from (one-padding). zero_row_ is sized
+  // words(in_c/groups) -- one group's slice.
   gemm::IndirectionOffsets indirection_;
   std::vector<TBitpacked> zero_row_;
+
+  // Interior/border row-tile classification (shared engine input).
+  pipeline::TilePlan tile_plan_;
 };
 
 }  // namespace lce

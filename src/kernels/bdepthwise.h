@@ -9,15 +9,25 @@
 // and a ripple-carry adder over counter bit-planes accumulates 32 channel
 // counters in parallel per word -- a vertical popcount. With T taps the
 // per-channel dot is T - 2*count.
+//
+// Execution runs through the shared fused row-tile engine
+// (kernels/pipeline/conv_pipeline.h): the bit-sliced counter is the
+// micro-kernel policy, the taps are resolved through the prepare-time
+// indirection cache, and the shared float output transform applies the
+// fused multiplier/bias per cache-resident tile.
 #ifndef LCE_KERNELS_BDEPTHWISE_H_
 #define LCE_KERNELS_BDEPTHWISE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/tensor.h"
 #include "core/types.h"
+#include "gemm/context.h"
+#include "gemm/indirect_bgemm.h"
 #include "kernels/conv_params.h"
+#include "kernels/pipeline/conv_pipeline.h"
 
 namespace lce {
 
@@ -27,6 +37,9 @@ struct BDepthwiseConv2DAttrs {
   // fusion, as in LceBConv2d). Empty means 1 / 0.
   std::vector<float> multiplier;
   std::vector<float> bias;
+  // Escape hatch for benchmarks and parity tests: run the legacy
+  // single-threaded full-image loop instead of the fused row-tile pipeline.
+  bool force_unfused = false;
 };
 
 class BDepthwiseConv2D {
@@ -35,14 +48,28 @@ class BDepthwiseConv2D {
   BDepthwiseConv2D(const float* weights, BDepthwiseConv2DAttrs attrs);
 
   // input: bitpacked NHWC; output: float NHWC.
-  void Run(const Tensor& input, Tensor& output) const;
+  // scratch usage: context slot 2 (fused path: per-shard row-tile
+  // accumulator); the legacy force_unfused path uses no scratch.
+  void Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
+           pipeline::ConvStageTimes* times = nullptr) const;
 
   const BDepthwiseConv2DAttrs& attrs() const { return attrs_; }
 
  private:
+  void RunUnfused(const Tensor& input, Tensor& output) const;
+
+  friend class BDepthwiseTileCompute;
+
   BDepthwiseConv2DAttrs attrs_;
   // Bitpacked weights, [filter_h*filter_w][words(channels)].
   std::vector<TBitpacked> packed_weights_;
+  // Fused-path state, built once at construction: tap offsets, one-padding
+  // source row, interior/border tile classification and the shared float
+  // output transform.
+  gemm::IndirectionOffsets indirection_;
+  std::vector<TBitpacked> zero_row_;
+  pipeline::TilePlan tile_plan_;
+  std::unique_ptr<pipeline::OutputTransform> transform_;
 };
 
 }  // namespace lce

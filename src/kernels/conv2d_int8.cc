@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/macros.h"
 #include "kernels/im2col.h"
+#include "kernels/pipeline/gather_pack.h"
 
 namespace lce {
 
@@ -19,31 +21,33 @@ Conv2DInt8::Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs)
   packed_weights_ =
       gemm::PackedInt8Matrix(weights_ohwi, g.out_c, Im2ColDepthFloat(g));
 
-  per_channel_ = !attrs_.weight_scales.empty();
-  if (per_channel_) {
+  std::vector<std::int32_t> requant_multiplier;
+  std::vector<int> requant_shift;
+  if (!attrs_.weight_scales.empty()) {
     LCE_CHECK_EQ(static_cast<int>(attrs_.weight_scales.size()), g.out_c);
-    requant_multiplier_.resize(g.out_c);
-    requant_shift_.resize(g.out_c);
+    requant_multiplier.resize(g.out_c);
+    requant_shift.resize(g.out_c);
     for (int n = 0; n < g.out_c; ++n) {
       const double real_multiplier =
           static_cast<double>(attrs_.input_quant.scale) *
           attrs_.weight_scales[n] / attrs_.output_quant.scale;
-      QuantizeMultiplier(real_multiplier, &requant_multiplier_[n],
-                         &requant_shift_[n]);
+      QuantizeMultiplier(real_multiplier, &requant_multiplier[n],
+                         &requant_shift[n]);
     }
   } else {
-    requant_multiplier_.resize(1);
-    requant_shift_.resize(1);
+    requant_multiplier.resize(1);
+    requant_shift.resize(1);
     const double real_multiplier =
         static_cast<double>(attrs_.input_quant.scale) *
         attrs_.weight_quant.scale / attrs_.output_quant.scale;
-    QuantizeMultiplier(real_multiplier, &requant_multiplier_[0],
-                       &requant_shift_[0]);
+    QuantizeMultiplier(real_multiplier, &requant_multiplier[0],
+                       &requant_shift[0]);
   }
 
   // Fused activation becomes clamping in the quantized domain. Tiny output
   // scales push the quotient far past the int32 range, so saturate in the
   // floating-point domain -- casting an out-of-range double would be UB.
+  std::int32_t act_min = -128, act_max = 127;
   const auto quantize_clamp = [&](double real) -> std::int32_t {
     const double q = std::round(real / attrs_.output_quant.scale) +
                      attrs_.output_quant.zero_point;
@@ -56,56 +60,123 @@ Conv2DInt8::Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs)
     case Activation::kSigmoid:  // not supported fused in the int8 path
       break;
     case Activation::kRelu:
-      act_min_ = quantize_clamp(0.0);
+      act_min = quantize_clamp(0.0);
       break;
     case Activation::kRelu6:
-      act_min_ = quantize_clamp(0.0);
-      act_max_ = quantize_clamp(6.0);
+      act_min = quantize_clamp(0.0);
+      act_max = quantize_clamp(6.0);
       break;
   }
+
+  transform_ = std::make_unique<pipeline::Int8RequantTransform>(
+      g.out_c, attrs_.input_quant.zero_point, attrs_.output_quant.zero_point,
+      packed_weights_.row_sums().data(), attrs_.bias,
+      std::move(requant_multiplier), std::move(requant_shift), act_min,
+      act_max);
+
+  // Pad with the input zero point so padding contributes zero after offset
+  // subtraction (same value the legacy im2col uses).
+  pad_value_ = static_cast<std::int8_t>(
+      std::clamp(attrs_.input_quant.zero_point, -128, 127));
+
+  // Fused-path state: byte-offset tap table and interior classification,
+  // both geometry-only, built once here.
+  indirection_ = gemm::IndirectionOffsets(g, g.in_c);
+  tile_plan_ = pipeline::TilePlan(g, gemm::kInt8Mr);
 }
 
-void Conv2DInt8::Run(const Tensor& input, Tensor& output,
-                     gemm::Context& ctx) const {
+// TileCompute policy of the int8 kernel: byte-gather patch rows through the
+// indirection cache into biased A-panels and run the widened multiply-add
+// block kernel (AVX-512BW / AVX2 maddubs / scalar).
+class Conv2DInt8TileCompute final : public pipeline::TileCompute {
+ public:
+  Conv2DInt8TileCompute(const Conv2DInt8& op, const std::int8_t* input)
+      : op_(op),
+        input_(input),
+        k_blocks_(op.packed_weights_.k_blocks()),
+        a_elems_(static_cast<std::int64_t>(k_blocks_) * gemm::kInt8Mr *
+                 gemm::kInt8Kc),
+        stage_bytes_(static_cast<std::size_t>(gemm::kInt8Mr) *
+                     Im2ColDepthFloat(op.attrs_.geo)) {}
+
+  std::size_t ShardScratchBytes(int block_tiles) const override {
+    return Align64(static_cast<std::size_t>(a_elems_) * block_tiles) +
+           Align64(stage_bytes_);
+  }
+
+  void ComputeBlock(std::int64_t tile0, int block_tiles, std::int64_t row0,
+                    int block_rows, const pipeline::TilePlan& plan,
+                    gemm::KernelProfile profile, std::uint8_t* scratch,
+                    std::int32_t* acc) const override {
+    auto* apanels = reinterpret_cast<std::int8_t*>(scratch);
+    auto* stage = reinterpret_cast<std::int8_t*>(
+        scratch + Align64(static_cast<std::size_t>(a_elems_) * block_tiles));
+    for (int i = 0; i < block_tiles; ++i) {
+      pipeline::GatherPackInt8(
+          input_, op_.indirection_, op_.pad_value_,
+          row0 + static_cast<std::int64_t>(i) * gemm::kInt8Mr, gemm::kInt8Mr,
+          k_blocks_, plan.interior(tile0 + i), stage,
+          apanels + static_cast<std::int64_t>(i) * a_elems_);
+    }
+    gemm::Int8ComputeBlock(apanels, a_elems_, op_.packed_weights_, profile,
+                           block_tiles, block_rows, acc,
+                           op_.attrs_.geo.out_c);
+  }
+
+ private:
+  static std::size_t Align64(std::size_t v) {
+    return (v + 63) & ~static_cast<std::size_t>(63);
+  }
+
+  const Conv2DInt8& op_;
+  const std::int8_t* input_;
+  int k_blocks_;
+  std::int64_t a_elems_;
+  std::size_t stage_bytes_;
+};
+
+void Conv2DInt8::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
+                     pipeline::ConvStageTimes* times) const {
   const Conv2DGeometry& g = attrs_.geo;
   LCE_CHECK(input.dtype() == DataType::kInt8);
   LCE_CHECK(output.dtype() == DataType::kInt8);
 
+  if (attrs_.force_unfused) {
+    RunUnfused(input, output, ctx);
+    return;
+  }
+
+  const Conv2DInt8TileCompute compute(*this, input.data<std::int8_t>());
+  pipeline::ConvPipelineArgs args;
+  args.variant = "conv2d_int8";
+  // kInt8Mr is small (2 rows per tile), so a 16-tile block would re-stream
+  // the packed RHS every 32 rows; 64 tiles (128 rows) amortize the B-panel
+  // loads like the legacy full-image GEMM while the A-panels + accumulator
+  // still fit in L2.
+  args.block_tiles = 64;
+  args.out_c = g.out_c;
+  args.plan = &tile_plan_;
+  args.compute = &compute;
+  args.transform = transform_.get();
+  args.out = output.raw_data();
+  pipeline::RunConvPipeline(args, ctx, times);
+}
+
+void Conv2DInt8::RunUnfused(const Tensor& input, Tensor& output,
+                            gemm::Context& ctx) const {
+  const Conv2DGeometry& g = attrs_.geo;
   const std::int64_t rows = Im2ColRows(g);
   const int depth = Im2ColDepthFloat(g);
   auto* patches = reinterpret_cast<std::int8_t*>(
       ctx.Scratch(1, static_cast<std::size_t>(rows) * depth));
-  // Pad with the input zero point so padding contributes zero after offset
-  // subtraction.
-  Im2ColInt8(input.data<std::int8_t>(), g,
-             static_cast<std::int8_t>(std::clamp(
-                 attrs_.input_quant.zero_point, -128, 127)),
-             patches);
+  Im2ColInt8(input.data<std::int8_t>(), g, pad_value_, patches);
 
   auto* acc = reinterpret_cast<std::int32_t*>(ctx.Scratch(
       2, static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t)));
   gemm::Int8Gemm(patches, static_cast<int>(rows), packed_weights_, acc,
                  g.out_c, ctx);
 
-  // Requantize: out = z_out + M * (acc - z_in * rowsum(w) + bias).
-  const std::int32_t z_in = attrs_.input_quant.zero_point;
-  const std::int32_t z_out = attrs_.output_quant.zero_point;
-  const auto& row_sums = packed_weights_.row_sums();
-  std::int8_t* out = output.data<std::int8_t>();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int32_t* a = acc + r * g.out_c;
-    std::int8_t* o = out + r * g.out_c;
-    for (int n = 0; n < g.out_c; ++n) {
-      std::int32_t v = a[n] - z_in * row_sums[n];
-      if (!attrs_.bias.empty()) v += attrs_.bias[n];
-      const int q = per_channel_ ? n : 0;
-      v = MultiplyByQuantizedMultiplier(v, requant_multiplier_[q],
-                                        requant_shift_[q]);
-      v += z_out;
-      v = std::clamp(v, act_min_, act_max_);
-      o[n] = static_cast<std::int8_t>(v);
-    }
-  }
+  transform_->Apply(acc, 0, rows, output.raw_data());
 }
 
 }  // namespace lce

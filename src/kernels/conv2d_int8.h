@@ -1,17 +1,26 @@
-// 8-bit quantized Conv2D (im2col + packed int8 GEMM + requantization),
+// 8-bit quantized Conv2D (fused gather + packed int8 GEMM + requantization),
 // standing in for TFLite's quantized convolution in the paper's int8
 // comparisons. Per-tensor affine quantization, symmetric weights.
+//
+// Execution runs through the shared fused row-tile engine
+// (kernels/pipeline/conv_pipeline.h): patch rows are byte-gathered through
+// the prepare-time indirection cache straight into biased int8 GEMM
+// A-panels, and the requantization is the shared Int8RequantTransform
+// applied per cache-resident tile.
 #ifndef LCE_KERNELS_CONV2D_INT8_H_
 #define LCE_KERNELS_CONV2D_INT8_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/quantization.h"
 #include "core/tensor.h"
 #include "gemm/context.h"
+#include "gemm/indirect_bgemm.h"
 #include "gemm/int8_gemm.h"
 #include "kernels/conv_params.h"
+#include "kernels/pipeline/conv_pipeline.h"
 
 namespace lce {
 
@@ -26,6 +35,10 @@ struct Conv2DInt8Attrs {
   // quantization). When non-empty, overrides weight_quant.scale; bias[c]
   // must then be at scale s_in * weight_scales[c].
   std::vector<float> weight_scales;
+  // Escape hatch for benchmarks and parity tests: run the legacy unfused
+  // pipeline (full-image im2col -> full-image accumulator -> requantize)
+  // instead of the fused row-tile pipeline.
+  bool force_unfused = false;
 };
 
 class Conv2DInt8 {
@@ -33,19 +46,33 @@ class Conv2DInt8 {
   Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs);
 
   // input: int8 NHWC; output: int8 NHWC.
-  void Run(const Tensor& input, Tensor& output, gemm::Context& ctx) const;
+  // scratch usage: fused path: context slot 2 (per-shard A-panels + staging
+  // + row-tile accumulator); legacy path: slot 1 (im2col patches) and
+  // slot 2 (full-image accumulator).
+  void Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
+           pipeline::ConvStageTimes* times = nullptr) const;
 
   const Conv2DInt8Attrs& attrs() const { return attrs_; }
 
  private:
+  void RunUnfused(const Tensor& input, Tensor& output,
+                  gemm::Context& ctx) const;
+
+  friend class Conv2DInt8TileCompute;
+
   Conv2DInt8Attrs attrs_;
   gemm::PackedInt8Matrix packed_weights_;
-  // Per-output-channel requantization (single entry broadcast when using
-  // per-tensor weight quantization).
-  std::vector<std::int32_t> requant_multiplier_;
-  std::vector<int> requant_shift_;
-  bool per_channel_ = false;
-  std::int32_t act_min_ = -128, act_max_ = 127;
+  // Requantization policy (multipliers, shifts, activation clamp), shared
+  // verbatim by the fused and legacy paths. References
+  // packed_weights_.row_sums(), so it is built after the weights.
+  std::unique_ptr<pipeline::OutputTransform> transform_;
+  // Byte value padded taps read: the input zero point, so padding
+  // contributes zero after offset subtraction.
+  std::int8_t pad_value_ = 0;
+  // Fused-path state: byte-offset tap table (elems_per_pixel = in_c) and
+  // the interior/border tile classification.
+  gemm::IndirectionOffsets indirection_;
+  pipeline::TilePlan tile_plan_;
 };
 
 }  // namespace lce

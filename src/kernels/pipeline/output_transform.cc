@@ -1,0 +1,224 @@
+#include "kernels/pipeline/output_transform.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "core/bitpack.h"
+#include "core/macros.h"
+#include "core/quantization.h"
+
+namespace lce::pipeline {
+namespace {
+
+// The channel-wise transform applied to the accumulator for channel n:
+//   f(d) = mult[n] * pre_act(d) + bias[n]
+// f is monotone (non-decreasing for mult >= 0, non-increasing otherwise)
+// because pre_act is non-decreasing, which is what makes threshold-based
+// bitpacked output possible.
+float TransformValue(std::int32_t d, float mult, float bias, Activation pre) {
+  float v = static_cast<float>(d);
+  v = ApplyActivation(v, pre);
+  return v * mult + bias;
+}
+
+}  // namespace
+
+FloatOutputTransform::FloatOutputTransform(int out_c, Activation pre_activation,
+                                           std::vector<float> multiplier,
+                                           std::vector<float> bias)
+    : out_c_(out_c),
+      pre_(pre_activation),
+      mult_(std::move(multiplier)),
+      bias_(std::move(bias)) {
+  if (!mult_.empty()) LCE_CHECK_EQ(static_cast<int>(mult_.size()), out_c);
+  if (!bias_.empty()) LCE_CHECK_EQ(static_cast<int>(bias_.size()), out_c);
+}
+
+void FloatOutputTransform::Apply(const std::int32_t* acc, std::int64_t row0,
+                                 std::int64_t nrows, void* out_void) const {
+  const int out_c = out_c_;
+  float* out = static_cast<float*>(out_void) + row0 * out_c;
+  const bool has_mult = !mult_.empty();
+  const bool has_bias = !bias_.empty();
+  const float* mult = has_mult ? mult_.data() : nullptr;
+  const float* bias = has_bias ? bias_.data() : nullptr;
+  const std::int64_t total = nrows * out_c;
+
+  // Specialized branch-free inner loops so the compiler vectorizes the
+  // int->float conversion and the fused affine (this transform runs on
+  // every output element; see Table 4).
+  const bool relu = pre_ == Activation::kRelu;
+  if (!has_mult && !has_bias) {
+    if (relu) {
+      for (std::int64_t i = 0; i < total; ++i) {
+        out[i] = static_cast<float>(acc[i] > 0 ? acc[i] : 0);
+      }
+    } else {
+      for (std::int64_t i = 0; i < total; ++i) {
+        out[i] = static_cast<float>(acc[i]);
+      }
+    }
+    return;
+  }
+  if (pre_ == Activation::kNone || relu) {
+    for (std::int64_t r = 0; r < nrows; ++r) {
+      const std::int32_t* a = acc + r * out_c;
+      float* o = out + r * out_c;
+      if (relu) {
+        for (int n = 0; n < out_c; ++n) {
+          const float v = static_cast<float>(a[n] > 0 ? a[n] : 0);
+          o[n] = v * (mult != nullptr ? mult[n] : 1.0f) +
+                 (bias != nullptr ? bias[n] : 0.0f);
+        }
+      } else {
+        for (int n = 0; n < out_c; ++n) {
+          o[n] = static_cast<float>(a[n]) * (mult != nullptr ? mult[n] : 1.0f) +
+                 (bias != nullptr ? bias[n] : 0.0f);
+        }
+      }
+    }
+    return;
+  }
+  // General (rare) activations: the straightforward loop.
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    const std::int32_t* a = acc + r * out_c;
+    float* o = out + r * out_c;
+    for (int n = 0; n < out_c; ++n) {
+      float v = ApplyActivation(static_cast<float>(a[n]), pre_);
+      if (has_mult) v *= mult[n];
+      if (has_bias) v += bias[n];
+      o[n] = v;
+    }
+  }
+}
+
+BitpackedOutputTransform::BitpackedOutputTransform(
+    int out_c, int k_bits, Activation pre_activation,
+    const std::vector<float>& multiplier, const std::vector<float>& bias)
+    : out_c_(out_c) {
+  if (!multiplier.empty()) {
+    LCE_CHECK_EQ(static_cast<int>(multiplier.size()), out_c);
+  }
+  if (!bias.empty()) LCE_CHECK_EQ(static_cast<int>(bias.size()), out_c);
+  cmp_.resize(out_c);
+  flip_.resize(out_c);
+  for (int n = 0; n < out_c; ++n) {
+    const float mult = multiplier.empty() ? 1.0f : multiplier[n];
+    const float b = bias.empty() ? 0.0f : bias[n];
+    if (mult == 0.0f) {
+      // Constant bit: cmp never fires; flip carries the constant.
+      cmp_[n] = std::numeric_limits<std::int32_t>::min();
+      flip_[n] = b < 0.0f ? 1u : 0u;
+      continue;
+    }
+    const bool increasing = mult > 0.0f;
+    // Search d in [-k_bits, k_bits] for the transition point of
+    // sign(f(d)). For increasing f: threshold = min{d : f(d) >= 0}; the
+    // output bit is set (value -1.0) iff d < threshold. For decreasing f:
+    // threshold = max{d : f(d) >= 0}; bit set iff d > threshold.
+    std::int32_t lo = -k_bits - 1, hi = k_bits + 1;
+    if (increasing) {
+      // Find the smallest d with f(d) >= 0 (may be hi if none); the
+      // output bit (-1.0) is set iff acc < that threshold.
+      while (lo < hi) {
+        const std::int32_t mid = lo + (hi - lo) / 2;
+        if (TransformValue(mid, mult, b, pre_activation) >= 0.0f) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      cmp_[n] = lo;
+      flip_[n] = 0u;
+    } else {
+      // Find the largest d with f(d) >= 0 (may be lo if none); bit set
+      // iff acc > t, i.e. !(acc < t + 1).
+      while (lo < hi) {
+        const std::int32_t mid = lo + (hi - lo + 1) / 2;
+        if (TransformValue(mid, mult, b, pre_activation) >= 0.0f) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      cmp_[n] = lo + 1;
+      flip_[n] = 1u;
+    }
+  }
+}
+
+void BitpackedOutputTransform::Apply(const std::int32_t* acc, std::int64_t row0,
+                                     std::int64_t nrows, void* out_void) const {
+  const int out_c = out_c_;
+  const int words = BitpackedWords(out_c);
+  TBitpacked* out = static_cast<TBitpacked*>(out_void) + row0 * words;
+  const std::int32_t* cmp = cmp_.data();
+  const std::uint32_t* flip = flip_.data();
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    const std::int32_t* a = acc + r * out_c;
+    TBitpacked* o = out + r * words;
+    for (int w = 0; w < words; ++w) {
+      const int base = w * kBitpackWordSize;
+      const int valid = std::min(kBitpackWordSize, out_c - base);
+      TBitpacked bits = 0;
+      // Branch-free: bit = (acc < cmp) XOR flip; auto-vectorizable.
+      for (int b = 0; b < valid; ++b) {
+        const std::uint32_t bit =
+            static_cast<std::uint32_t>(a[base + b] < cmp[base + b]) ^
+            flip[base + b];
+        bits |= static_cast<TBitpacked>(bit) << b;
+      }
+      o[w] = bits;
+    }
+  }
+}
+
+void Int32OutputTransform::Apply(const std::int32_t* acc, std::int64_t row0,
+                                 std::int64_t nrows, void* out_void) const {
+  std::int32_t* out = static_cast<std::int32_t*>(out_void) + row0 * out_c_;
+  std::memcpy(out, acc,
+              static_cast<std::size_t>(nrows) * out_c_ * sizeof(std::int32_t));
+}
+
+Int8RequantTransform::Int8RequantTransform(
+    int out_c, std::int32_t z_in, std::int32_t z_out,
+    const std::int32_t* row_sums, std::vector<std::int32_t> bias,
+    std::vector<std::int32_t> multiplier, std::vector<int> shift,
+    std::int32_t act_min, std::int32_t act_max)
+    : out_c_(out_c),
+      z_in_(z_in),
+      z_out_(z_out),
+      row_sums_(row_sums),
+      bias_(std::move(bias)),
+      mult_(std::move(multiplier)),
+      shift_(std::move(shift)),
+      per_channel_(mult_.size() > 1),
+      act_min_(act_min),
+      act_max_(act_max) {
+  LCE_CHECK_EQ(mult_.size(), shift_.size());
+  if (per_channel_) LCE_CHECK_EQ(static_cast<int>(mult_.size()), out_c);
+  if (!bias_.empty()) LCE_CHECK_EQ(static_cast<int>(bias_.size()), out_c);
+}
+
+void Int8RequantTransform::Apply(const std::int32_t* acc, std::int64_t row0,
+                                 std::int64_t nrows, void* out_void) const {
+  const int out_c = out_c_;
+  std::int8_t* out = static_cast<std::int8_t*>(out_void) + row0 * out_c;
+  const bool has_bias = !bias_.empty();
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    const std::int32_t* a = acc + r * out_c;
+    std::int8_t* o = out + r * out_c;
+    for (int n = 0; n < out_c; ++n) {
+      std::int32_t v = a[n] - z_in_ * row_sums_[n];
+      if (has_bias) v += bias_[n];
+      const int q = per_channel_ ? n : 0;
+      v = MultiplyByQuantizedMultiplier(v, mult_[q], shift_[q]);
+      v += z_out_;
+      v = std::clamp(v, act_min_, act_max_);
+      o[n] = static_cast<std::int8_t>(v);
+    }
+  }
+}
+
+}  // namespace lce::pipeline

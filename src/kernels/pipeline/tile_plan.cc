@@ -1,0 +1,64 @@
+#include "kernels/pipeline/tile_plan.h"
+
+#include "core/macros.h"
+
+namespace lce::pipeline {
+namespace {
+
+// Range of interior output coordinates along one axis: o is interior iff
+// o*stride - pad >= 0 and o*stride - pad + filter <= in, i.e.
+// ceil(pad/stride) <= o <= floor((in - filter + pad) / stride).
+void InteriorRange(int in, int filter, int stride, int pad, int out, int* lo,
+                   int* hi) {
+  *lo = (pad + stride - 1) / stride;
+  const int span = in - filter + pad;
+  *hi = span < 0 ? -1 : span / stride;
+  if (*hi >= out) *hi = out - 1;
+}
+
+}  // namespace
+
+bool TilePlan::RowInterior(const Conv2DGeometry& g, std::int64_t pos) {
+  const int out_h = g.out_h(), out_w = g.out_w();
+  const int ox = static_cast<int>(pos % out_w);
+  const int oy = static_cast<int>((pos / out_w) % out_h);
+  const int iy0 = oy * g.stride_h - g.pad_h_begin();
+  const int ix0 = ox * g.stride_w - g.pad_w_begin();
+  return iy0 >= 0 && iy0 + g.filter_h <= g.in_h && ix0 >= 0 &&
+         ix0 + g.filter_w <= g.in_w;
+}
+
+TilePlan::TilePlan(const Conv2DGeometry& g, int tile_rows)
+    : tile_rows_(tile_rows) {
+  LCE_CHECK_GT(tile_rows, 0);
+  const int out_h = g.out_h(), out_w = g.out_w();
+  rows_ = static_cast<std::int64_t>(g.batch) * out_h * out_w;
+  num_tiles_ = (rows_ + tile_rows - 1) / tile_rows;
+  interior_.assign(static_cast<std::size_t>(num_tiles_), 0);
+  prefix_.assign(static_cast<std::size_t>(num_tiles_) + 1, 0);
+
+  int oy_lo, oy_hi, ox_lo, ox_hi;
+  InteriorRange(g.in_h, g.filter_h, g.stride_h, g.pad_h_begin(), out_h, &oy_lo,
+                &oy_hi);
+  InteriorRange(g.in_w, g.filter_w, g.stride_w, g.pad_w_begin(), out_w, &ox_lo,
+                &ox_hi);
+
+  // Walk rows once; a tile is interior iff all of its (existing) rows are.
+  // Tail rows past rows_ are never gathered, so they don't affect the class.
+  std::int64_t pos = 0;
+  for (std::int64_t t = 0; t < num_tiles_; ++t) {
+    bool all = true;
+    for (int r = 0; r < tile_rows && pos < rows_; ++r, ++pos) {
+      const int ox = static_cast<int>(pos % out_w);
+      const int oy = static_cast<int>((pos / out_w) % out_h);
+      if (oy < oy_lo || oy > oy_hi || ox < ox_lo || ox > ox_hi) {
+        all = false;
+        // Keep advancing pos to the start of the next tile.
+      }
+    }
+    interior_[t] = all ? 1 : 0;
+    prefix_[t + 1] = prefix_[t] + (all ? 1 : 0);
+  }
+}
+
+}  // namespace lce::pipeline

@@ -1,0 +1,62 @@
+// Interior/border decomposition of the fused row-tile pipeline (shared by
+// every ConvPipeline consumer; see conv_pipeline.h).
+//
+// The interior of a padded convolution — output positions whose receptive
+// field lies entirely inside the image — has no padded taps, so its
+// gather-pack can skip the padded-tap sentinel check and the zero-padding
+// correction can skip the whole block. The classification depends only on
+// the geometry, so it is computed once at op-preparation time, per row tile
+// (a tile is interior iff every one of its output positions is).
+#ifndef LCE_KERNELS_PIPELINE_TILE_PLAN_H_
+#define LCE_KERNELS_PIPELINE_TILE_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/conv_params.h"
+
+namespace lce::pipeline {
+
+class TilePlan {
+ public:
+  TilePlan() = default;
+
+  // Classifies the `ceil(batch*out_h*out_w / tile_rows)` row tiles of `geo`.
+  TilePlan(const Conv2DGeometry& geo, int tile_rows);
+
+  bool empty() const { return num_tiles_ == 0; }
+  std::int64_t rows() const { return rows_; }  // batch * out_h * out_w
+  int tile_rows() const { return tile_rows_; }
+  std::int64_t num_tiles() const { return num_tiles_; }
+  std::int64_t interior_tiles() const {
+    return num_tiles_ == 0 ? 0 : prefix_[num_tiles_];
+  }
+
+  // True when no output position of tile `t` has a padded tap.
+  bool interior(std::int64_t t) const { return interior_[t] != 0; }
+
+  // Number of interior tiles in [tbegin, tend).
+  std::int64_t InteriorInRange(std::int64_t tbegin, std::int64_t tend) const {
+    return prefix_[tend] - prefix_[tbegin];
+  }
+  // True when every tile in [tbegin, tend) is interior.
+  bool AllInterior(std::int64_t tbegin, std::int64_t tend) const {
+    return InteriorInRange(tbegin, tend) == tend - tbegin;
+  }
+
+  // True when output position `pos` (flattened batch*out_h*out_w index) has
+  // its whole receptive field in-bounds. Exposed for tests and for per-row
+  // consumers (the zero-padding correction uses the same predicate inline).
+  static bool RowInterior(const Conv2DGeometry& geo, std::int64_t pos);
+
+ private:
+  std::int64_t rows_ = 0;
+  int tile_rows_ = 1;
+  std::int64_t num_tiles_ = 0;
+  std::vector<std::uint8_t> interior_;  // [num_tiles]
+  std::vector<std::int64_t> prefix_;    // [num_tiles + 1] interior prefix sums
+};
+
+}  // namespace lce::pipeline
+
+#endif  // LCE_KERNELS_PIPELINE_TILE_PLAN_H_

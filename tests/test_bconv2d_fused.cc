@@ -143,7 +143,7 @@ std::vector<FusedCase> FusedSweep() {
       {7, 33, 17, 3, 1, Padding::kSameZero, 1},   // odd channels
       {7, 33, 17, 5, 1, Padding::kSameOne, 1},    // 5x5, odd channels
       {10, 100, 64, 3, 2, Padding::kValid, 1},    // VALID, strided
-      {6, 128, 16, 3, 1, Padding::kSameOne, 2},   // grouped (legacy path)
+      {6, 128, 16, 3, 1, Padding::kSameOne, 2},   // grouped (fused gather)
       {6, 128, 16, 3, 1, Padding::kSameZero, 4},  // grouped + zero-padding
   };
   std::vector<FusedCase> cases;

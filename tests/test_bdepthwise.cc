@@ -37,7 +37,8 @@ TEST_P(BDepthwiseGeometry, MatchesFloatReference) {
   attrs.geo = geo;
   BDepthwiseConv2D op(w.data(), attrs);
   Tensor out(DataType::kFloat32, Shape{1, geo.out_h(), geo.out_w(), channels});
-  op.Run(in_b, out);
+  gemm::Context ctx(2);
+  op.Run(in_b, out, ctx);
 
   // Reference: float depthwise conv. For one-padding we emulate by padding
   // the input with +1 explicitly (the reference ignores padded taps, which
@@ -118,14 +119,15 @@ TEST(BDepthwise, FusedMultiplierAndBias) {
   plain_attrs.geo = geo;
   BDepthwiseConv2D plain(w.data(), plain_attrs);
   Tensor raw(DataType::kFloat32, Shape{1, 5, 5, 32});
-  plain.Run(in_b, raw);
+  gemm::Context ctx(1);
+  plain.Run(in_b, raw, ctx);
 
   BDepthwiseConv2DAttrs fused_attrs = plain_attrs;
   fused_attrs.multiplier = mult;
   fused_attrs.bias = bias;
   BDepthwiseConv2D fused(w.data(), fused_attrs);
   Tensor out(DataType::kFloat32, raw.shape());
-  fused.Run(in_b, out);
+  fused.Run(in_b, out, ctx);
 
   for (std::int64_t i = 0; i < out.num_elements(); ++i) {
     const int c = static_cast<int>(i % 32);
@@ -163,7 +165,8 @@ TEST(BDepthwise, AllTapsAgreeGivesFullCount) {
   attrs.geo = geo;
   BDepthwiseConv2D op(w.data(), attrs);
   Tensor out(DataType::kFloat32, Shape{1, 1, 1, 64});
-  op.Run(in_b, out);
+  gemm::Context ctx(1);
+  op.Run(in_b, out, ctx);
   for (int c = 0; c < 64; ++c) {
     EXPECT_EQ(out.data<float>()[c], 9.0f) << c;
   }

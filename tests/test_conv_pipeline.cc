@@ -1,0 +1,277 @@
+// Unit tests for the shared ConvPipeline building blocks: the
+// interior/border TilePlan and the gather-pack strategies
+// (kernels/pipeline/). Each gather strategy is checked against the
+// composition it replaces -- im2col (full, sliced, or int8) followed by the
+// corresponding LHS tile packer -- which must produce bit-identical panels.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/bitpack.h"
+#include "core/random.h"
+#include "gemm/bgemm.h"
+#include "gemm/indirect_bgemm.h"
+#include "gemm/int8_gemm.h"
+#include "kernels/im2col.h"
+#include "kernels/pipeline/gather_pack.h"
+#include "kernels/pipeline/tile_plan.h"
+
+namespace lce {
+namespace {
+
+// Brute-force interior predicate: every tap of the receptive field of
+// flattened output position `pos` lies inside the image.
+bool BruteForceRowInterior(const Conv2DGeometry& g, std::int64_t pos) {
+  const int out_w = g.out_w(), out_h = g.out_h();
+  const int ox = static_cast<int>(pos % out_w);
+  const int oy = static_cast<int>((pos / out_w) % out_h);
+  const int iy0 = oy * g.stride_h - g.pad_h_begin();
+  const int ix0 = ox * g.stride_w - g.pad_w_begin();
+  return iy0 >= 0 && iy0 + g.filter_h <= g.in_h && ix0 >= 0 &&
+         ix0 + g.filter_w <= g.in_w;
+}
+
+Conv2DGeometry MakeGeo(int hw, int in_c, int k, int stride, Padding pad,
+                       int batch = 1) {
+  Conv2DGeometry g;
+  g.batch = batch;
+  g.in_h = g.in_w = hw;
+  g.in_c = in_c;
+  g.out_c = in_c;  // irrelevant for plans/gathers
+  g.filter_h = g.filter_w = k;
+  g.stride_h = g.stride_w = stride;
+  g.padding = pad;
+  return g;
+}
+
+TEST(TilePlan, MatchesBruteForce) {
+  const struct {
+    int hw, k, stride, batch;
+    Padding pad;
+  } cases[] = {
+      {8, 3, 1, 1, Padding::kSameOne},  {8, 3, 1, 2, Padding::kSameZero},
+      {9, 3, 2, 1, Padding::kSameZero}, {7, 5, 1, 1, Padding::kSameOne},
+      {10, 3, 3, 1, Padding::kSameZero}, {6, 1, 1, 1, Padding::kValid},
+      {12, 3, 2, 3, Padding::kSameOne},
+  };
+  for (const auto& c : cases) {
+    const Conv2DGeometry g = MakeGeo(c.hw, 32, c.k, c.stride, c.pad, c.batch);
+    for (const int tile_rows : {1, 2, 4}) {
+      const pipeline::TilePlan plan(g, tile_rows);
+      const std::int64_t rows = Im2ColRows(g);
+      ASSERT_EQ(plan.rows(), rows);
+      ASSERT_EQ(plan.num_tiles(), (rows + tile_rows - 1) / tile_rows);
+
+      std::int64_t interior_count = 0;
+      for (std::int64_t t = 0; t < plan.num_tiles(); ++t) {
+        bool all_interior = true;
+        for (int r = 0; r < tile_rows; ++r) {
+          const std::int64_t pos = t * tile_rows + r;
+          if (pos >= rows) break;  // tail rows past the end are ignored
+          const bool brute = BruteForceRowInterior(g, pos);
+          ASSERT_EQ(pipeline::TilePlan::RowInterior(g, pos), brute)
+              << "hw=" << c.hw << " k=" << c.k << " pos=" << pos;
+          all_interior = all_interior && brute;
+        }
+        ASSERT_EQ(plan.interior(t), all_interior)
+            << "hw=" << c.hw << " k=" << c.k << " tile " << t;
+        interior_count += all_interior ? 1 : 0;
+      }
+      ASSERT_EQ(plan.interior_tiles(), interior_count);
+
+      // Prefix-sum range queries against a direct count.
+      for (std::int64_t b = 0; b < plan.num_tiles(); b += 3) {
+        for (std::int64_t e = b; e <= plan.num_tiles(); e += 5) {
+          std::int64_t direct = 0;
+          for (std::int64_t t = b; t < e; ++t) direct += plan.interior(t);
+          ASSERT_EQ(plan.InteriorInRange(b, e), direct);
+          ASSERT_EQ(plan.AllInterior(b, e), direct == e - b);
+        }
+      }
+    }
+  }
+}
+
+TEST(TilePlan, ValidPaddingIsAllInterior) {
+  const Conv2DGeometry g = MakeGeo(9, 64, 3, 2, Padding::kValid);
+  const pipeline::TilePlan plan(g, 4);
+  EXPECT_EQ(plan.interior_tiles(), plan.num_tiles());
+  EXPECT_TRUE(plan.AllInterior(0, plan.num_tiles()));
+}
+
+// Packs every tile of the geometry twice -- gather vs im2col+pack -- and
+// compares the panels word for word.
+void CheckGatherMatchesIm2Col(const Conv2DGeometry& g) {
+  Rng rng(g.in_h * 31 + g.filter_h * 7 + g.in_c);
+  Tensor in_f(DataType::kFloat32, Shape{g.batch, g.in_h, g.in_w, g.in_c});
+  FillSigns(in_f, rng);
+  Tensor in_b(DataType::kBitpacked, in_f.shape());
+  BitpackTensor(in_f, in_b);
+
+  const std::int64_t rows = Im2ColRows(g);
+  const int patch_words = Im2ColDepthBitpacked(g);
+  std::vector<TBitpacked> patches(static_cast<std::size_t>(rows) *
+                                  patch_words);
+  Im2ColBitpacked(in_b.data<TBitpacked>(), g, patches.data());
+
+  const gemm::IndirectionOffsets ind(g);
+  std::vector<TBitpacked> zero_row(BitpackedWords(g.in_c), 0);
+  const pipeline::TilePlan plan(g, gemm::kBgemmMr);
+  const int k_blocks = gemm::BGemmKBlocks(patch_words);
+  const std::int64_t a_elems =
+      gemm::BGemmApanelElems(k_blocks, gemm::kBgemmMr);
+
+  std::vector<std::uint64_t> expected(a_elems), got(a_elems);
+  for (std::int64_t t = 0; t < plan.num_tiles(); ++t) {
+    const std::int64_t row0 = t * gemm::kBgemmMr;
+    gemm::BGemmPackLhsTile(patches.data(), static_cast<int>(rows), patch_words,
+                           static_cast<int>(row0), gemm::kBgemmMr, k_blocks,
+                           expected.data());
+    // The checked (non-interior) gather must match everywhere...
+    pipeline::GatherPackBitpacked(in_b.data<TBitpacked>(), ind,
+                                  zero_row.data(), row0, gemm::kBgemmMr,
+                                  k_blocks, /*interior=*/false, got.data());
+    ASSERT_EQ(std::memcmp(got.data(), expected.data(),
+                          a_elems * sizeof(std::uint64_t)),
+              0)
+        << "checked gather, tile " << t;
+    // ...and the sentinel-free interior variant on interior tiles.
+    if (plan.interior(t)) {
+      pipeline::GatherPackBitpacked(in_b.data<TBitpacked>(), ind,
+                                    zero_row.data(), row0, gemm::kBgemmMr,
+                                    k_blocks, /*interior=*/true, got.data());
+      ASSERT_EQ(std::memcmp(got.data(), expected.data(),
+                            a_elems * sizeof(std::uint64_t)),
+                0)
+          << "interior gather, tile " << t;
+    }
+  }
+}
+
+TEST(GatherPack, EvenWordsMatchesIm2Col) {
+  // 64 channels = 2 words: the paired-word fast path.
+  CheckGatherMatchesIm2Col(MakeGeo(9, 64, 3, 1, Padding::kSameOne));
+  CheckGatherMatchesIm2Col(MakeGeo(8, 128, 3, 2, Padding::kSameOne));
+}
+
+TEST(GatherPack, OddWordsMatchesIm2Col) {
+  // The odd-words staging path needs an odd per-pixel word count:
+  // 32 channels = 1 word, 96 channels = 3 words.
+  CheckGatherMatchesIm2Col(MakeGeo(9, 32, 3, 1, Padding::kSameOne));
+  CheckGatherMatchesIm2Col(MakeGeo(7, 96, 5, 1, Padding::kSameOne));
+}
+
+TEST(GatherPack, ScatterFallbackMatchesIm2Col) {
+  // The generic word-by-word scatter fallback runs only when the logical
+  // patch row exceeds the 1024-word staging buffer AND the word count is
+  // odd: 96 channels = 3 words with a 19x19 filter gives 361 taps * 3 =
+  // 1083 words. One-padding makes border tiles exercise the sentinel path
+  // through the fallback too.
+  CheckGatherMatchesIm2Col(MakeGeo(19, 96, 19, 1, Padding::kSameOne));
+}
+
+TEST(GatherPack, BatchedMatchesIm2Col) {
+  CheckGatherMatchesIm2Col(MakeGeo(6, 64, 3, 1, Padding::kSameOne, /*batch=*/3));
+}
+
+TEST(GatherPack, GroupSliceMatchesGroupIm2Col) {
+  // Grouped gather vs the sliced im2col the legacy grouped path uses. Group
+  // word counts of 1 (32 ch/group) and 2 (64 ch/group) cover the odd-words
+  // and even-words paths through the sliced gather.
+  const struct {
+    int in_c, groups;
+  } cases[] = {{64, 2}, {128, 4}, {128, 2}, {96, 3}};
+  for (const auto& c : cases) {
+    Conv2DGeometry g = MakeGeo(8, c.in_c, 3, 1, Padding::kSameOne);
+    Rng rng(c.in_c * 5 + c.groups);
+    Tensor in_f(DataType::kFloat32, Shape{1, g.in_h, g.in_w, g.in_c});
+    FillSigns(in_f, rng);
+    Tensor in_b(DataType::kBitpacked, in_f.shape());
+    BitpackTensor(in_f, in_b);
+
+    const std::int64_t rows = Im2ColRows(g);
+    const int total_words = BitpackedWords(g.in_c);
+    const int group_words = total_words / c.groups;
+    const int taps = g.filter_h * g.filter_w;
+    const int group_kw = taps * group_words;
+    const int k_blocks = gemm::BGemmKBlocks(group_kw);
+    const std::int64_t a_elems =
+        gemm::BGemmApanelElems(k_blocks, gemm::kBgemmMr);
+
+    const gemm::IndirectionOffsets ind(g);
+    std::vector<TBitpacked> zero_row(group_words, 0);
+    const pipeline::TilePlan plan(g, gemm::kBgemmMr);
+    std::vector<TBitpacked> group_patches(static_cast<std::size_t>(rows) *
+                                          group_kw);
+    std::vector<std::uint64_t> expected(a_elems), got(a_elems);
+
+    for (int grp = 0; grp < c.groups; ++grp) {
+      Im2ColBitpackedGroup(in_b.data<TBitpacked>(), g, total_words,
+                           grp * group_words, group_words,
+                           group_patches.data());
+      for (std::int64_t t = 0; t < plan.num_tiles(); ++t) {
+        const std::int64_t row0 = t * gemm::kBgemmMr;
+        gemm::BGemmPackLhsTile(group_patches.data(), static_cast<int>(rows),
+                               group_kw, static_cast<int>(row0),
+                               gemm::kBgemmMr, k_blocks, expected.data());
+        pipeline::GatherPackBitpackedGroup(
+            in_b.data<TBitpacked>(), ind, zero_row.data(), grp * group_words,
+            group_words, row0, gemm::kBgemmMr, k_blocks, plan.interior(t),
+            got.data());
+        ASSERT_EQ(std::memcmp(got.data(), expected.data(),
+                              a_elems * sizeof(std::uint64_t)),
+                  0)
+            << "in_c=" << c.in_c << " groups=" << c.groups << " grp=" << grp
+            << " tile " << t;
+      }
+    }
+  }
+}
+
+TEST(GatherPack, Int8MatchesIm2Col) {
+  const struct {
+    int hw, in_c, k, stride;
+    Padding pad;
+  } cases[] = {
+      {8, 16, 3, 1, Padding::kSameZero},
+      {9, 24, 3, 2, Padding::kSameZero},
+      {6, 8, 1, 1, Padding::kValid},
+  };
+  for (const auto& c : cases) {
+    const Conv2DGeometry g = MakeGeo(c.hw, c.in_c, c.k, c.stride, c.pad);
+    Rng rng(c.hw + c.in_c);
+    Tensor in(DataType::kInt8, Shape{1, g.in_h, g.in_w, g.in_c});
+    FillInt8(in, rng);
+    const std::int8_t pad_value = 3;  // a nonzero input zero point
+
+    const std::int64_t rows = Im2ColRows(g);
+    const int depth = Im2ColDepthFloat(g);
+    std::vector<std::int8_t> patches(static_cast<std::size_t>(rows) * depth);
+    Im2ColInt8(in.data<std::int8_t>(), g, pad_value, patches.data());
+
+    const gemm::IndirectionOffsets ind(g, g.in_c);
+    const pipeline::TilePlan plan(g, gemm::kInt8Mr);
+    const int k_blocks = (depth + gemm::kInt8Kc - 1) / gemm::kInt8Kc;
+    const std::int64_t a_elems =
+        static_cast<std::int64_t>(k_blocks) * gemm::kInt8Mr * gemm::kInt8Kc;
+    std::vector<std::int8_t> expected(a_elems), got(a_elems);
+    std::vector<std::int8_t> stage(static_cast<std::size_t>(gemm::kInt8Mr) *
+                                   depth);
+
+    for (std::int64_t t = 0; t < plan.num_tiles(); ++t) {
+      const std::int64_t row0 = t * gemm::kInt8Mr;
+      gemm::Int8GemmPackLhsTile(patches.data(), static_cast<int>(rows), depth,
+                                static_cast<int>(row0), gemm::kInt8Mr,
+                                k_blocks, /*bias=*/true, expected.data());
+      pipeline::GatherPackInt8(in.data<std::int8_t>(), ind, pad_value, row0,
+                               gemm::kInt8Mr, k_blocks, plan.interior(t),
+                               stage.data(), got.data());
+      ASSERT_EQ(std::memcmp(got.data(), expected.data(), a_elems), 0)
+          << "hw=" << c.hw << " in_c=" << c.in_c << " tile " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lce

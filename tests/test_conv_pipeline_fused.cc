@@ -1,0 +1,358 @@
+// Fused-vs-legacy bit-exactness for the ConvPipeline variants that joined
+// the shared engine after BConv2D: binary depthwise, grouped binary, and
+// int8. Each variant's fused row-tile execution must be bit-identical to
+// its force_unfused legacy pipeline (which in turn is covered against the
+// float/dequantized references by the per-kernel suites), single- and
+// multi-threaded. The per-variant `*.fused_tiles` / `*.interior_tiles`
+// telemetry and the bconv2d fallback tripwire are pinned down here too.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/bitpack.h"
+#include "core/random.h"
+#include "gemm/bgemm.h"
+#include "kernels/bconv2d.h"
+#include "kernels/bdepthwise.h"
+#include "kernels/conv2d_int8.h"
+#include "kernels/im2col.h"
+#include "telemetry/metrics.h"
+
+namespace lce {
+namespace {
+
+std::int64_t CounterValue(const char* name) {
+  return telemetry::MetricsRegistry::Global().Counter(name)->value();
+}
+
+// ---------------------------------------------------------------------------
+// Binary depthwise
+// ---------------------------------------------------------------------------
+
+struct DepthwiseCase {
+  int hw, channels, k, stride;
+  Padding pad;
+};
+
+class DepthwiseFusedParity : public ::testing::TestWithParam<DepthwiseCase> {};
+
+TEST_P(DepthwiseFusedParity, FusedMatchesLegacy) {
+  const DepthwiseCase c = GetParam();
+  Conv2DGeometry geo;
+  geo.in_h = geo.in_w = c.hw;
+  geo.in_c = geo.out_c = c.channels;
+  geo.filter_h = geo.filter_w = c.k;
+  geo.stride_h = geo.stride_w = c.stride;
+  geo.padding = c.pad;
+
+  Rng rng(c.hw * 17 + c.channels + c.k);
+  Tensor in_f(DataType::kFloat32, Shape{1, c.hw, c.hw, c.channels});
+  FillSigns(in_f, rng);
+  Tensor in_b(DataType::kBitpacked, in_f.shape());
+  BitpackTensor(in_f, in_b);
+  std::vector<float> w(static_cast<std::size_t>(c.k) * c.k * c.channels);
+  for (auto& v : w) v = rng.Sign();
+  std::vector<float> mult(c.channels), bias(c.channels);
+  for (auto& v : mult) v = rng.Uniform(-0.5f, 0.5f);
+  for (auto& v : bias) v = rng.Uniform(-1.0f, 1.0f);
+
+  BDepthwiseConv2DAttrs attrs;
+  attrs.geo = geo;
+  attrs.multiplier = mult;
+  attrs.bias = bias;
+  BDepthwiseConv2D fused(w.data(), attrs);
+  attrs.force_unfused = true;
+  BDepthwiseConv2D legacy(w.data(), attrs);
+
+  Tensor out_legacy(DataType::kFloat32,
+                    Shape{1, geo.out_h(), geo.out_w(), c.channels});
+  {
+    gemm::Context ctx(1);
+    legacy.Run(in_b, out_legacy, ctx);
+  }
+  for (const int threads : {1, 4}) {
+    Tensor out_fused(DataType::kFloat32, out_legacy.shape());
+    gemm::Context ctx(threads);
+    fused.Run(in_b, out_fused, ctx);
+    for (std::int64_t i = 0; i < out_fused.num_elements(); ++i) {
+      ASSERT_EQ(out_fused.data<float>()[i], out_legacy.data<float>()[i])
+          << "threads=" << threads << " element " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DepthwiseFusedParity,
+    ::testing::Values(DepthwiseCase{8, 32, 3, 1, Padding::kSameOne},
+                      DepthwiseCase{8, 64, 3, 1, Padding::kValid},
+                      DepthwiseCase{9, 33, 3, 2, Padding::kSameOne},
+                      DepthwiseCase{7, 100, 3, 2, Padding::kValid},
+                      DepthwiseCase{11, 40, 3, 3, Padding::kSameOne},
+                      DepthwiseCase{6, 32, 1, 1, Padding::kValid}));
+
+TEST(DepthwiseFused, TileCountersAdvance) {
+  // 12-wide output rows: the 10-position interior run of each SAME row
+  // fully contains one aligned 4-row tile, so interior tiles exist without
+  // covering everything (an 8-wide image would legitimately have zero).
+  Conv2DGeometry geo;
+  geo.in_h = geo.in_w = 12;
+  geo.in_c = geo.out_c = 32;
+  geo.filter_h = geo.filter_w = 3;
+  geo.padding = Padding::kSameOne;
+
+  Rng rng(3);
+  Tensor in_b(DataType::kBitpacked, Shape{1, 12, 12, 32});
+  FillBitpacked(in_b, rng);
+  std::vector<float> w(9 * 32, 1.0f);
+  BDepthwiseConv2DAttrs attrs;
+  attrs.geo = geo;
+  BDepthwiseConv2D op(w.data(), attrs);
+  Tensor out(DataType::kFloat32, Shape{1, 12, 12, 32});
+
+  const std::int64_t rows = Im2ColRows(geo);
+  const std::int64_t m_tiles = (rows + gemm::kBgemmMr - 1) / gemm::kBgemmMr;
+  telemetry::MetricsRegistry::Global().Reset();
+  gemm::Context ctx(2);
+  op.Run(in_b, out, ctx);
+  EXPECT_EQ(CounterValue("bdepthwise.fused_tiles"), m_tiles);
+  EXPECT_GT(CounterValue("bdepthwise.interior_tiles"), 0);
+  EXPECT_LT(CounterValue("bdepthwise.interior_tiles"), m_tiles);
+}
+
+// ---------------------------------------------------------------------------
+// Grouped binary convolution
+// ---------------------------------------------------------------------------
+
+struct GroupedCase {
+  int hw, in_c, out_c, groups, k;
+  Padding pad;
+  BConvOutputType output;
+};
+
+class GroupedFusedParity : public ::testing::TestWithParam<GroupedCase> {};
+
+TEST_P(GroupedFusedParity, FusedMatchesLegacy) {
+  const GroupedCase c = GetParam();
+  Conv2DGeometry geo;
+  geo.in_h = geo.in_w = c.hw;
+  geo.in_c = c.in_c;
+  geo.out_c = c.out_c;
+  geo.filter_h = geo.filter_w = c.k;
+  geo.padding = c.pad;
+
+  Rng rng(c.in_c * 13 + c.out_c + c.groups);
+  Tensor in_f(DataType::kFloat32, Shape{1, c.hw, c.hw, c.in_c});
+  FillSigns(in_f, rng);
+  Tensor in_b(DataType::kBitpacked, in_f.shape());
+  BitpackTensor(in_f, in_b);
+  std::vector<float> w(static_cast<std::size_t>(c.out_c) * c.k * c.k *
+                       (c.in_c / c.groups));
+  for (auto& v : w) v = rng.Sign();
+  std::vector<float> mult(c.out_c), bias(c.out_c);
+  for (auto& v : mult) v = rng.Uniform(-0.3f, 0.3f);
+  for (auto& v : bias) v = rng.Uniform(-2.0f, 2.0f);
+
+  BConv2DAttrs attrs;
+  attrs.geo = geo;
+  attrs.groups = c.groups;
+  attrs.output_type = c.output;
+  attrs.multiplier = mult;
+  attrs.bias = bias;
+  BConv2D fused(w.data(), attrs);
+  attrs.force_unfused = true;
+  BConv2D legacy(w.data(), attrs);
+
+  const DataType out_dtype = c.output == BConvOutputType::kBitpacked
+                                 ? DataType::kBitpacked
+                                 : DataType::kFloat32;
+  Tensor out_legacy(out_dtype, Shape{1, geo.out_h(), geo.out_w(), c.out_c});
+  {
+    gemm::Context ctx(1);
+    legacy.Run(in_b, out_legacy, ctx);
+  }
+  telemetry::MetricsRegistry::Global().Reset();
+  for (const int threads : {1, 4}) {
+    Tensor out_fused(out_dtype, out_legacy.shape());
+    gemm::Context ctx(threads);
+    fused.Run(in_b, out_fused, ctx);
+    if (out_dtype == DataType::kFloat32) {
+      for (std::int64_t i = 0; i < out_fused.num_elements(); ++i) {
+        ASSERT_EQ(out_fused.data<float>()[i], out_legacy.data<float>()[i])
+            << "threads=" << threads << " element " << i;
+      }
+    } else {
+      const std::int64_t words =
+          Im2ColRows(geo) * BitpackedWords(geo.out_c);
+      for (std::int64_t i = 0; i < words; ++i) {
+        ASSERT_EQ(out_fused.data<TBitpacked>()[i],
+                  out_legacy.data<TBitpacked>()[i])
+            << "threads=" << threads << " word " << i;
+      }
+    }
+  }
+  // Grouped runs now go through the fused engine: tiles counted, no silent
+  // fallback (the legacy runs above were explicitly forced).
+  EXPECT_GT(CounterValue("bconv2d.fused_tiles"), 0);
+  EXPECT_EQ(CounterValue("bconv2d.fallback_unfused"), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GroupedFusedParity,
+    ::testing::Values(
+        // Odd channels-per-group (34/2 = 17) exercises the group column
+        // slices that straddle output word boundaries.
+        GroupedCase{8, 64, 34, 2, 3, Padding::kSameOne,
+                    BConvOutputType::kFloat},
+        GroupedCase{8, 64, 32, 2, 3, Padding::kSameZero,
+                    BConvOutputType::kFloat},
+        GroupedCase{7, 128, 68, 4, 3, Padding::kSameZero,
+                    BConvOutputType::kFloat},
+        GroupedCase{7, 128, 64, 4, 3, Padding::kSameOne,
+                    BConvOutputType::kBitpacked},
+        GroupedCase{9, 64, 48, 2, 5, Padding::kSameZero,
+                    BConvOutputType::kBitpacked},
+        GroupedCase{6, 96, 36, 3, 1, Padding::kValid,
+                    BConvOutputType::kFloat}));
+
+TEST(GroupedFused, ForcedUnfusedCounterAdvances) {
+  Conv2DGeometry geo;
+  geo.in_h = geo.in_w = 6;
+  geo.in_c = 64;
+  geo.out_c = 16;
+  geo.filter_h = geo.filter_w = 3;
+  geo.padding = Padding::kSameOne;
+
+  Rng rng(8);
+  Tensor in_b(DataType::kBitpacked, Shape{1, 6, 6, 64});
+  FillBitpacked(in_b, rng);
+  std::vector<float> w(static_cast<std::size_t>(16) * 9 * 32, 1.0f);
+
+  BConv2DAttrs attrs;
+  attrs.geo = geo;
+  attrs.groups = 2;
+  attrs.force_unfused = true;
+  BConv2D op(w.data(), attrs);
+  Tensor out(DataType::kFloat32, Shape{1, 6, 6, 16});
+
+  telemetry::MetricsRegistry::Global().Reset();
+  gemm::Context ctx(1);
+  op.Run(in_b, out, ctx);
+  EXPECT_EQ(CounterValue("bconv2d.forced_unfused"), 1);
+  // Explicitly forced runs are not fallbacks.
+  EXPECT_EQ(CounterValue("bconv2d.fallback_unfused"), 0);
+  EXPECT_EQ(CounterValue("bconv2d.fused_tiles"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Int8 convolution
+// ---------------------------------------------------------------------------
+
+struct Int8Case {
+  int hw, in_c, out_c, k, stride;
+  Activation act;
+  bool per_channel;
+  float out_scale;
+};
+
+class Int8FusedParity : public ::testing::TestWithParam<Int8Case> {};
+
+TEST_P(Int8FusedParity, FusedMatchesLegacy) {
+  const Int8Case c = GetParam();
+  Conv2DGeometry geo;
+  geo.in_h = geo.in_w = c.hw;
+  geo.in_c = c.in_c;
+  geo.out_c = c.out_c;
+  geo.filter_h = geo.filter_w = c.k;
+  geo.stride_h = geo.stride_w = c.stride;
+  geo.padding = Padding::kSameZero;
+
+  Rng rng(c.hw + c.in_c * 3 + c.out_c);
+  Tensor in(DataType::kInt8, Shape{1, c.hw, c.hw, c.in_c});
+  FillInt8(in, rng);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(c.out_c) * c.k * c.k *
+                             c.in_c);
+  for (auto& v : w) v = rng.Int8(-127, 127);
+
+  Conv2DInt8Attrs attrs;
+  attrs.geo = geo;
+  attrs.activation = c.act;
+  attrs.input_quant = {0.02f, 3};  // nonzero input zero point: padded taps
+  attrs.weight_quant = {0.005f, 0};
+  // A small output scale pushes many accumulators past +/-127, so the
+  // requantization rounding and clamping at the saturation boundaries is
+  // exercised on both paths.
+  attrs.output_quant = {c.out_scale, -4};
+  attrs.bias.resize(c.out_c);
+  for (auto& v : attrs.bias) {
+    v = static_cast<std::int32_t>(rng.UniformInt(2000)) - 1000;
+  }
+  if (c.per_channel) {
+    attrs.weight_scales.resize(c.out_c);
+    for (auto& v : attrs.weight_scales) v = rng.Uniform(0.001f, 0.01f);
+  }
+  Conv2DInt8 fused(w.data(), attrs);
+  attrs.force_unfused = true;
+  Conv2DInt8 legacy(w.data(), attrs);
+
+  Tensor out_legacy(DataType::kInt8,
+                    Shape{1, geo.out_h(), geo.out_w(), c.out_c});
+  {
+    gemm::Context ctx(1);
+    legacy.Run(in, out_legacy, ctx);
+  }
+  for (const int threads : {1, 4}) {
+    Tensor out_fused(DataType::kInt8, out_legacy.shape());
+    gemm::Context ctx(threads);
+    fused.Run(in, out_fused, ctx);
+    for (std::int64_t i = 0; i < out_fused.num_elements(); ++i) {
+      ASSERT_EQ(out_fused.data<std::int8_t>()[i],
+                out_legacy.data<std::int8_t>()[i])
+          << "threads=" << threads << " element " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Int8FusedParity,
+    ::testing::Values(
+        // Tiny out_scale saturates many outputs at -128/127.
+        Int8Case{8, 16, 24, 3, 1, Activation::kNone, false, 0.001f},
+        Int8Case{8, 16, 24, 3, 1, Activation::kNone, false, 0.05f},
+        Int8Case{9, 24, 17, 3, 2, Activation::kRelu, false, 0.02f},
+        Int8Case{7, 8, 40, 5, 1, Activation::kRelu6, false, 0.01f},
+        Int8Case{8, 16, 24, 3, 1, Activation::kNone, true, 0.002f},
+        Int8Case{6, 32, 8, 1, 1, Activation::kNone, true, 0.05f}));
+
+TEST(Int8Fused, TileCountersAdvance) {
+  Conv2DGeometry geo;
+  geo.in_h = geo.in_w = 8;
+  geo.in_c = 16;
+  geo.out_c = 8;
+  geo.filter_h = geo.filter_w = 3;
+  geo.padding = Padding::kSameZero;
+
+  Rng rng(4);
+  Tensor in(DataType::kInt8, Shape{1, 8, 8, 16});
+  FillInt8(in, rng);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(8) * 9 * 16, 1);
+  Conv2DInt8Attrs attrs;
+  attrs.geo = geo;
+  attrs.input_quant = {0.02f, 0};
+  attrs.weight_quant = {0.005f, 0};
+  attrs.output_quant = {0.05f, 0};
+  Conv2DInt8 op(w.data(), attrs);
+  Tensor out(DataType::kInt8, Shape{1, 8, 8, 8});
+
+  const std::int64_t rows = Im2ColRows(geo);
+  const std::int64_t m_tiles = (rows + gemm::kInt8Mr - 1) / gemm::kInt8Mr;
+  telemetry::MetricsRegistry::Global().Reset();
+  gemm::Context ctx(2);
+  op.Run(in, out, ctx);
+  EXPECT_EQ(CounterValue("conv2d_int8.fused_tiles"), m_tiles);
+  EXPECT_GT(CounterValue("conv2d_int8.interior_tiles"), 0);
+  EXPECT_LT(CounterValue("conv2d_int8.interior_tiles"), m_tiles);
+}
+
+}  // namespace
+}  // namespace lce
