@@ -12,10 +12,22 @@
 // Default: QuickNet-S, streams 1/2/4/8, intra-op pool of 1 (parallelism
 // across requests, the classic serving configuration). `--full` adds
 // QuickNet-M/L; `--pool=K` sizes the shared intra-op pool.
+//
+// `--open-loop` additionally runs the overload experiment: Poisson arrivals
+// at `--overload=X` times the measured closed-loop sustainable rate are
+// submitted to a bounded serving::Server (`--inflight=`, `--depth=`) with a
+// per-request deadline (3x the closed-loop p99 unless `--deadline-ms=`
+// overrides). The run records shed/timeout counts, queue-wait and
+// admitted-latency percentiles, queue-depth peak and the resident-arena
+// peak -- and structurally asserts the overload contract: queue depth never
+// exceeds its bound and resident arena bytes stay flat at
+// max_inflight * arena_bytes no matter the offered load.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -24,6 +36,7 @@
 #include "converter/convert.h"
 #include "graph/compiled_model.h"
 #include "models/zoo.h"
+#include "serving/server.h"
 #include "telemetry/metrics.h"
 #include "telemetry/run_report.h"
 
@@ -99,6 +112,150 @@ StreamResult RunStreams(const std::shared_ptr<const CompiledModel>& model,
   return r;
 }
 
+struct OpenLoopResult {
+  double offered_qps = 0.0;
+  double completed_qps = 0.0;
+  std::int64_t submitted = 0;
+  std::int64_t ok = 0;
+  std::int64_t shed = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t other = 0;
+  double admitted_p50_ms = 0.0;
+  double admitted_p99_ms = 0.0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  std::int64_t queue_depth_peak = 0;
+  std::int64_t arena_peak_bytes = 0;
+};
+
+// Open-loop overload: Poisson arrivals at `rate_qps` submitted to a bounded
+// Server for ~`seconds`, independent of completion (arrivals do not slow
+// down when the server backs up -- the property that separates overload
+// behavior from the closed-loop runs above). All requests are drained
+// before returning, so every stat covers the full arrival set.
+OpenLoopResult RunOpenLoop(const std::shared_ptr<const CompiledModel>& model,
+                           double rate_qps, double seconds, int inflight,
+                           int depth, double deadline_ms) {
+  serving::ServerOptions sopts;
+  sopts.max_inflight = inflight;
+  sopts.max_queue_depth = depth;
+  serving::Server server(model, sopts);
+
+  // One canonical input, copied into each admitted request's context.
+  std::vector<float> input;
+  {
+    ExecutionContext probe(model);
+    Rng rng(77);
+    input.resize(probe.input(0).num_elements());
+    for (auto& v : input) v = rng.Uniform();
+    // Warm the pool so calibration overhead is not billed to request 0.
+    std::memcpy(probe.input(0).data<float>(), input.data(),
+                input.size() * sizeof(float));
+    probe.Invoke();
+  }
+  const auto fill = [&input](ExecutionContext& ctx) {
+    std::memcpy(ctx.input(0).data<float>(), input.data(),
+                input.size() * sizeof(float));
+  };
+
+  // Sample the resident-arena gauge while the run is live: flatness under
+  // overload is the memory half of the admission-control contract.
+  auto* arena_gauge = telemetry::MetricsRegistry::Global().Gauge(
+      "serving.resident_arena_bytes");
+  std::atomic<bool> stop_sampler{false};
+  std::atomic<std::int64_t> arena_peak{0};
+  std::atomic<std::int64_t> depth_peak{0};
+  std::thread sampler([&] {
+    while (!stop_sampler.load(std::memory_order_relaxed)) {
+      std::int64_t v = arena_gauge->value();
+      std::int64_t prev = arena_peak.load(std::memory_order_relaxed);
+      while (v > prev &&
+             !arena_peak.compare_exchange_weak(prev, v,
+                                               std::memory_order_relaxed)) {
+      }
+      v = server.queue_depth();
+      prev = depth_peak.load(std::memory_order_relaxed);
+      while (v > prev &&
+             !depth_peak.compare_exchange_weak(prev, v,
+                                               std::memory_order_relaxed)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  const auto deadline = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(deadline_ms * 1e6));
+  std::vector<std::shared_ptr<serving::Request>> handles;
+  handles.reserve(static_cast<std::size_t>(rate_qps * seconds * 1.5) + 16);
+  Rng arrivals(13);
+  const auto start = std::chrono::steady_clock::now();
+  auto next = start;
+  while (true) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed >= seconds) break;
+    // Exponential inter-arrival gap: a Poisson process at rate_qps.
+    const double u = arrivals.Uniform();
+    const double gap_s = -std::log(1.0 - u) / rate_qps;
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap_s));
+    std::this_thread::sleep_until(next);
+    handles.push_back(server.Submit(fill, nullptr, deadline));
+  }
+  // Drain: arrivals stopped, so the queue empties on its own.
+  for (auto& h : handles) h->Wait();
+  stop_sampler.store(true, std::memory_order_relaxed);
+  sampler.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  OpenLoopResult r;
+  r.submitted = static_cast<std::int64_t>(handles.size());
+  r.offered_qps = wall > 0 ? static_cast<double>(r.submitted) / wall : 0.0;
+  std::vector<double> admitted_ms, queue_wait_ms;
+  for (const auto& h : handles) {
+    const Status s = h->status();
+    switch (s.code()) {
+      case StatusCode::kOk:
+        ++r.ok;
+        admitted_ms.push_back(
+            static_cast<double>(h->queue_wait_ns() + h->exec_ns()) * 1e-6);
+        queue_wait_ms.push_back(static_cast<double>(h->queue_wait_ns()) * 1e-6);
+        break;
+      case StatusCode::kResourceExhausted:
+        ++r.shed;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++r.deadline_exceeded;
+        break;
+      default:
+        ++r.other;
+        break;
+    }
+  }
+  r.completed_qps = wall > 0 ? static_cast<double>(r.ok) / wall : 0.0;
+  if (!admitted_ms.empty()) {
+    r.admitted_p50_ms = profiling::Percentile(admitted_ms, 0.5);
+    r.admitted_p99_ms = profiling::Percentile(admitted_ms, 0.99);
+    r.queue_wait_p50_ms = profiling::Percentile(queue_wait_ms, 0.5);
+    r.queue_wait_p99_ms = profiling::Percentile(queue_wait_ms, 0.99);
+  }
+  r.queue_depth_peak = depth_peak.load();
+  r.arena_peak_bytes = arena_peak.load();
+
+  // The overload contract, asserted structurally on every run: the queue
+  // depth honors its bound and the resident arenas never exceed the pool.
+  LCE_CHECK(r.queue_depth_peak <= depth &&
+            "admission queue exceeded max_queue_depth under overload");
+  LCE_CHECK(r.arena_peak_bytes <=
+                static_cast<std::int64_t>(inflight) *
+                    static_cast<std::int64_t>(model->arena_bytes()) &&
+            "resident arenas exceeded max_inflight * arena_bytes");
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,6 +269,15 @@ int main(int argc, char** argv) {
       std::atoi(ParseStringFlag(argc, argv, "--input=", "224").c_str());
   const double seconds =
       std::atof(ParseStringFlag(argc, argv, "--seconds=", "0.6").c_str());
+  const bool open_loop = HasFlag(argc, argv, "--open-loop");
+  const double overload =
+      std::atof(ParseStringFlag(argc, argv, "--overload=", "2.0").c_str());
+  const int inflight =
+      std::atoi(ParseStringFlag(argc, argv, "--inflight=", "2").c_str());
+  const int queue_depth =
+      std::atoi(ParseStringFlag(argc, argv, "--depth=", "16").c_str());
+  const double deadline_flag_ms =
+      std::atof(ParseStringFlag(argc, argv, "--deadline-ms=", "0").c_str());
 
   const unsigned cores = std::thread::hardware_concurrency();
   telemetry::RunReport report("bench_serving_throughput");
@@ -188,6 +354,59 @@ int main(int argc, char** argv) {
                            std::to_string(scaling_target),
                        scaling);
       report.AddResult(cfg.name + ".scaling_to_cores", scaling);
+    }
+
+    if (open_loop) {
+      // Calibrate the sustainable rate: a closed loop with exactly
+      // `inflight` streams is the fastest the bounded server can complete
+      // work, by construction.
+      const StreamResult closed = RunStreams(model, inflight, seconds);
+      const double rate = std::max(1.0, overload * closed.qps);
+      const double deadline_ms = deadline_flag_ms > 0.0
+                                     ? deadline_flag_ms
+                                     : 3.0 * std::max(closed.p99_ms, 1.0);
+      std::printf(
+          "  open-loop overload: Poisson %.1f qps (%.1fx of sustainable "
+          "%.1f), inflight=%d, depth=%d, deadline=%.1f ms\n",
+          rate, overload, closed.qps, inflight, queue_depth, deadline_ms);
+      const OpenLoopResult ol = RunOpenLoop(model, rate, seconds, inflight,
+                                            queue_depth, deadline_ms);
+      std::printf(
+          "    submitted %lld  ok %lld  shed %lld  deadline %lld  other "
+          "%lld\n",
+          static_cast<long long>(ol.submitted), static_cast<long long>(ol.ok),
+          static_cast<long long>(ol.shed),
+          static_cast<long long>(ol.deadline_exceeded),
+          static_cast<long long>(ol.other));
+      std::printf(
+          "    admitted p50 %.2f ms  p99 %.2f ms (closed-loop p99 %.2f ms, "
+          "ratio %.2fx)\n",
+          ol.admitted_p50_ms, ol.admitted_p99_ms, closed.p99_ms,
+          closed.p99_ms > 0 ? ol.admitted_p99_ms / closed.p99_ms : 0.0);
+      std::printf(
+          "    queue wait p50 %.2f ms  p99 %.2f ms  depth peak %lld/%d  "
+          "arena peak %.2f MiB (bound %.2f MiB)\n\n",
+          ol.queue_wait_p50_ms, ol.queue_wait_p99_ms,
+          static_cast<long long>(ol.queue_depth_peak), queue_depth,
+          ol.arena_peak_bytes / (1024.0 * 1024.0),
+          inflight * model->arena_bytes() / (1024.0 * 1024.0));
+      const std::string p = cfg.name + ".open_loop";
+      report.AddResult(p + ".offered_qps", ol.offered_qps);
+      report.AddResult(p + ".completed_qps", ol.completed_qps);
+      report.AddResult(p + ".submitted", static_cast<double>(ol.submitted));
+      report.AddResult(p + ".ok", static_cast<double>(ol.ok));
+      report.AddResult(p + ".shed", static_cast<double>(ol.shed));
+      report.AddResult(p + ".deadline_exceeded",
+                       static_cast<double>(ol.deadline_exceeded));
+      report.AddResult(p + ".admitted_p50_ms", ol.admitted_p50_ms);
+      report.AddResult(p + ".admitted_p99_ms", ol.admitted_p99_ms);
+      report.AddResult(p + ".closed_loop_p99_ms", closed.p99_ms);
+      report.AddResult(p + ".queue_wait_p50_ms", ol.queue_wait_p50_ms);
+      report.AddResult(p + ".queue_wait_p99_ms", ol.queue_wait_p99_ms);
+      report.AddResult(p + ".queue_depth_peak",
+                       static_cast<double>(ol.queue_depth_peak));
+      report.AddResult(p + ".arena_peak_bytes",
+                       static_cast<double>(ol.arena_peak_bytes));
     }
   }
   std::printf(

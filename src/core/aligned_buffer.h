@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <utility>
 
 #include "core/macros.h"
@@ -20,6 +21,11 @@ class AlignedBuffer {
  public:
   AlignedBuffer() = default;
 
+  // Allocation failure throws std::bad_alloc rather than aborting: arena
+  // and scratch exhaustion is runtime load, not a programmer error, and the
+  // serving path converts it to Status::ResourceExhausted at its catch
+  // points (ExecutionContext construction and Invoke). Code with no catch
+  // point keeps the old die-on-OOM behavior via std::terminate.
   explicit AlignedBuffer(std::size_t size_bytes,
                          std::size_t alignment = kDefaultAlignment)
       : size_(size_bytes) {
@@ -29,7 +35,7 @@ class AlignedBuffer {
     const std::size_t rounded =
         (size_bytes + alignment - 1) / alignment * alignment;
     data_ = static_cast<std::uint8_t*>(std::aligned_alloc(alignment, rounded));
-    LCE_CHECK(data_ != nullptr);
+    if (data_ == nullptr) throw std::bad_alloc();
   }
 
   AlignedBuffer(const AlignedBuffer&) = delete;

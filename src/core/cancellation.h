@@ -1,0 +1,93 @@
+// Cooperative cancellation for in-flight inference requests
+// (docs/SERVING.md).
+//
+// A CancellationToken carries two independent triggers:
+//   * an explicit Cancel() from the request owner (client disconnect,
+//     admission-queue drop), and
+//   * a monotonic-clock deadline (per-request SLO budget).
+//
+// The runtime never preempts work: the token is *checked* at cooperative
+// cancellation points -- per-node boundaries in ExecutionContext::Invoke and
+// row-tile-block boundaries inside the ConvPipeline engine -- so a shard
+// always finishes the block it started, and an expired request returns
+// Status::DeadlineExceeded (or kCancelled) mid-model instead of running to
+// completion.
+//
+// Thread-safety: Cancel() and set_deadline() may race freely with any number
+// of concurrent Expired()/status() readers (everything is relaxed atomics on
+// one cache line; cancellation is a level, not an event, so relaxed ordering
+// is enough -- a check that narrowly misses the flag is caught at the next
+// cancellation point).
+#ifndef LCE_CORE_CANCELLATION_H_
+#define LCE_CORE_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "core/status.h"
+
+namespace lce {
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  // Marks the token cancelled (idempotent; an already-expired deadline wins
+  // the status() race benignly -- both report a non-Ok terminal code).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Absolute monotonic deadline. kNoDeadline (the default) disables the
+  // timer trigger.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    set_deadline(Clock::now() + budget);
+  }
+  void clear_deadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  bool deadline_expired() const {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline) return false;
+    return Clock::now().time_since_epoch() >= std::chrono::nanoseconds(d);
+  }
+
+  // True once either trigger fired. This is the cancellation-point check.
+  bool Expired() const { return cancelled() || deadline_expired(); }
+
+  // Ok while live; the terminal Status once a trigger fired. Explicit
+  // cancellation is reported in preference to the deadline so a client
+  // abandoning a request is not misclassified as an SLO miss.
+  Status status() const {
+    if (cancelled()) return Status::Cancelled("request cancelled");
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace lce
+
+#endif  // LCE_CORE_CANCELLATION_H_

@@ -17,6 +17,11 @@ enum class StatusCode {
   kInternal,
   kDataLoss,
   kResourceExhausted,
+  // Serving-path codes (docs/SERVING.md): a request's deadline expired (in
+  // the admission queue or mid-model at a cancellation point) or the client
+  // cancelled it explicitly.
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 // A value-semantic status: either OK or a code plus a human-readable message.
@@ -47,6 +52,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

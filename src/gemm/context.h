@@ -17,11 +17,14 @@
 
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <utility>
 
 #include "core/aligned_buffer.h"
+#include "core/cancellation.h"
 #include "core/macros.h"
 #include "core/thread_pool.h"
+#include "serving/fault_injection.h"
 #include "telemetry/metrics.h"
 
 namespace lce::gemm {
@@ -62,6 +65,10 @@ class Context {
   // Every request is recorded in the per-slot high-water gauges
   // `gemm.scratch_bytes.slot<N>`, which is what the fused-BConv2D tests use
   // to prove the full-image accumulator is gone from the hot path.
+  // Allocation failure (real OOM, or the LCE_FAULT_INJECTION scratch fault
+  // point) throws std::bad_alloc; ExecutionContext::Invoke catches it and
+  // returns Status::ResourceExhausted, so an overloaded server sheds the
+  // request instead of aborting the process (docs/SERVING.md).
   std::uint8_t* Scratch(int slot, std::size_t bytes) {
     LCE_CHECK(slot >= 0 && slot < kNumScratchSlots &&
               "Context::Scratch slot out of range");
@@ -73,6 +80,7 @@ class Context {
     gauges[slot]->SetMax(static_cast<std::int64_t>(bytes));
     auto& buf = scratch_[slot];
     if (!buf || buf->size() < bytes) {
+      if (LCE_FAULT_SCRATCH_ALLOC_SHOULD_FAIL(slot)) throw std::bad_alloc();
       buf = std::make_unique<AlignedBuffer>(bytes);
     }
     return buf->data();
@@ -80,10 +88,20 @@ class Context {
 
   static constexpr int kNumScratchSlots = 4;
 
+  // Cooperative-cancellation token of the request currently executing on
+  // this context, or null. Set by ExecutionContext::Invoke for the duration
+  // of the call; long-running kernels (the ConvPipeline engine) poll it at
+  // block boundaries and exit early once it expires.
+  const CancellationToken* cancellation() const { return cancellation_; }
+  void set_cancellation(const CancellationToken* token) {
+    cancellation_ = token;
+  }
+
  private:
   std::shared_ptr<ThreadPool> pool_;
   KernelProfile profile_;
   std::unique_ptr<AlignedBuffer> scratch_[kNumScratchSlots];
+  const CancellationToken* cancellation_ = nullptr;
 };
 
 }  // namespace lce::gemm

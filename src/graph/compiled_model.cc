@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
 
 #include "core/bitpack.h"
 #include "core/macros.h"
@@ -11,6 +12,7 @@
 #include "kernels/elementwise.h"
 #include "kernels/pooling.h"
 #include "kernels/quantize_ops.h"
+#include "serving/fault_injection.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 
@@ -125,7 +127,17 @@ Status CompiledModel::Build(CompileOptions options) {
         std::find(graph_.input_ids().begin(), graph_.input_ids().end(),
                   v->id) != graph_.input_ids().end();
     if (is_graph_input) first = 0;
-    if (is_graph_output) last = num_steps;
+    // Graph outputs get an *exclusive* arena region (lifetime spanning the
+    // whole execution) rather than one starting at their producer's step.
+    // This is the serving layer's no-partial-writes guarantee: a request
+    // cancelled mid-model can only have written intermediate values, never
+    // the bytes a caller reads through output() -- those are touched
+    // exclusively by the output's own producer node. Costs a few KiB of
+    // arena (logit-sized tensors) in exchange for overload-safe semantics.
+    if (is_graph_output) {
+      first = 0;
+      last = num_steps;
+    }
     if (v->consumers.empty() && !is_graph_output) {
       // Value produced but never read; still needs storage for the write.
       last = first;
@@ -310,8 +322,20 @@ ExecutionContext::ExecutionContext(std::shared_ptr<const CompiledModel> model,
                                    ExecutionOptions options)
     : model_(std::move(model)),
       options_(std::move(options)),
-      ctx_(model_->thread_pool(), model_->kernel_profile()),
-      arena_(model_->arena_bytes()) {
+      ctx_(model_->thread_pool(), model_->kernel_profile()) {
+  // The arena is runtime load, not model structure: allocation failure
+  // (memory pressure, or the LCE_FAULT_INJECTION arena fault point) leaves
+  // an inert context whose Invoke reports Status::ResourceExhausted instead
+  // of aborting the process -- the serving pool sheds the request and
+  // retries context creation later (docs/SERVING.md).
+  try {
+    if (!LCE_FAULT_ARENA_ALLOC_SHOULD_FAIL()) {
+      arena_ = AlignedBuffer(model_->arena_bytes());
+      arena_ok_ = true;
+    }
+  } catch (const std::bad_alloc&) {
+    arena_ = AlignedBuffer();
+  }
   LiveExecutionContexts()->Add(1);
   ResidentArenaBytes()->Add(static_cast<std::int64_t>(arena_.size()));
 }
@@ -334,11 +358,19 @@ Tensor ExecutionContext::ValueTensor(int value_id) {
 }
 
 Tensor ExecutionContext::input(int i) {
+  LCE_CHECK(arena_ok_ && "input() on a context whose arena allocation failed");
   return ValueTensor(model_->graph_.input_ids()[i]);
 }
 
 Tensor ExecutionContext::output(int i) {
+  LCE_CHECK(arena_ok_ &&
+            "output() on a context whose arena allocation failed");
   return ValueTensor(model_->graph_.output_ids()[i]);
+}
+
+void ExecutionContext::Reset() {
+  arena_.Zero();
+  profile_.clear();
 }
 
 void ExecutionContext::RunNode(const Node& n, OpProfile* prof) {
@@ -522,40 +554,83 @@ void ExecutionContext::RunNode(const Node& n, OpProfile* prof) {
   }
 }
 
-void ExecutionContext::Invoke() {
+Status ExecutionContext::Invoke(const CancellationToken* cancel) {
   LCE_TRACE_SCOPE_CAT("interpreter/invoke", "interpreter");
+  if (!arena_ok_) {
+    return Status::ResourceExhausted(
+        "execution context arena allocation failed");
+  }
   profile_.clear();
+  // Publish the token to the gemm context so long-running kernels (the
+  // ConvPipeline engine) can poll it at row-tile-block boundaries; cleared
+  // on every exit path so a pooled context never leaks a dead request's
+  // token into the next Invoke.
+  ctx_.set_cancellation(cancel);
+  struct TokenClearer {
+    gemm::Context& ctx;
+    ~TokenClearer() { ctx.set_cancellation(nullptr); }
+  } token_clearer{ctx_};
   const bool profiling = options_.enable_profiling;
   const bool tracing = telemetry::TracingActive();
+  int step = 0;
   for (int id : model_->order_) {
+    // Cancellation point: per-node boundary. The post-loop check below
+    // covers expiry during the final node (including a pipeline that
+    // early-exited mid-kernel, leaving that node's output unspecified).
+    if (cancel != nullptr && cancel->Expired()) return cancel->status();
+#ifdef LCE_FAULT_INJECTION
+    {
+      Status injected = serving::fault::FaultInjector::Global().OnNode(step);
+      if (!injected.ok()) return injected;
+    }
+#endif
     const Node& n = model_->graph_.node(id);
-    if (profiling || tracing) {
-      // One timestamp pair drives both the tracer span and the OpProfile
-      // record, so Table 4 / Figure 5 aggregation and the Chrome trace are
-      // two views of the same measurement.
-      OpProfile prof;
-      const std::uint64_t t0 = telemetry::NowNanos();
-      RunNode(n, profiling ? &prof : nullptr);
-      const std::uint64_t t1 = telemetry::NowNanos();
-      if (tracing) {
-        telemetry::Tracer::Global().RecordComplete(n.name.c_str(), "node", t0,
-                                                   t1);
+    try {
+      if (profiling || tracing) {
+        // One timestamp pair drives both the tracer span and the OpProfile
+        // record, so Table 4 / Figure 5 aggregation and the Chrome trace are
+        // two views of the same measurement.
+        OpProfile prof;
+        const std::uint64_t t0 = telemetry::NowNanos();
+        RunNode(n, profiling ? &prof : nullptr);
+        const std::uint64_t t1 = telemetry::NowNanos();
+        if (tracing) {
+          telemetry::Tracer::Global().RecordComplete(n.name.c_str(), "node",
+                                                     t0, t1);
+        }
+        if (profiling) {
+          prof.node_id = id;
+          prof.name = n.name;
+          prof.type = n.type;
+          prof.is_binary_op = IsBinaryOp(n.type);
+          prof.seconds = static_cast<double>(t1 - t0) * 1e-9;
+          profile_.push_back(std::move(prof));
+        }
+      } else {
+        RunNode(n, nullptr);
       }
-      if (profiling) {
-        prof.node_id = id;
-        prof.name = n.name;
-        prof.type = n.type;
-        prof.is_binary_op = IsBinaryOp(n.type);
-        prof.seconds = static_cast<double>(t1 - t0) * 1e-9;
-        profile_.push_back(std::move(prof));
-      }
-    } else {
-      RunNode(n, nullptr);
+    } catch (const std::bad_alloc&) {
+      // Kernel scratch allocation failed (gemm::Context::Scratch). Load
+      // shedding, not a programmer error: report and let the caller retry
+      // or shed -- the arena and this context remain structurally valid but
+      // the run's intermediate state is abandoned.
+      return Status::ResourceExhausted("kernel scratch allocation failed at '" +
+                                       n.name + "'");
     }
     if (options_.observer) {
       options_.observer(n, ValueTensor(n.outputs[0]));
     }
+    ++step;
   }
+  if (cancel != nullptr && cancel->Expired()) return cancel->status();
+  return Status::Ok();
+}
+
+void ExecutionContext::Invoke() {
+  const Status s = Invoke(nullptr);
+  LCE_CHECK(s.ok() &&
+            "ExecutionContext::Invoke failed; serving callers must use the "
+            "Status-returning overload");
 }
 
 }  // namespace lce

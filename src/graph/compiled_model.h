@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/aligned_buffer.h"
+#include "core/cancellation.h"
 #include "core/resource_limits.h"
 #include "core/status.h"
 #include "core/tensor.h"
@@ -145,6 +146,13 @@ class ExecutionContext {
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
+  // True when the arena allocation succeeded. A context whose arena failed
+  // (memory pressure, or the LCE_FAULT_INJECTION arena fault point) is
+  // inert: Invoke returns Status::ResourceExhausted and input()/output()
+  // must not be called. The serving pool discards such contexts and sheds
+  // the request instead of aborting the process.
+  bool allocation_ok() const { return arena_ok_; }
+
   // Tensor views into this context's arena; write inputs before Invoke,
   // read outputs after. Indices follow the graph's declaration order.
   Tensor input(int i);
@@ -154,7 +162,32 @@ class ExecutionContext {
 
   // Executes the graph against this context's arena. Safe to call while
   // other contexts on the same model Invoke concurrently.
+  //
+  // `cancel` (optional) is polled at cooperative cancellation points: before
+  // every node, after the last one, and -- through the gemm context -- at
+  // row-tile-block boundaries inside the ConvPipeline engine, so an expired
+  // deadline returns Status::DeadlineExceeded mid-model instead of running
+  // the request to completion. Failure semantics (docs/SERVING.md):
+  //   * kDeadlineExceeded / kCancelled -- the token fired; intermediate
+  //     arena state is abandoned mid-model, but user-visible output buffers
+  //     are never touched by a run that did not reach their producer node
+  //     (graph outputs get exclusive arena regions; see Compile).
+  //   * kResourceExhausted -- arena or kernel-scratch allocation failed.
+  //   * any other non-Ok -- an induced or real kernel failure.
+  // After any non-Ok return the arena contents are unspecified; reuse the
+  // context only after Reset(), or discard it (the pool quarantines it).
+  Status Invoke(const CancellationToken* cancel);
+
+  // Infallible convenience wrapper for trusted single-stream use (tests,
+  // benchmarks, the Interpreter): aborts if the status path reports an
+  // error.
   void Invoke();
+
+  // Returns the context to a deterministic post-construction state: the
+  // arena is zeroed and the last profile cleared. The pool calls this on
+  // every clean return so a reused context serves the next request
+  // bit-identically to a fresh one.
+  void Reset();
 
   // Per-op profile of the last Invoke (empty unless profiling enabled).
   const std::vector<OpProfile>& profile() const { return profile_; }
@@ -173,6 +206,7 @@ class ExecutionContext {
   ExecutionOptions options_;
   gemm::Context ctx_;
   AlignedBuffer arena_;
+  bool arena_ok_ = false;
   std::vector<OpProfile> profile_;
 };
 

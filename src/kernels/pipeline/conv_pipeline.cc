@@ -100,6 +100,16 @@ void RunConvPipeline(const ConvPipelineArgs& args, gemm::Context& ctx,
   const RowCorrector* corrector = args.corrector;
   const OutputTransform* transform = args.transform;
   void* out = args.out;
+  // Cooperative cancellation (docs/SERVING.md): each shard polls the
+  // current request's token between row-tile blocks and abandons its
+  // remaining blocks once it expires. The node's output is then unspecified
+  // -- ExecutionContext::Invoke observes the same token at the next node
+  // boundary and returns the terminal status, so the partial result is
+  // never consumed.
+  const CancellationToken* cancel = ctx.cancellation();
+  static telemetry::Metric* cancelled_blocks =
+      telemetry::MetricsRegistry::Global().Counter(
+          "pipeline.cancelled_blocks");
 
   // Per-shard stage nanoseconds; the fused loop interleaves gemm and
   // transform work, so the Table 4 split is reconstructed below by scaling
@@ -115,6 +125,11 @@ void RunConvPipeline(const ConvPipelineArgs& args, gemm::Context& ctx,
         auto* block_acc = reinterpret_cast<std::int32_t*>(base + compute_bytes);
         std::uint64_t gemm_ns = 0, transform_ns = 0;
         for (std::int64_t t = tbegin; t < tend; t += block_tiles_max) {
+          if (cancel != nullptr && cancel->Expired()) {
+            cancelled_blocks->Add((tend - t + block_tiles_max - 1) /
+                                  block_tiles_max);
+            break;
+          }
           const int block_tiles = static_cast<int>(
               std::min<std::int64_t>(block_tiles_max, tend - t));
           const std::int64_t row0 = t * tile_rows;

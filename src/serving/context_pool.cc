@@ -1,0 +1,102 @@
+#include "serving/context_pool.h"
+
+#include <utility>
+
+#include "core/macros.h"
+#include "telemetry/metrics.h"
+
+namespace lce::serving {
+namespace {
+
+telemetry::Metric* ReusedTotal() {
+  static telemetry::Metric* m =
+      telemetry::MetricsRegistry::Global().Counter("serving.pool.reused_total");
+  return m;
+}
+
+telemetry::Metric* CreatedTotal() {
+  static telemetry::Metric* m = telemetry::MetricsRegistry::Global().Counter(
+      "serving.pool.created_total");
+  return m;
+}
+
+telemetry::Metric* QuarantinedTotal() {
+  static telemetry::Metric* m = telemetry::MetricsRegistry::Global().Counter(
+      "serving.pool.quarantined_total");
+  return m;
+}
+
+}  // namespace
+
+ContextPool::ContextPool(std::shared_ptr<const CompiledModel> model,
+                         int capacity, ExecutionOptions options)
+    : model_(std::move(model)),
+      capacity_(capacity),
+      options_(std::move(options)) {
+  LCE_CHECK(model_ != nullptr && "ContextPool requires a compiled model");
+  LCE_CHECK_GT(capacity_, 0);
+}
+
+Status ContextPool::Acquire(std::unique_ptr<ExecutionContext>* out) {
+  LCE_CHECK(out != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      *out = std::move(free_.back());
+      free_.pop_back();
+      ++outstanding_;
+      ReusedTotal()->Add(1);
+      return Status::Ok();
+    }
+    if (outstanding_ >= capacity_) {
+      return Status::ResourceExhausted("context pool exhausted (" +
+                                       std::to_string(capacity_) +
+                                       " contexts checked out)");
+    }
+    ++outstanding_;  // reserve the slot while constructing outside the lock
+  }
+  // Construction (one arena allocation) happens outside the pool lock so a
+  // slow or failing allocation never blocks concurrent Release/Acquire.
+  auto ctx = std::make_unique<ExecutionContext>(model_, options_);
+  if (!ctx->allocation_ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+    return Status::ResourceExhausted(
+        "execution context arena allocation failed");
+  }
+  CreatedTotal()->Add(1);
+  *out = std::move(ctx);
+  return Status::Ok();
+}
+
+void ContextPool::Release(std::unique_ptr<ExecutionContext> ctx,
+                          const Status& invoke_status) {
+  LCE_CHECK(ctx != nullptr);
+  if (!invoke_status.ok()) {
+    // Poisoned run: the arena (and possibly the gemm scratch) holds the
+    // partial state of an aborted execution. Never reuse it -- destroy the
+    // context; a later Acquire builds a replacement from scratch.
+    QuarantinedTotal()->Add(1);
+    ctx.reset();
+  } else {
+    // Reset-on-return: zeroed arena + cleared profile makes the pooled
+    // context bit-identical (as observable state) to a fresh one.
+    ctx->Reset();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  --outstanding_;
+  LCE_CHECK_GE(outstanding_, 0);
+  if (ctx != nullptr) free_.push_back(std::move(ctx));
+}
+
+int ContextPool::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+int ContextPool::pooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(free_.size());
+}
+
+}  // namespace lce::serving

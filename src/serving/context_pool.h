@@ -1,0 +1,74 @@
+// ExecutionContext pool with reuse, reset-on-return and quarantine
+// (docs/SERVING.md).
+//
+// Arenas are the per-request cost of the CompiledModel/ExecutionContext
+// split; a server that allocated one per request would pay an
+// arena-sized malloc+free on every inference and make
+// `serving.resident_arena_bytes` churn with load. The pool keeps up to
+// `capacity` contexts alive and hands them out one request at a time:
+//
+//   * Acquire()  -- reuse a pooled context, or lazily create one while
+//                   under capacity. All `capacity` contexts checked out =>
+//                   Status::ResourceExhausted (the server sizes capacity to
+//                   its in-flight limit, so this is a hard invariant rather
+//                   than a wait).
+//   * Release()  -- with an Ok (or never-ran) request: Reset() the context
+//                   (arena zeroed, profile cleared) and return it to the
+//                   free list, so the next request sees a state
+//                   bit-identical to a fresh context.
+//                   with a failed Invoke: QUARANTINE. A run that ended
+//                   mid-model (cancellation, induced kernel error, scratch
+//                   exhaustion) leaves unspecified bytes in the arena and
+//                   the gemm scratch; the context is destroyed, never
+//                   reused, and its slot is replenished lazily by a later
+//                   Acquire. `serving.pool.quarantined_total` counts these.
+#ifndef LCE_SERVING_CONTEXT_POOL_H_
+#define LCE_SERVING_CONTEXT_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/compiled_model.h"
+
+namespace lce::serving {
+
+class ContextPool {
+ public:
+  ContextPool(std::shared_ptr<const CompiledModel> model, int capacity,
+              ExecutionOptions options = {});
+
+  ContextPool(const ContextPool&) = delete;
+  ContextPool& operator=(const ContextPool&) = delete;
+
+  // Hands out a context for exactly one request. Fails with
+  // ResourceExhausted when every slot is checked out or when a replacement
+  // context's arena allocation fails (in which case nothing is leaked and a
+  // later Acquire retries the allocation).
+  Status Acquire(std::unique_ptr<ExecutionContext>* out);
+
+  // Returns a context after a request. `invoke_status` is the request's
+  // Invoke status -- Status::Ok() for a request that never invoked.
+  void Release(std::unique_ptr<ExecutionContext> ctx,
+               const Status& invoke_status);
+
+  int capacity() const { return capacity_; }
+  // Contexts currently checked out to requests.
+  int outstanding() const;
+  // Contexts parked in the free list (reused without allocation).
+  int pooled() const;
+
+ private:
+  const std::shared_ptr<const CompiledModel> model_;
+  const int capacity_;
+  const ExecutionOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ExecutionContext>> free_;
+  int outstanding_ = 0;
+};
+
+}  // namespace lce::serving
+
+#endif  // LCE_SERVING_CONTEXT_POOL_H_

@@ -1,0 +1,112 @@
+#include "serving/fault_injection.h"
+
+#include <thread>
+
+#include "telemetry/metrics.h"
+
+namespace lce::serving::fault {
+namespace {
+
+void CountInjected(const char* site) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  static telemetry::Metric* total = reg.Counter("fault.injected_total");
+  total->Add(1);
+  reg.Counter(std::string("fault.injected.") + site)->Add(1);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector;
+  return *injector;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  arena_fail_remaining_ = 0;
+  scratch_fail_remaining_ = 0;
+  scratch_fail_slot_ = -1;
+  stall_remaining_ = 0;
+  stall_shard_ = -1;
+  stall_delay_ = std::chrono::milliseconds(0);
+  node_fail_remaining_ = 0;
+  node_fail_step_ = -1;
+  node_fail_status_ = Status::Ok();
+}
+
+void FaultInjector::FailArenaAlloc(int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arena_fail_remaining_ = times;
+}
+
+void FaultInjector::FailScratchAlloc(int slot, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_fail_slot_ = slot;
+  scratch_fail_remaining_ = times;
+}
+
+void FaultInjector::StallShard(int shard, std::chrono::milliseconds delay,
+                               int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_shard_ = shard;
+  stall_delay_ = delay;
+  stall_remaining_ = times;
+}
+
+void FaultInjector::FailNode(int step, Status status, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  node_fail_step_ = step;
+  node_fail_status_ = std::move(status);
+  node_fail_remaining_ = times;
+}
+
+bool FaultInjector::ShouldFailArenaAlloc() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (arena_fail_remaining_ <= 0) return false;
+    --arena_fail_remaining_;
+  }
+  CountInjected("arena_alloc");
+  return true;
+}
+
+bool FaultInjector::ShouldFailScratchAlloc(int slot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (scratch_fail_remaining_ <= 0) return false;
+    if (scratch_fail_slot_ != -1 && scratch_fail_slot_ != slot) return false;
+    --scratch_fail_remaining_;
+  }
+  CountInjected("scratch_alloc");
+  return true;
+}
+
+void FaultInjector::OnShard(int shard) {
+  std::chrono::milliseconds delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stall_remaining_ <= 0 || stall_shard_ != shard) return;
+    --stall_remaining_;
+    delay = stall_delay_;
+  }
+  CountInjected("shard_stall");
+  // The stall itself happens outside the lock so concurrent fault points
+  // (and re-arming from the test thread) are never blocked behind it.
+  std::this_thread::sleep_for(delay);
+}
+
+Status FaultInjector::OnNode(int step) {
+  Status injected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (node_fail_remaining_ <= 0 || node_fail_step_ != step) {
+      return Status::Ok();
+    }
+    --node_fail_remaining_;
+    injected = node_fail_status_;
+  }
+  CountInjected("node_status");
+  return injected;
+}
+
+}  // namespace lce::serving::fault

@@ -1,0 +1,106 @@
+// Deterministic fault injection for the serving layer (docs/ROBUSTNESS.md).
+//
+// The injector is a process-global switchboard the runtime consults at four
+// well-defined fault points:
+//
+//   * ExecutionContext arena allocation   (graph/compiled_model.cc)
+//   * gemm::Context scratch allocation    (gemm/context.h)
+//   * ParallelFor shard execution         (core/thread_pool.cc) -- a stall,
+//     modelling a descheduled / page-faulting worker
+//   * per-node kernel status              (ExecutionContext::Invoke) -- an
+//     induced kernel failure at a chosen step in the topological order
+//
+// The hooks compile to nothing unless the build sets -DLCE_FAULT_INJECTION
+// (CMake option LCE_FAULT_INJECTION, wired into the sanitizer CI jobs), so
+// release binaries carry zero overhead. The class itself is always defined
+// so test code can be written unconditionally; arming it in a build without
+// the hooks has no effect, and tests/test_serving_faults.cc is only
+// registered when the hooks are live.
+//
+// Faults are armed with trigger counts, making every scenario deterministic
+// and self-disarming: "fail the next 2 arena allocations", "stall shard 1
+// for 20 ms once", "fail node step 3 with Internal". Every fired fault is
+// counted in `fault.injected_total` plus a per-site counter.
+#ifndef LCE_SERVING_FAULT_INJECTION_H_
+#define LCE_SERVING_FAULT_INJECTION_H_
+
+#include <chrono>
+#include <mutex>
+
+#include "core/status.h"
+
+namespace lce::serving::fault {
+
+class FaultInjector {
+ public:
+  // The process-wide injector consulted by the runtime fault points.
+  static FaultInjector& Global();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Disarms every fault. Tests call this in SetUp/TearDown so one test's
+  // leftover triggers can never fire in another.
+  void Reset();
+
+  // Arm: the next `times` ExecutionContext arena allocations fail as if the
+  // allocator returned null.
+  void FailArenaAlloc(int times);
+
+  // Arm: the next `times` gemm scratch allocations for `slot` (-1 = any
+  // slot) fail as if the allocator returned null.
+  void FailScratchAlloc(int slot, int times);
+
+  // Arm: the next `times` executions of ParallelFor shard index `shard`
+  // sleep for `delay` before running, modelling a stalled worker.
+  void StallShard(int shard, std::chrono::milliseconds delay, int times);
+
+  // Arm: the next `times` executed nodes at step `step` of the topological
+  // order fail with `status` before the kernel runs (as a kernel reporting
+  // an internal error would).
+  void FailNode(int step, Status status, int times = 1);
+
+  // --- Runtime fault points (called from the hooks) ---------------------
+
+  bool ShouldFailArenaAlloc();
+  bool ShouldFailScratchAlloc(int slot);
+  // Sleeps if a stall is armed for this shard index.
+  void OnShard(int shard);
+  // Injected status for this step, or Ok.
+  Status OnNode(int step);
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  int arena_fail_remaining_ = 0;
+  int scratch_fail_remaining_ = 0;
+  int scratch_fail_slot_ = -1;
+  int stall_remaining_ = 0;
+  int stall_shard_ = -1;
+  std::chrono::milliseconds stall_delay_{0};
+  int node_fail_remaining_ = 0;
+  int node_fail_step_ = -1;
+  Status node_fail_status_;
+};
+
+}  // namespace lce::serving::fault
+
+// Hook macros used at the runtime fault points. They expand to nothing in
+// builds without LCE_FAULT_INJECTION, so the hot paths stay branch-free.
+#ifdef LCE_FAULT_INJECTION
+#define LCE_FAULT_ARENA_ALLOC_SHOULD_FAIL() \
+  (::lce::serving::fault::FaultInjector::Global().ShouldFailArenaAlloc())
+#define LCE_FAULT_SCRATCH_ALLOC_SHOULD_FAIL(slot) \
+  (::lce::serving::fault::FaultInjector::Global().ShouldFailScratchAlloc(slot))
+#define LCE_FAULT_ON_SHARD(shard) \
+  (::lce::serving::fault::FaultInjector::Global().OnShard(shard))
+#else
+#define LCE_FAULT_ARENA_ALLOC_SHOULD_FAIL() (false)
+#define LCE_FAULT_SCRATCH_ALLOC_SHOULD_FAIL(slot) (false)
+#define LCE_FAULT_ON_SHARD(shard) \
+  do {                            \
+  } while (0)
+#endif
+
+#endif  // LCE_SERVING_FAULT_INJECTION_H_

@@ -1,0 +1,259 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/macros.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
+
+namespace lce::serving {
+namespace {
+
+telemetry::Metric* Counter(const char* name) {
+  return telemetry::MetricsRegistry::Global().Counter(name);
+}
+
+telemetry::Metric* SubmittedTotal() {
+  static telemetry::Metric* m = Counter("serving.submitted_total");
+  return m;
+}
+telemetry::Metric* ShedTotal() {
+  static telemetry::Metric* m = Counter("serving.shed_total");
+  return m;
+}
+telemetry::Metric* AdmittedTotal() {
+  static telemetry::Metric* m = Counter("serving.admitted_total");
+  return m;
+}
+telemetry::Metric* CompletedOkTotal() {
+  static telemetry::Metric* m = Counter("serving.completed_ok_total");
+  return m;
+}
+telemetry::Metric* ExpiredInQueueTotal() {
+  static telemetry::Metric* m = Counter("serving.expired_in_queue_total");
+  return m;
+}
+telemetry::Metric* DeadlineExceededTotal() {
+  static telemetry::Metric* m = Counter("serving.deadline_exceeded_total");
+  return m;
+}
+telemetry::Metric* CancelledTotal() {
+  static telemetry::Metric* m = Counter("serving.cancelled_total");
+  return m;
+}
+telemetry::Metric* FailedTotal() {
+  static telemetry::Metric* m = Counter("serving.failed_total");
+  return m;
+}
+telemetry::Metric* QueueDepth() {
+  static telemetry::Metric* m =
+      telemetry::MetricsRegistry::Global().Gauge("serving.queue_depth");
+  return m;
+}
+telemetry::Metric* QueueDepthPeak() {
+  static telemetry::Metric* m =
+      telemetry::MetricsRegistry::Global().Gauge("serving.queue_depth_peak");
+  return m;
+}
+
+}  // namespace
+
+const Status& Request::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return status_;
+}
+
+bool Request::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+Status Request::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void Request::Complete(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;
+    status_ = std::move(status);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+Server::Server(std::shared_ptr<const CompiledModel> model,
+               ServerOptions options)
+    : options_(std::move(options)),
+      pool_(std::move(model), std::max(1, options_.max_inflight),
+            options_.execution) {
+  LCE_CHECK_GT(options_.max_queue_depth, 0);
+  const int executors = std::max(1, options_.max_inflight);
+  executors_.reserve(executors);
+  for (int i = 0; i < executors; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+}
+
+Server::~Server() {
+  std::deque<std::shared_ptr<Request>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    drained.swap(queue_);
+    QueueDepth()->Set(0);
+  }
+  cv_.notify_all();
+  for (const auto& req : drained) {
+    Finish(req, Status::Cancelled("server shutting down"), nullptr);
+  }
+  for (auto& t : executors_) t.join();
+}
+
+std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
+                                        std::chrono::nanoseconds deadline) {
+  auto req = std::make_shared<Request>();
+  req->fill_ = std::move(fill);
+  req->done_fn_ = std::move(done);
+  const auto budget =
+      deadline.count() > 0 ? deadline : options_.default_deadline;
+  if (budget.count() > 0) req->token_.set_deadline_after(budget);
+  req->enqueue_ns_ = telemetry::NowNanos();
+  SubmittedTotal()->Add(1);
+
+  bool shed = false;
+  bool down = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      down = true;
+    } else if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+      // Admission control: the queue is the only elastic state in the
+      // server, and it is bounded. Shedding here -- synchronously, before
+      // any allocation -- is what keeps memory and tail latency flat when
+      // arrivals outrun capacity.
+      shed = true;
+    } else {
+      queue_.push_back(req);
+      const auto depth = static_cast<std::int64_t>(queue_.size());
+      QueueDepth()->Set(depth);
+      QueueDepthPeak()->SetMax(depth);
+    }
+  }
+  if (down) {
+    Finish(req, Status::Cancelled("server shutting down"), nullptr);
+  } else if (shed) {
+    ShedTotal()->Add(1);
+    Finish(req,
+           Status::ResourceExhausted(
+               "admission queue full (max_queue_depth=" +
+               std::to_string(options_.max_queue_depth) + ")"),
+           nullptr);
+  } else {
+    cv_.notify_one();
+  }
+  return req;
+}
+
+Status Server::Infer(FillFn fill, FillFn consume,
+                     std::chrono::nanoseconds deadline) {
+  DoneFn done;
+  if (consume) {
+    done = [consume = std::move(consume)](const Status& s,
+                                          ExecutionContext* ctx) {
+      if (s.ok() && ctx != nullptr) consume(*ctx);
+    };
+  }
+  return Submit(std::move(fill), std::move(done), deadline)->Wait();
+}
+
+int Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void Server::ExecutorLoop() {
+  for (;;) {
+    std::shared_ptr<Request> req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      QueueDepth()->Set(static_cast<std::int64_t>(queue_.size()));
+    }
+    const std::uint64_t dequeue_ns = telemetry::NowNanos();
+    req->queue_wait_ns_ =
+        static_cast<std::int64_t>(dequeue_ns - req->enqueue_ns_);
+    if (telemetry::TracingActive()) {
+      telemetry::Tracer::Global().RecordComplete(
+          "serving/queue_wait", "serving", req->enqueue_ns_, dequeue_ns);
+    }
+    // A request that expired while queued is completed without ever
+    // touching a context -- under overload this is the cheap path that
+    // keeps executors available for requests that can still make their
+    // deadline.
+    if (req->token_.Expired()) {
+      ExpiredInQueueTotal()->Add(1);
+      Finish(req, req->token_.status(), nullptr);
+      continue;
+    }
+    std::unique_ptr<ExecutionContext> ctx;
+    Status st = pool_.Acquire(&ctx);
+    if (!st.ok()) {
+      // Pool capacity equals the executor count, so this only fires when a
+      // replacement context's arena allocation failed -- shed the request
+      // and leave the slot for a later retry.
+      ShedTotal()->Add(1);
+      Finish(req, std::move(st), nullptr);
+      continue;
+    }
+    AdmittedTotal()->Add(1);
+    const std::uint64_t exec0 = telemetry::NowNanos();
+    req->fill_(*ctx);
+    st = ctx->Invoke(&req->token_);
+    const std::uint64_t exec1 = telemetry::NowNanos();
+    req->exec_ns_ = static_cast<std::int64_t>(exec1 - exec0);
+    if (telemetry::TracingActive()) {
+      telemetry::Tracer::Global().RecordComplete("serving/execute", "serving",
+                                                 exec0, exec1);
+    }
+    // done callback (output reads) runs before the context returns to the
+    // pool; Release then resets (Ok) or quarantines (non-Ok) it.
+    Finish(req, st, st.ok() ? ctx.get() : nullptr);
+    pool_.Release(std::move(ctx), st);
+  }
+}
+
+void Server::Finish(const std::shared_ptr<Request>& req, Status status,
+                    ExecutionContext* ctx) {
+  if (req->done_fn_) req->done_fn_(status, ctx);
+  switch (status.code()) {
+    case StatusCode::kOk:
+      CompletedOkTotal()->Add(1);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      DeadlineExceededTotal()->Add(1);
+      break;
+    case StatusCode::kCancelled:
+      CancelledTotal()->Add(1);
+      break;
+    case StatusCode::kResourceExhausted:
+      // ShedTotal is counted at the shed site (admission or pool) so the
+      // counter means "requests the server refused", not "requests that
+      // failed with this code".
+      break;
+    default:
+      FailedTotal()->Add(1);
+      break;
+  }
+  req->Complete(std::move(status));
+}
+
+}  // namespace lce::serving

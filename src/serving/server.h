@@ -1,0 +1,165 @@
+// Overload-safe serving core: bounded admission, deadlines, cancellation
+// and an ExecutionContext pool on top of one shared CompiledModel
+// (docs/SERVING.md, "Overload & failure semantics").
+//
+// The contract under hostile traffic:
+//
+//   * BOUNDED QUEUE. At most `max_queue_depth` requests wait and at most
+//     `max_inflight` execute; everything beyond that is shed *at submit
+//     time* with Status::ResourceExhausted. Memory is therefore flat in
+//     offered load: arenas scale with max_inflight (the context pool), the
+//     queue holds only request descriptors, and
+//     `serving.resident_arena_bytes` stays constant at 2x arrival overload
+//     (asserted by bench_serving_throughput --open-loop).
+//
+//   * DEADLINES PROPAGATE. A request carries a CancellationToken with its
+//     deadline. Expiry in the queue completes the request with
+//     kDeadlineExceeded without ever touching a context; expiry mid-model
+//     is caught at per-node boundaries and at row-tile-block boundaries
+//     inside the ConvPipeline engine, so a hopeless request stops burning
+//     CPU within one block, not one model.
+//
+//   * FAILED RUNS QUARANTINE. Any non-Ok Invoke (deadline, cancel, induced
+//     kernel error, scratch exhaustion) sends the context to the pool's
+//     quarantine path -- its arena is never reused -- while the server
+//     itself keeps serving; recovery is a fresh context on the next
+//     request.
+//
+// One Server owns `max_inflight` executor threads. Submit() never blocks;
+// Infer() is the blocking convenience wrapper. Each executor drains the
+// admission queue in FIFO order, so queue wait is measurable and fair.
+#ifndef LCE_SERVING_SERVER_H_
+#define LCE_SERVING_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cancellation.h"
+#include "core/status.h"
+#include "graph/compiled_model.h"
+#include "serving/context_pool.h"
+
+namespace lce::serving {
+
+struct ServerOptions {
+  // Requests waiting for an executor beyond this bound are shed with
+  // ResourceExhausted at Submit() time.
+  int max_queue_depth = 64;
+  // Concurrent executions; also the executor-thread count and the context
+  // pool capacity (arenas resident = max_inflight, independent of load).
+  int max_inflight = 2;
+  // Deadline budget applied to requests submitted without one. Zero
+  // disables the default (requests without an explicit deadline never
+  // expire).
+  std::chrono::nanoseconds default_deadline{0};
+  // Per-context execution options (profiling, observer).
+  ExecutionOptions execution;
+};
+
+// Handle to one submitted request. Thread-safe; shared by the submitter
+// and the executor.
+class Request {
+ public:
+  // Requests the request's cooperative cancellation: pending requests
+  // complete with kCancelled without executing; an in-flight one stops at
+  // its next cancellation point.
+  void Cancel() { token_.Cancel(); }
+
+  // Blocks until the request reaches a terminal state; returns its status.
+  const Status& Wait();
+
+  bool done() const;
+  // Terminal status; meaningful once done() (Ok until then).
+  Status status() const;
+
+  // Time spent waiting for an executor, and executing (fill + Invoke +
+  // consume). Meaningful once done(); 0 for phases never entered.
+  std::int64_t queue_wait_ns() const { return queue_wait_ns_; }
+  std::int64_t exec_ns() const { return exec_ns_; }
+
+  CancellationToken& token() { return token_; }
+
+ private:
+  friend class Server;
+
+  using FillFn = std::function<void(ExecutionContext&)>;
+  using DoneFn = std::function<void(const Status&, ExecutionContext*)>;
+
+  void Complete(Status status);
+
+  CancellationToken token_;
+  FillFn fill_;
+  DoneFn done_fn_;
+  std::uint64_t enqueue_ns_ = 0;
+  std::int64_t queue_wait_ns_ = 0;
+  std::int64_t exec_ns_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+};
+
+class Server {
+ public:
+  using FillFn = Request::FillFn;
+  using DoneFn = Request::DoneFn;
+
+  Server(std::shared_ptr<const CompiledModel> model, ServerOptions options);
+  // Drains: pending requests complete with kCancelled("server shutting
+  // down"); executors finish their current request and join.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Admission-controlled asynchronous submission; never blocks.
+  //   `fill`     runs on an executor thread with the request's context,
+  //              before Invoke; write the input tensors here.
+  //   `done`     (optional) runs on the executor with the terminal status;
+  //              the context pointer is non-null only on Ok -- read the
+  //              output tensors there, before the context returns to the
+  //              pool.
+  //   `deadline` latency budget measured from Submit; <=0 applies
+  //              ServerOptions::default_deadline.
+  // The returned handle is already terminal (ResourceExhausted) when the
+  // request was shed at admission.
+  std::shared_ptr<Request> Submit(
+      FillFn fill, DoneFn done = nullptr,
+      std::chrono::nanoseconds deadline = std::chrono::nanoseconds{0});
+
+  // Blocking convenience wrapper: Submit + Wait. `consume` (optional) reads
+  // the outputs on the executor thread when the request succeeds.
+  Status Infer(FillFn fill, FillFn consume = nullptr,
+               std::chrono::nanoseconds deadline = std::chrono::nanoseconds{0});
+
+  // Requests currently waiting for an executor.
+  int queue_depth() const;
+  const ContextPool& context_pool() const { return pool_; }
+
+ private:
+  void ExecutorLoop();
+  // Terminal bookkeeping shared by every completion path.
+  void Finish(const std::shared_ptr<Request>& req, Status status,
+              ExecutionContext* ctx);
+
+  const ServerOptions options_;
+  ContextPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Request>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace lce::serving
+
+#endif  // LCE_SERVING_SERVER_H_

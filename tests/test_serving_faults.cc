@@ -1,0 +1,225 @@
+// Fault-injection suite (docs/ROBUSTNESS.md). Only registered when the
+// build sets LCE_FAULT_INJECTION (the sanitizer CI jobs do); each scenario
+// arms a deterministic fault, asserts the specified Status surfaces through
+// the serving API without aborting the process, and then proves recovery:
+// the next request on a fresh context reproduces the pre-fault output bit
+// for bit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "converter/convert.h"
+#include "core/cancellation.h"
+#include "core/macros.h"
+#include "core/random.h"
+#include "core/thread_pool.h"
+#include "graph/compiled_model.h"
+#include "models/builder.h"
+#include "serving/context_pool.h"
+#include "serving/fault_injection.h"
+#include "serving/server.h"
+#include "telemetry/metrics.h"
+
+namespace lce {
+namespace {
+
+using namespace std::chrono_literals;
+using serving::ContextPool;
+using serving::Server;
+using serving::ServerOptions;
+using serving::fault::FaultInjector;
+
+Graph MakeServingGraph() {
+  Graph g;
+  ModelBuilder b(g, 3);
+  int x = b.Input(16, 16, 3);
+  x = b.Conv(x, 8, 3, 2, Padding::kSameZero);
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  int y = b.BinaryConv(x, 32, 3, 1, Padding::kSameOne);
+  y = b.BatchNorm(y);
+  x = b.GlobalAvgPool(y);
+  x = b.Dense(x, 10);
+  g.MarkOutput(x);
+  LCE_CHECK(Convert(g).ok());
+  return g;
+}
+
+void FillInput(Tensor in, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    in.data<float>()[i] = rng.Uniform();
+  }
+}
+
+std::shared_ptr<const CompiledModel> CompileServingModel(int num_threads = 1) {
+  static const Graph* g = new Graph(MakeServingGraph());
+  CompileOptions opts;
+  opts.num_threads = num_threads;
+  std::shared_ptr<const CompiledModel> model;
+  LCE_CHECK(CompiledModel::Compile(*g, opts, &model).ok());
+  return model;
+}
+
+class ServingFaults : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  // Runs one clean request through `pool` and asserts its output matches
+  // `expected` bit for bit -- the recovery check every scenario ends with.
+  static void ExpectRecovery(ContextPool& pool,
+                             const std::vector<float>& expected,
+                             std::uint64_t seed) {
+    std::unique_ptr<ExecutionContext> ctx;
+    ASSERT_TRUE(pool.Acquire(&ctx).ok());
+    FillInput(ctx->input(0), seed);
+    const Status s = ctx->Invoke(nullptr);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(0, std::memcmp(ctx->output(0).data<float>(), expected.data(),
+                             10 * sizeof(float)))
+        << "post-fault context diverged from the pre-fault reference";
+    pool.Release(std::move(ctx), s);
+  }
+
+  static std::vector<float> Reference(
+      const std::shared_ptr<const CompiledModel>& model, std::uint64_t seed) {
+    ExecutionContext exec(model);
+    FillInput(exec.input(0), seed);
+    exec.Invoke();
+    const float* o = exec.output(0).data<float>();
+    return std::vector<float>(o, o + 10);
+  }
+};
+
+TEST_F(ServingFaults, ArenaAllocFailureShedsInsteadOfAborting) {
+  auto model = CompileServingModel();
+  const std::vector<float> expected = Reference(model, 50);
+  ContextPool pool(model, /*capacity=*/1);
+
+  FaultInjector::Global().FailArenaAlloc(1);
+  std::unique_ptr<ExecutionContext> ctx;
+  const Status s = pool.Acquire(&ctx);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  EXPECT_EQ(ctx, nullptr);
+  EXPECT_EQ(pool.outstanding(), 0) << "a failed Acquire must not leak a slot";
+
+  // The fault self-disarmed: the retry allocates and recovers bit-exactly.
+  ExpectRecovery(pool, expected, 50);
+}
+
+TEST_F(ServingFaults, ArenaAllocFailureSurfacesThroughServer) {
+  auto model = CompileServingModel();
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  Server server(model, opts);
+  // Warm the pool so the first context exists, then quarantine it via a
+  // cancelled request and arm the replacement allocation to fail.
+  ASSERT_TRUE(
+      server.Infer([](ExecutionContext& ctx) { FillInput(ctx.input(0), 1); })
+          .ok());
+  auto req =
+      server.Submit([](ExecutionContext& ctx) { FillInput(ctx.input(0), 1); });
+  req->Cancel();
+  req->Wait();
+
+  FaultInjector::Global().FailArenaAlloc(1);
+  Status s = server.Infer(
+      [](ExecutionContext& ctx) { FillInput(ctx.input(0), 1); });
+  // Either this request drew the failed replacement (ResourceExhausted) or
+  // it raced ahead of the quarantine; in both orders the server must stay
+  // up and the *next* request must succeed once the fault disarms.
+  if (!s.ok()) {
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  }
+  FaultInjector::Global().Reset();
+  s = server.Infer([](ExecutionContext& ctx) { FillInput(ctx.input(0), 1); });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST_F(ServingFaults, ScratchAllocFailureReturnsResourceExhaustedMidModel) {
+  auto model = CompileServingModel();
+  const std::vector<float> expected = Reference(model, 51);
+  ContextPool pool(model, /*capacity=*/1);
+
+  std::unique_ptr<ExecutionContext> ctx;
+  ASSERT_TRUE(pool.Acquire(&ctx).ok());
+  FillInput(ctx->input(0), 51);
+  FaultInjector::Global().FailScratchAlloc(/*slot=*/-1, /*times=*/1);
+  const Status s = ctx->Invoke(nullptr);
+  ASSERT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  EXPECT_NE(s.message().find("scratch"), std::string::npos)
+      << "the error must identify the failing allocation: " << s.message();
+  pool.Release(std::move(ctx), s);
+  EXPECT_EQ(pool.pooled(), 0) << "the failed context must be quarantined";
+
+  ExpectRecovery(pool, expected, 51);
+}
+
+TEST_F(ServingFaults, InducedNodeErrorPropagatesVerbatim) {
+  auto model = CompileServingModel();
+  const std::vector<float> expected = Reference(model, 52);
+  ContextPool pool(model, /*capacity=*/1);
+
+  std::unique_ptr<ExecutionContext> ctx;
+  ASSERT_TRUE(pool.Acquire(&ctx).ok());
+  FillInput(ctx->input(0), 52);
+  FaultInjector::Global().FailNode(
+      /*step=*/2, Status::Internal("induced kernel failure at step 2"));
+  const Status s = ctx->Invoke(nullptr);
+  ASSERT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "induced kernel failure at step 2")
+      << "the injected status must propagate verbatim";
+  pool.Release(std::move(ctx), s);
+
+  ExpectRecovery(pool, expected, 52);
+}
+
+TEST_F(ServingFaults, StalledShardMissesDeadlineMidModel) {
+  // A worker shard stalling (descheduled, page-faulting) must not wedge the
+  // request forever: the deadline fires at the next cancellation point and
+  // Invoke returns kDeadlineExceeded while the stalled shard finishes its
+  // block.
+  auto model = CompileServingModel(/*num_threads=*/2);
+  const std::vector<float> expected = Reference(model, 53);
+  ContextPool pool(model, /*capacity=*/1);
+
+  std::unique_ptr<ExecutionContext> ctx;
+  ASSERT_TRUE(pool.Acquire(&ctx).ok());
+  FillInput(ctx->input(0), 53);
+  // Stall every shard-0 execution long past the deadline for the whole run.
+  FaultInjector::Global().StallShard(/*shard=*/0, /*delay=*/30ms,
+                                     /*times=*/64);
+  CancellationToken token;
+  token.set_deadline_after(10ms);
+  const Status s = ctx->Invoke(&token);
+  ASSERT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+  pool.Release(std::move(ctx), s);
+
+  FaultInjector::Global().Reset();
+  ExpectRecovery(pool, expected, 53);
+}
+
+TEST_F(ServingFaults, InjectionCountersRecordEveryFiredFault) {
+  auto model = CompileServingModel();
+  auto* injected =
+      telemetry::MetricsRegistry::Global().Counter("fault.injected_total");
+  const std::int64_t before = injected->value();
+
+  FaultInjector::Global().FailArenaAlloc(1);
+  ExecutionContext failed(model);
+  EXPECT_FALSE(failed.allocation_ok());
+  EXPECT_EQ(failed.Invoke(nullptr).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(injected->value(), before + 1);
+
+  // Disarmed after the trigger count: the next context allocates fine.
+  ExecutionContext ok(model);
+  EXPECT_TRUE(ok.allocation_ok());
+  EXPECT_EQ(injected->value(), before + 1);
+}
+
+}  // namespace
+}  // namespace lce
