@@ -59,9 +59,19 @@ std::int64_t ResidentPackedBytes() {
 }
 
 // Runs `streams` closed-loop request threads against `model` for
-// ~`seconds` of wall time and aggregates throughput and latency.
+// ~`seconds` of wall time and aggregates throughput and latency. A
+// non-empty `hist_name` additionally streams every request latency into
+// that registry histogram, whose full bucket list then lands in the
+// --json report via the embedded metrics snapshot; the histogram's
+// interpolated p99 is cross-checked against the exact order statistic
+// within one bucket's relative error (<= 12.5%).
 StreamResult RunStreams(const std::shared_ptr<const CompiledModel>& model,
-                        int streams, double seconds) {
+                        int streams, double seconds,
+                        const std::string& hist_name = std::string()) {
+  telemetry::Histogram* hist =
+      hist_name.empty()
+          ? nullptr
+          : telemetry::MetricsRegistry::Global().Histogram(hist_name);
   std::vector<std::vector<double>> latencies(streams);
   std::atomic<bool> stop{false};
   std::atomic<int> ready{0};
@@ -82,8 +92,11 @@ StreamResult RunStreams(const std::shared_ptr<const CompiledModel>& model,
         const auto t0 = std::chrono::steady_clock::now();
         exec.Invoke();
         const auto t1 = std::chrono::steady_clock::now();
-        latencies[t].push_back(
-            std::chrono::duration<double>(t1 - t0).count());
+        const double lat_s = std::chrono::duration<double>(t1 - t0).count();
+        latencies[t].push_back(lat_s);
+        if (hist != nullptr) {
+          hist->Record(static_cast<std::int64_t>(lat_s * 1e9));
+        }
       }
     });
   }
@@ -107,6 +120,17 @@ StreamResult RunStreams(const std::shared_ptr<const CompiledModel>& model,
   if (!all.empty()) {
     r.p50_ms = profiling::Percentile(all, 0.5) * 1e3;
     r.p99_ms = profiling::Percentile(all, 0.99) * 1e3;
+  }
+  if (hist != nullptr && !all.empty()) {
+    const auto snap = hist->TakeSnapshot();
+    LCE_CHECK(snap.count == r.requests &&
+              "histogram count must equal the measured request count");
+    std::vector<double> all_ns(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all_ns[i] = all[i] * 1e9;
+    const double exact_p99 = profiling::Percentile(all_ns, 0.99);
+    const double hist_p99 = snap.p99();
+    LCE_CHECK(std::abs(hist_p99 - exact_p99) <= 0.125 * exact_p99 + 1.0 &&
+              "histogram p99 drifted past one bucket from the exact p99");
   }
   r.resident_packed_bytes = ResidentPackedBytes();
   return r;
@@ -332,7 +356,10 @@ int main(int argc, char** argv) {
     double qps1 = 0.0, qps_target = 0.0;
     const std::int64_t packed_before = ResidentPackedBytes();
     for (int streams : stream_counts) {
-      const StreamResult r = RunStreams(model, streams, seconds);
+      const StreamResult r = RunStreams(
+          model, streams, seconds,
+          "bench.closed_loop." + cfg.name + ".streams" +
+              std::to_string(streams) + "_ns");
       if (streams == 1) qps1 = r.qps;
       if (streams == scaling_target) qps_target = r.qps;
       std::printf("%8d %10.1f %10.2f %10.2f %10lld %14.2f\n", streams, r.qps,

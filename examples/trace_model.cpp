@@ -267,6 +267,18 @@ int main(int argc, char** argv) {
     std::printf("[check] ParallelFor shards on %zu thread track(s)\n",
                 shard_tids.size());
   }
+  // Dropped spans don't fail the check -- the trace is still valid, just
+  // truncated -- but silence here is how a partial timeline gets mistaken
+  // for a quiet one, so the warning is loud. The same count is embedded in
+  // the trace's otherData ("tracer.dropped_spans") for offline readers.
+  if (const std::uint64_t dropped = tracer.dropped_events(); dropped > 0) {
+    std::fprintf(stderr,
+                 "[check] *** WARNING: tracer dropped %llu span(s): a "
+                 "per-thread buffer filled and the trace is INCOMPLETE. "
+                 "Raise Tracer::Enable(capacity_per_thread) or trace fewer "
+                 "reps. ***\n",
+                 static_cast<unsigned long long>(dropped));
+  }
   if (failures == 0) std::printf("[check] OK\n");
   return failures == 0 ? 0 : 1;
 }

@@ -68,6 +68,7 @@ Status CompiledModel::Build(CompileOptions options) {
   if (options.enable_tracing) telemetry::Tracer::Global().Enable();
   LCE_TRACE_SCOPE_CAT("compiled_model/compile", "interpreter");
   kernel_profile_ = options.kernel_profile;
+  model_name_ = options.model_name.empty() ? "model" : options.model_name;
   pool_ = options.thread_pool != nullptr
               ? std::move(options.thread_pool)
               : ThreadPool::Shared(options.num_threads);
@@ -303,6 +304,18 @@ Status CompiledModel::Build(CompileOptions options) {
     }
   }
   packed_weight_bytes_ = packed_weight_bytes;
+  if (options.enable_node_histograms) {
+    // One latency histogram per node, namespaced by model: the serving
+    // layer's per-model per-node attribution (table 4 / fig. 5 style
+    // breakdowns, but live and mergeable across requests). Pointers are
+    // registry-owned and process-lifetime stable.
+    node_histograms_.assign(graph_.nodes().size(), nullptr);
+    for (int id : order_) {
+      const Node& n = graph_.node(id);
+      node_histograms_[id] = telemetry::MetricsRegistry::Global().Histogram(
+          "node." + model_name_ + "." + n.name + "_ns");
+    }
+  }
   if (packed_weight_bytes > 0) {
     // One bitpacked word (4 bytes) stands in for 32 float weights (128
     // bytes) -- the paper's 32x binary weight compression. The high-water
@@ -555,12 +568,14 @@ void ExecutionContext::RunNode(const Node& n, OpProfile* prof) {
 }
 
 Status ExecutionContext::Invoke(const CancellationToken* cancel) {
-  LCE_TRACE_SCOPE_CAT("interpreter/invoke", "interpreter");
+  telemetry::TraceScope invoke_scope("interpreter/invoke", "interpreter");
+  if (request_id_ != 0) invoke_scope.AddArg("req", request_id_);
   if (!arena_ok_) {
     return Status::ResourceExhausted(
         "execution context arena allocation failed");
   }
   profile_.clear();
+  nodes_executed_ = 0;
   // Publish the token to the gemm context so long-running kernels (the
   // ConvPipeline engine) can poll it at row-tile-block boundaries; cleared
   // on every exit path so a pooled context never leaks a dead request's
@@ -572,6 +587,7 @@ Status ExecutionContext::Invoke(const CancellationToken* cancel) {
   } token_clearer{ctx_};
   const bool profiling = options_.enable_profiling;
   const bool tracing = telemetry::TracingActive();
+  const bool node_hist = !model_->node_histograms_.empty();
   int step = 0;
   for (int id : model_->order_) {
     // Cancellation point: per-node boundary. The post-loop check below
@@ -585,18 +601,27 @@ Status ExecutionContext::Invoke(const CancellationToken* cancel) {
     }
 #endif
     const Node& n = model_->graph_.node(id);
+    ++nodes_executed_;
     try {
-      if (profiling || tracing) {
-        // One timestamp pair drives both the tracer span and the OpProfile
-        // record, so Table 4 / Figure 5 aggregation and the Chrome trace are
-        // two views of the same measurement.
+      if (profiling || tracing || node_hist) {
+        // One timestamp pair drives the tracer span, the OpProfile record
+        // and the per-node latency histogram, so Table 4 / Figure 5
+        // aggregation, the Chrome trace and the serving stats are three
+        // views of the same measurement.
         OpProfile prof;
         const std::uint64_t t0 = telemetry::NowNanos();
         RunNode(n, profiling ? &prof : nullptr);
         const std::uint64_t t1 = telemetry::NowNanos();
         if (tracing) {
-          telemetry::Tracer::Global().RecordComplete(n.name.c_str(), "node",
-                                                     t0, t1);
+          // The "req" argument joins this node span with its request's
+          // queue_wait / execute / invoke spans across Perfetto tracks.
+          telemetry::Tracer::Global().RecordCompleteWithArg(
+              n.name.c_str(), "node", t0, t1,
+              request_id_ != 0 ? "req" : nullptr, request_id_);
+        }
+        if (node_hist && model_->node_histograms_[id] != nullptr) {
+          model_->node_histograms_[id]->Record(
+              static_cast<std::int64_t>(t1 - t0));
         }
         if (profiling) {
           prof.node_id = id;

@@ -38,6 +38,10 @@
 #include "kernels/depthwise_conv.h"
 #include "kernels/fully_connected.h"
 
+namespace lce::telemetry {
+class Histogram;
+}  // namespace lce::telemetry
+
 namespace lce {
 
 struct CompileOptions {
@@ -50,6 +54,16 @@ struct CompileOptions {
   // Turns on the process-wide telemetry tracer at Compile() (equivalent to
   // telemetry::Tracer::Global().Enable() or the LCE_TRACE env var).
   bool enable_tracing = false;
+  // Label used to namespace this model's metrics (per-node latency
+  // histograms are registered as "node.<model_name>.<node_name>_ns").
+  // Empty means "model".
+  std::string model_name;
+  // Registers one latency histogram per node and records every node's
+  // execution time into it on each Invoke. Off by default: a zoo model adds
+  // dozens of histograms to the process-wide registry dump, which
+  // non-serving tools (benches, converters) don't want. The serving layer
+  // turns it on to get per-model per-node latency attribution.
+  bool enable_node_histograms = false;
   // Enforced on the graph and its memory plan; see core/resource_limits.h.
   ResourceLimits limits;
 };
@@ -93,6 +107,7 @@ class CompiledModel {
   std::size_t packed_weight_bytes() const { return packed_weight_bytes_; }
   const std::shared_ptr<ThreadPool>& thread_pool() const { return pool_; }
   gemm::KernelProfile kernel_profile() const { return kernel_profile_; }
+  const std::string& model_name() const { return model_name_; }
 
  private:
   friend class ExecutionContext;
@@ -103,6 +118,12 @@ class CompiledModel {
   const Graph& graph_;
   std::shared_ptr<ThreadPool> pool_;
   gemm::KernelProfile kernel_profile_ = gemm::KernelProfile::kSimd;
+  std::string model_name_;
+
+  // Per-node latency histograms, indexed by node id; empty unless
+  // CompileOptions::enable_node_histograms. Registry-owned pointers, so
+  // they stay valid for the process lifetime.
+  std::vector<telemetry::Histogram*> node_histograms_;
 
   std::vector<int> order_;                // topological node order
   std::vector<std::size_t> offsets_;      // per-value arena offset
@@ -192,6 +213,19 @@ class ExecutionContext {
   // Per-op profile of the last Invoke (empty unless profiling enabled).
   const std::vector<OpProfile>& profile() const { return profile_; }
 
+  // Request identity (docs/OBSERVABILITY.md): when nonzero, every tracer
+  // span recorded by Invoke on this context -- the invoke span and the
+  // per-node spans -- carries a "req" argument with this id, so one
+  // request's spans are joinable across tracks in the Perfetto export. The
+  // serving layer sets this to the server-assigned request id before each
+  // Invoke; 0 (the default) leaves spans untagged for non-serving callers.
+  void set_request_id(std::int64_t id) { request_id_ = id; }
+  std::int64_t request_id() const { return request_id_; }
+
+  // Nodes executed by the last Invoke, counting a node whose kernel failed
+  // or whose run was abandoned mid-model -- i.e. how far the request got.
+  int nodes_executed() const { return nodes_executed_; }
+
   std::size_t arena_bytes() const { return model_->arena_bytes(); }
   const CompiledModel& model() const { return *model_; }
   gemm::Context& gemm_context() { return ctx_; }
@@ -208,6 +242,8 @@ class ExecutionContext {
   AlignedBuffer arena_;
   bool arena_ok_ = false;
   std::vector<OpProfile> profile_;
+  std::int64_t request_id_ = 0;
+  int nodes_executed_ = 0;
 };
 
 }  // namespace lce

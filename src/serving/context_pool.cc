@@ -72,11 +72,13 @@ Status ContextPool::Acquire(std::unique_ptr<ExecutionContext>* out) {
 void ContextPool::Release(std::unique_ptr<ExecutionContext> ctx,
                           const Status& invoke_status) {
   LCE_CHECK(ctx != nullptr);
+  bool quarantine = false;
   if (!invoke_status.ok()) {
     // Poisoned run: the arena (and possibly the gemm scratch) holds the
     // partial state of an aborted execution. Never reuse it -- destroy the
     // context; a later Acquire builds a replacement from scratch.
     QuarantinedTotal()->Add(1);
+    quarantine = true;
     ctx.reset();
   } else {
     // Reset-on-return: zeroed arena + cleared profile makes the pooled
@@ -86,7 +88,13 @@ void ContextPool::Release(std::unique_ptr<ExecutionContext> ctx,
   std::lock_guard<std::mutex> lock(mu_);
   --outstanding_;
   LCE_CHECK_GE(outstanding_, 0);
+  if (quarantine) ++quarantined_;
   if (ctx != nullptr) free_.push_back(std::move(ctx));
+}
+
+std::int64_t ContextPool::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
 }
 
 int ContextPool::outstanding() const {

@@ -25,6 +25,7 @@
 #ifndef LCE_SERVING_CONTEXT_POOL_H_
 #define LCE_SERVING_CONTEXT_POOL_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -58,6 +59,10 @@ class ContextPool {
   int outstanding() const;
   // Contexts parked in the free list (reused without allocation).
   int pooled() const;
+  // Contexts this pool destroyed after failed runs (the per-pool view of
+  // the process-wide serving.pool.quarantined_total counter; feeds
+  // ServerStats::quarantined).
+  std::int64_t quarantined() const;
 
  private:
   const std::shared_ptr<const CompiledModel> model_;
@@ -67,6 +72,7 @@ class ContextPool {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<ExecutionContext>> free_;
   int outstanding_ = 0;
+  std::int64_t quarantined_ = 0;
 };
 
 }  // namespace lce::serving

@@ -1,0 +1,250 @@
+#include "serving/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "telemetry/clock.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
+
+namespace lce::serving {
+namespace {
+
+// Spans included in a bundle's trace tail. The full per-thread buffers can
+// hold 64k spans each; a bundle wants the moments before the anomaly, not
+// the whole flight.
+constexpr std::size_t kTraceTailSpans = 256;
+
+telemetry::Metric* DumpsTotal() {
+  static telemetry::Metric* m = telemetry::MetricsRegistry::Global().Counter(
+      "serving.flight_recorder.dumps_total");
+  return m;
+}
+
+// Chrome-trace-shaped object holding the most recent spans across all
+// threads, with the tracer's dropped-event count embedded in otherData so a
+// truncated timeline is self-describing.
+std::string TraceTailJson() {
+  auto& tracer = telemetry::Tracer::Global();
+  auto events = tracer.Collect();
+  std::sort(events.begin(), events.end(),
+            [](const telemetry::Tracer::CollectedEvent& a,
+               const telemetry::Tracer::CollectedEvent& b) {
+              return a.event.start_ns < b.event.start_ns;
+            });
+  const std::size_t keep = std::min(events.size(), kTraceTailSpans);
+  const std::size_t first = events.size() - keep;
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = first; i < events.size(); ++i) {
+    const auto& e = events[i];
+    if (i != first) out += ", ";
+    out += "{\"name\": \"" + telemetry::JsonEscape(e.event.name) +
+           "\", \"cat\": \"" + telemetry::JsonEscape(e.event.category) +
+           "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(e.tid) +
+           ", \"ts\": " + std::to_string(e.event.start_ns / 1000) +
+           ", \"dur\": " + std::to_string(e.event.duration_ns / 1000);
+    if (e.event.arg_name[0] != '\0') {
+      out += ", \"args\": {\"" + telemetry::JsonEscape(e.event.arg_name) +
+             "\": " + std::to_string(e.event.arg_value) + "}";
+    }
+    out += "}";
+  }
+  out += "], \"otherData\": {\"producer\": \"lce-flight-recorder\", "
+         "\"tracer.dropped_spans\": " +
+         std::to_string(tracer.dropped_events()) + "}}";
+  return out;
+}
+
+}  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string RequestSummary::ToJson() const {
+  std::string out = "{";
+  out += "\"id\": " + std::to_string(request_id);
+  out += ", \"outcome\": \"" + std::string(StatusCodeName(outcome)) + "\"";
+  out += ", \"enqueue_ns\": " + std::to_string(enqueue_ns);
+  out += ", \"dequeue_ns\": " + std::to_string(dequeue_ns);
+  out += ", \"finish_ns\": " + std::to_string(finish_ns);
+  out += ", \"queue_depth_at_admit\": " + std::to_string(queue_depth_at_admit);
+  out += ", \"nodes_executed\": " + std::to_string(nodes_executed);
+  out += "}";
+  return out;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)) {
+  dump_path_ = options_.dump_path;
+  if (dump_path_.empty()) {
+    if (const char* env = std::getenv("LCE_FLIGHT_RECORDER");
+        env != nullptr && *env != '\0') {
+      dump_path_ = env;
+    }
+  }
+}
+
+void FlightRecorder::RecordRequest(const RequestSummary& summary) {
+  bool deadline_burst = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(summary);
+    while (ring_.size() > options_.capacity) ring_.pop_front();
+    if (options_.deadline_burst_threshold > 0 &&
+        summary.outcome == StatusCode::kDeadlineExceeded) {
+      const std::uint64_t now = summary.finish_ns;
+      deadline_window_.push_back(now);
+      const std::uint64_t horizon =
+          static_cast<std::uint64_t>(options_.burst_window.count());
+      while (!deadline_window_.empty() &&
+             now - deadline_window_.front() > horizon) {
+        deadline_window_.pop_front();
+      }
+      if (static_cast<int>(deadline_window_.size()) >
+          options_.deadline_burst_threshold) {
+        deadline_burst = true;
+        deadline_window_.clear();  // one bundle per burst, not per miss
+      }
+    }
+  }
+  if (deadline_burst) TriggerDump("deadline_burst", summary.request_id);
+}
+
+void FlightRecorder::OnQuarantine(std::int64_t request_id) {
+  TriggerDump("quarantine", request_id);
+}
+
+void FlightRecorder::OnShed(std::int64_t request_id) {
+  if (options_.shed_burst_threshold <= 0) return;
+  bool burst = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t now = telemetry::NowNanos();
+    shed_window_.push_back(now);
+    const std::uint64_t horizon =
+        static_cast<std::uint64_t>(options_.burst_window.count());
+    while (!shed_window_.empty() && now - shed_window_.front() > horizon) {
+      shed_window_.pop_front();
+    }
+    if (static_cast<int>(shed_window_.size()) > options_.shed_burst_threshold) {
+      burst = true;
+      shed_window_.clear();
+    }
+  }
+  if (burst) TriggerDump("shed_burst", request_id);
+}
+
+std::vector<RequestSummary> FlightRecorder::RecentRequests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string FlightRecorder::BundleJson(const std::string& reason,
+                                       std::int64_t trigger_request_id) const {
+  const auto requests = RecentRequests();
+  auto& registry = telemetry::MetricsRegistry::Global();
+  std::string out = "{\n";
+  out += "  \"reason\": \"" + telemetry::JsonEscape(reason) + "\",\n";
+  out += "  \"trigger_request_id\": " + std::to_string(trigger_request_id) +
+         ",\n";
+  out += "  \"dumped_at_ns\": " + std::to_string(telemetry::NowNanos()) + ",\n";
+  out += "  \"dropped_trace_events\": " +
+         std::to_string(telemetry::Tracer::Global().dropped_events()) + ",\n";
+  out += "  \"requests\": [";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += requests[i].ToJson();
+  }
+  out += "],\n";
+  // Registry JSON is a complete document ending in a newline; splice it in
+  // as a value.
+  std::string metrics = registry.ToJson();
+  while (!metrics.empty() &&
+         (metrics.back() == '\n' || metrics.back() == ' ')) {
+    metrics.pop_back();
+  }
+  out += "  \"metrics\": " + metrics + ",\n";
+  out += "  \"prometheus\": \"" +
+         telemetry::JsonEscape(registry.ToPrometheusText()) + "\",\n";
+  out += "  \"trace\": " + TraceTailJson() + "\n";
+  out += "}\n";
+  return out;
+}
+
+Status FlightRecorder::DumpBundle(const std::string& reason,
+                                  std::int64_t trigger_request_id) {
+  if (dump_path_.empty()) return Status::Ok();
+  const std::string bundle = BundleJson(reason, trigger_request_id);
+  std::FILE* f = std::fopen(dump_path_.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + dump_path_ + "' for writing");
+  }
+  const std::size_t written = std::fwrite(bundle.data(), 1, bundle.size(), f);
+  std::fclose(f);
+  if (written != bundle.size()) {
+    return Status::DataLoss("short write to '" + dump_path_ + "'");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dumps_written_;
+  }
+  DumpsTotal()->Add(1);
+  return Status::Ok();
+}
+
+int FlightRecorder::dumps_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_written_;
+}
+
+void FlightRecorder::TriggerDump(const char* reason,
+                                 std::int64_t request_id) {
+  if (dump_path_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t now = telemetry::NowNanos();
+    if (last_dump_ns_ != 0 &&
+        now - last_dump_ns_ <
+            static_cast<std::uint64_t>(options_.min_dump_interval.count())) {
+      return;
+    }
+    last_dump_ns_ = now;
+  }
+  const Status s = DumpBundle(reason, request_id);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[lce] flight recorder dump failed: %s\n",
+                 s.message().c_str());
+  } else {
+    std::fprintf(stderr, "[lce] flight recorder: %s (request %lld) -> %s\n",
+                 reason, static_cast<long long>(request_id),
+                 dump_path_.c_str());
+  }
+}
+
+}  // namespace lce::serving

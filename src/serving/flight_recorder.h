@@ -1,0 +1,134 @@
+// Failure flight recorder for the serving layer (docs/OBSERVABILITY.md).
+//
+// A live server under overload sheds requests, misses deadlines and
+// quarantines contexts, and by the time a human looks, the evidence is
+// gone: counters only say *how many*, the tracer ring has wrapped, and the
+// requests involved have been destroyed. The flight recorder keeps a
+// fixed-capacity ring of the last N per-request summaries (id, outcome,
+// timestamps, queue depth at admit, nodes executed) and, when an anomaly
+// trigger fires, dumps a self-contained bundle to a configurable path:
+//
+//   * the recent request summaries (oldest first),
+//   * a full metrics snapshot (counters, gauges, histograms) as JSON,
+//   * the same snapshot as Prometheus text exposition,
+//   * a tail of the trace buffer with the tracer's dropped-event count
+//     embedded, so a truncated timeline is never mistaken for a quiet one.
+//
+// Triggers:
+//   * context quarantine -- every failed Invoke poisons an arena; always
+//     worth a bundle;
+//   * deadline-miss burst -- more than `deadline_burst_threshold` misses
+//     inside `burst_window`;
+//   * shed burst -- same, for admission-control sheds.
+//
+// Dumps are rate-limited by `min_dump_interval` so a sustained incident
+// produces one bundle per interval, not one per request. Recording a
+// request is a mutex-guarded ring write (~no cost next to an Invoke);
+// everything expensive happens only on a trigger.
+#ifndef LCE_SERVING_FLIGHT_RECORDER_H_
+#define LCE_SERVING_FLIGHT_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lce::serving {
+
+// Compact terminal record of one request, captured at Finish time. This is
+// what the ring stores: small, fixed-size-ish, and enough to reconstruct
+// the request's life (wait = dequeue - enqueue, run = finish - dequeue) and
+// correlate with its "req"-tagged tracer spans.
+struct RequestSummary {
+  std::int64_t request_id = 0;
+  StatusCode outcome = StatusCode::kOk;
+  std::uint64_t enqueue_ns = 0;  // Submit time
+  std::uint64_t dequeue_ns = 0;  // executor pickup; 0 = never dequeued
+  std::uint64_t finish_ns = 0;   // terminal-state time
+  int queue_depth_at_admit = 0;  // waiting requests right after enqueue
+  int nodes_executed = 0;        // how far the model run got; 0 = never ran
+
+  std::string ToJson() const;
+};
+
+// Human-readable name for a summary's outcome code ("ok",
+// "deadline_exceeded", ...).
+const char* StatusCodeName(StatusCode code);
+
+struct FlightRecorderOptions {
+  // Ring capacity: how many terminal requests a bundle looks back over.
+  std::size_t capacity = 128;
+  // Bundle destination. Empty falls back to the LCE_FLIGHT_RECORDER
+  // environment variable; empty both ways disables dumping (the ring is
+  // still maintained and readable via RecentRequests()).
+  std::string dump_path;
+  // Burst triggers: fire when more than `threshold` outcomes of the kind
+  // land within `burst_window`. 0 disables a trigger.
+  int deadline_burst_threshold = 0;
+  int shed_burst_threshold = 0;
+  std::chrono::nanoseconds burst_window{std::chrono::seconds(1)};
+  // Minimum spacing between dumps (quarantine storms and sustained
+  // overload would otherwise rewrite the bundle per request).
+  std::chrono::nanoseconds min_dump_interval{std::chrono::seconds(5)};
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Ring write + burst-trigger bookkeeping; called by the server on every
+  // terminal request.
+  void RecordRequest(const RequestSummary& summary);
+
+  // Anomaly hooks. OnQuarantine always triggers a dump attempt (subject to
+  // rate limiting); OnShed feeds the shed-burst window (sheds never reach
+  // RecordRequest's outcome-based windows with a distinct code of their
+  // own -- they complete as ResourceExhausted, which executed requests can
+  // also produce, so the shed site reports explicitly).
+  void OnQuarantine(std::int64_t request_id);
+  void OnShed(std::int64_t request_id);
+
+  // The ring contents, oldest first.
+  std::vector<RequestSummary> RecentRequests() const;
+
+  // The bundle document: {"reason", "trigger_request_id", "dumped_at_ns",
+  // "dropped_trace_events", "requests": [...], "metrics": {...},
+  // "prometheus": "<text exposition>", "trace": {...}}. `trace` is a
+  // Chrome-trace-shaped object holding the most recent spans with the
+  // dropped count in its otherData. Always valid JSON (test_serving_faults
+  // runs it through ValidateJsonSyntax).
+  std::string BundleJson(const std::string& reason,
+                         std::int64_t trigger_request_id) const;
+
+  // Writes BundleJson to the configured path (no-op Ok when disabled).
+  Status DumpBundle(const std::string& reason, std::int64_t trigger_request_id);
+
+  // Bundles written so far (mirrors serving.flight_recorder.dumps_total).
+  int dumps_written() const;
+  const std::string& dump_path() const { return dump_path_; }
+
+ private:
+  // Shared trigger path: rate-limits, dumps, counts.
+  void TriggerDump(const char* reason, std::int64_t request_id);
+
+  const FlightRecorderOptions options_;
+  std::string dump_path_;  // resolved from options / environment
+
+  mutable std::mutex mu_;
+  std::deque<RequestSummary> ring_;
+  std::deque<std::uint64_t> deadline_window_;  // finish timestamps
+  std::deque<std::uint64_t> shed_window_;
+  std::uint64_t last_dump_ns_ = 0;
+  int dumps_written_ = 0;
+};
+
+}  // namespace lce::serving
+
+#endif  // LCE_SERVING_FLIGHT_RECORDER_H_

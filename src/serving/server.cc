@@ -1,11 +1,13 @@
 #include "serving/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <utility>
 
 #include "core/macros.h"
 #include "telemetry/clock.h"
+#include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 
@@ -48,6 +50,10 @@ telemetry::Metric* FailedTotal() {
   static telemetry::Metric* m = Counter("serving.failed_total");
   return m;
 }
+telemetry::Metric* StatsExportsTotal() {
+  static telemetry::Metric* m = Counter("serving.stats_exports_total");
+  return m;
+}
 telemetry::Metric* QueueDepth() {
   static telemetry::Metric* m =
       telemetry::MetricsRegistry::Global().Gauge("serving.queue_depth");
@@ -59,7 +65,55 @@ telemetry::Metric* QueueDepthPeak() {
   return m;
 }
 
+// The serving latency distributions (docs/OBSERVABILITY.md). Process-wide,
+// like every registry metric: servers in one process share them, and tests
+// reconcile count *deltas* against per-server counters.
+//   queue_wait -- enqueue to executor pickup, recorded for every dequeued
+//                 request (including ones that then expire or are shed);
+//   execute    -- fill + Invoke, recorded iff the request was admitted;
+//   e2e        -- enqueue to terminal state, recorded iff admitted, so its
+//                 count always equals execute's and the admitted counter.
+telemetry::Histogram* QueueWaitHist() {
+  static telemetry::Histogram* h =
+      telemetry::MetricsRegistry::Global().Histogram("serving.queue_wait_ns");
+  return h;
+}
+telemetry::Histogram* ExecuteHist() {
+  static telemetry::Histogram* h =
+      telemetry::MetricsRegistry::Global().Histogram("serving.execute_ns");
+  return h;
+}
+telemetry::Histogram* E2eHist() {
+  static telemetry::Histogram* h =
+      telemetry::MetricsRegistry::Global().Histogram("serving.e2e_ns");
+  return h;
+}
+
 }  // namespace
+
+std::string ServerStats::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"submitted\": " + std::to_string(submitted) + ",\n";
+  out += "  \"shed\": " + std::to_string(shed) + ",\n";
+  out += "  \"expired_in_queue\": " + std::to_string(expired_in_queue) + ",\n";
+  out +=
+      "  \"cancelled_in_queue\": " + std::to_string(cancelled_in_queue) + ",\n";
+  out += "  \"admitted\": " + std::to_string(admitted) + ",\n";
+  out += "  \"completed_ok\": " + std::to_string(completed_ok) + ",\n";
+  out += "  \"deadline_exceeded\": " + std::to_string(deadline_exceeded) +
+         ",\n";
+  out += "  \"cancelled\": " + std::to_string(cancelled) + ",\n";
+  out += "  \"failed\": " + std::to_string(failed) + ",\n";
+  out += "  \"quarantined\": " + std::to_string(quarantined) + ",\n";
+  out += "  \"queue_depth\": " + std::to_string(queue_depth) + ",\n";
+  out += "  \"queue_depth_peak\": " + std::to_string(queue_depth_peak) + ",\n";
+  out += "  \"next_request_id\": " + std::to_string(next_request_id) + ",\n";
+  out += "  \"queue_wait_ns\": " + queue_wait.ToJson() + ",\n";
+  out += "  \"execute_ns\": " + execute.ToJson() + ",\n";
+  out += "  \"e2e_ns\": " + e2e.ToJson() + "\n";
+  out += "}\n";
+  return out;
+}
 
 const Status& Request::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -91,12 +145,17 @@ Server::Server(std::shared_ptr<const CompiledModel> model,
                ServerOptions options)
     : options_(std::move(options)),
       pool_(std::move(model), std::max(1, options_.max_inflight),
-            options_.execution) {
+            options_.execution),
+      recorder_(options_.flight_recorder) {
   LCE_CHECK_GT(options_.max_queue_depth, 0);
   const int executors = std::max(1, options_.max_inflight);
   executors_.reserve(executors);
   for (int i = 0; i < executors; ++i) {
     executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+  if (options_.stats_export_interval.count() > 0 &&
+      !options_.stats_export_path.empty()) {
+    exporter_ = std::thread([this] { ExporterLoop(); });
   }
 }
 
@@ -110,9 +169,20 @@ Server::~Server() {
   }
   cv_.notify_all();
   for (const auto& req : drained) {
-    Finish(req, Status::Cancelled("server shutting down"), nullptr);
+    // Drained requests were enqueued but never reached an executor.
+    cancelled_in_queue_.fetch_add(1, std::memory_order_relaxed);
+    Finish(req, Status::Cancelled("server shutting down"), nullptr,
+           /*admitted=*/false);
   }
   for (auto& t : executors_) t.join();
+  if (exporter_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(exporter_mu_);
+      exporter_stop_ = true;
+    }
+    exporter_cv_.notify_all();
+    exporter_.join();
+  }
 }
 
 std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
@@ -120,10 +190,12 @@ std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
   auto req = std::make_shared<Request>();
   req->fill_ = std::move(fill);
   req->done_fn_ = std::move(done);
+  req->id_ = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   const auto budget =
       deadline.count() > 0 ? deadline : options_.default_deadline;
   if (budget.count() > 0) req->token_.set_deadline_after(budget);
   req->enqueue_ns_ = telemetry::NowNanos();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   SubmittedTotal()->Add(1);
 
   bool shed = false;
@@ -141,19 +213,29 @@ std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
     } else {
       queue_.push_back(req);
       const auto depth = static_cast<std::int64_t>(queue_.size());
+      req->queue_depth_at_admit_ = static_cast<int>(depth);
       QueueDepth()->Set(depth);
       QueueDepthPeak()->SetMax(depth);
+      int peak = queue_depth_peak_.load(std::memory_order_relaxed);
+      while (peak < depth && !queue_depth_peak_.compare_exchange_weak(
+                                 peak, static_cast<int>(depth),
+                                 std::memory_order_relaxed)) {
+      }
     }
   }
   if (down) {
-    Finish(req, Status::Cancelled("server shutting down"), nullptr);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Finish(req, Status::Cancelled("server shutting down"), nullptr,
+           /*admitted=*/false);
   } else if (shed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
     ShedTotal()->Add(1);
+    recorder_.OnShed(req->id_);
     Finish(req,
            Status::ResourceExhausted(
                "admission queue full (max_queue_depth=" +
                std::to_string(options_.max_queue_depth) + ")"),
-           nullptr);
+           nullptr, /*admitted=*/false);
   } else {
     cv_.notify_one();
   }
@@ -177,6 +259,27 @@ int Server::queue_depth() const {
   return static_cast<int>(queue_.size());
 }
 
+ServerStats Server::StatsSnapshot() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  s.cancelled_in_queue = cancelled_in_queue_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.quarantined = pool_.quarantined();
+  s.queue_depth = queue_depth();
+  s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  s.next_request_id = next_request_id_.load(std::memory_order_relaxed);
+  s.queue_wait = QueueWaitHist()->TakeSnapshot();
+  s.execute = ExecuteHist()->TakeSnapshot();
+  s.e2e = E2eHist()->TakeSnapshot();
+  return s;
+}
+
 void Server::ExecutorLoop() {
   for (;;) {
     std::shared_ptr<Request> req;
@@ -189,19 +292,28 @@ void Server::ExecutorLoop() {
       QueueDepth()->Set(static_cast<std::int64_t>(queue_.size()));
     }
     const std::uint64_t dequeue_ns = telemetry::NowNanos();
+    req->dequeue_ns_ = dequeue_ns;
     req->queue_wait_ns_ =
         static_cast<std::int64_t>(dequeue_ns - req->enqueue_ns_);
+    QueueWaitHist()->Record(req->queue_wait_ns_);
     if (telemetry::TracingActive()) {
-      telemetry::Tracer::Global().RecordComplete(
-          "serving/queue_wait", "serving", req->enqueue_ns_, dequeue_ns);
+      telemetry::Tracer::Global().RecordCompleteWithArg(
+          "serving/queue_wait", "serving", req->enqueue_ns_, dequeue_ns, "req",
+          req->id_);
     }
     // A request that expired while queued is completed without ever
     // touching a context -- under overload this is the cheap path that
     // keeps executors available for requests that can still make their
     // deadline.
     if (req->token_.Expired()) {
+      const Status st = req->token_.status();
+      if (st.code() == StatusCode::kCancelled) {
+        cancelled_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      }
       ExpiredInQueueTotal()->Add(1);
-      Finish(req, req->token_.status(), nullptr);
+      Finish(req, st, nullptr, /*admitted=*/false);
       continue;
     }
     std::unique_ptr<ExecutionContext> ctx;
@@ -210,30 +322,91 @@ void Server::ExecutorLoop() {
       // Pool capacity equals the executor count, so this only fires when a
       // replacement context's arena allocation failed -- shed the request
       // and leave the slot for a later retry.
+      shed_.fetch_add(1, std::memory_order_relaxed);
       ShedTotal()->Add(1);
-      Finish(req, std::move(st), nullptr);
+      recorder_.OnShed(req->id_);
+      Finish(req, std::move(st), nullptr, /*admitted=*/false);
       continue;
     }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
     AdmittedTotal()->Add(1);
+    // The context carries the request id for the duration of the run so
+    // Invoke's spans (invoke + per-node) join this request's serving spans
+    // in the trace; cleared before the context returns to the pool.
+    ctx->set_request_id(req->id_);
     const std::uint64_t exec0 = telemetry::NowNanos();
     req->fill_(*ctx);
     st = ctx->Invoke(&req->token_);
     const std::uint64_t exec1 = telemetry::NowNanos();
     req->exec_ns_ = static_cast<std::int64_t>(exec1 - exec0);
+    req->nodes_executed_ = ctx->nodes_executed();
+    ctx->set_request_id(0);
+    ExecuteHist()->Record(req->exec_ns_);
     if (telemetry::TracingActive()) {
-      telemetry::Tracer::Global().RecordComplete("serving/execute", "serving",
-                                                 exec0, exec1);
+      telemetry::Tracer::Global().RecordCompleteWithArg(
+          "serving/execute", "serving", exec0, exec1, "req", req->id_);
     }
     // done callback (output reads) runs before the context returns to the
     // pool; Release then resets (Ok) or quarantines (non-Ok) it.
-    Finish(req, st, st.ok() ? ctx.get() : nullptr);
+    const bool quarantines = !st.ok();
+    const std::int64_t req_id = req->id_;
+    Finish(req, st, st.ok() ? ctx.get() : nullptr, /*admitted=*/true);
     pool_.Release(std::move(ctx), st);
+    // Quarantine is the flight recorder's always-on trigger: an arena was
+    // just poisoned and destroyed, and the evidence of how is still in the
+    // ring and the trace buffers.
+    if (quarantines) recorder_.OnQuarantine(req_id);
+  }
+}
+
+void Server::ExporterLoop() {
+  std::unique_lock<std::mutex> lock(exporter_mu_);
+  for (;;) {
+    const bool stopping = exporter_cv_.wait_for(
+        lock, options_.stats_export_interval, [this] { return exporter_stop_; });
+    lock.unlock();
+    // Export on every tick and once more on shutdown, so even a
+    // shorter-lived server leaves a final snapshot behind.
+    const std::string json = StatsSnapshot().ToJson();
+    std::FILE* f = std::fopen(options_.stats_export_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      StatsExportsTotal()->Add(1);
+    } else {
+      std::fprintf(stderr, "[lce] stats export failed: cannot open '%s'\n",
+                   options_.stats_export_path.c_str());
+    }
+    lock.lock();
+    if (stopping) return;
   }
 }
 
 void Server::Finish(const std::shared_ptr<Request>& req, Status status,
-                    ExecutionContext* ctx) {
+                    ExecutionContext* ctx, bool admitted) {
   if (req->done_fn_) req->done_fn_(status, ctx);
+  if (admitted) {
+    // Outcome classification for requests that ran (or started to): the
+    // per-server invariant `admitted == completed_ok + deadline_exceeded +
+    // cancelled + failed` needs every admitted request in exactly one
+    // bucket, so unlike the process-global counters, post-admission
+    // resource exhaustion (scratch allocation failure mid-model) lands in
+    // `failed` here.
+    switch (status.code()) {
+      case StatusCode::kOk:
+        completed_ok_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
   switch (status.code()) {
     case StatusCode::kOk:
       CompletedOkTotal()->Add(1);
@@ -253,6 +426,19 @@ void Server::Finish(const std::shared_ptr<Request>& req, Status status,
       FailedTotal()->Add(1);
       break;
   }
+  const std::uint64_t finish_ns = telemetry::NowNanos();
+  if (admitted) {
+    E2eHist()->Record(static_cast<std::int64_t>(finish_ns - req->enqueue_ns_));
+  }
+  RequestSummary summary;
+  summary.request_id = req->id_;
+  summary.outcome = status.code();
+  summary.enqueue_ns = req->enqueue_ns_;
+  summary.dequeue_ns = req->dequeue_ns_;
+  summary.finish_ns = finish_ns;
+  summary.queue_depth_at_admit = req->queue_depth_at_admit_;
+  summary.nodes_executed = req->nodes_executed_;
+  recorder_.RecordRequest(summary);
   req->Complete(std::move(status));
 }
 

@@ -31,6 +31,7 @@
 #ifndef LCE_SERVING_SERVER_H_
 #define LCE_SERVING_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -45,6 +46,8 @@
 #include "core/status.h"
 #include "graph/compiled_model.h"
 #include "serving/context_pool.h"
+#include "serving/flight_recorder.h"
+#include "telemetry/metrics.h"
 
 namespace lce::serving {
 
@@ -61,6 +64,57 @@ struct ServerOptions {
   std::chrono::nanoseconds default_deadline{0};
   // Per-context execution options (profiling, observer).
   ExecutionOptions execution;
+  // Periodic stats export (docs/OBSERVABILITY.md): every interval a
+  // background thread writes StatsSnapshot().ToJson() to
+  // `stats_export_path`. Zero interval (the default) starts no thread.
+  std::chrono::nanoseconds stats_export_interval{0};
+  std::string stats_export_path;
+  // Flight recorder configuration (ring capacity, dump path, burst
+  // triggers); see serving/flight_recorder.h. The ring always records;
+  // bundles are dumped only when a dump path is configured (directly or
+  // via LCE_FLIGHT_RECORDER).
+  FlightRecorderOptions flight_recorder;
+};
+
+// One server's lifetime counters and latency distributions, read atomically
+// enough for monitoring (counters are relaxed loads; the histograms are
+// registry snapshots shared by every server in the process).
+//
+// The outcome classification is exact, not best-effort -- these invariants
+// hold whenever the server is idle (no queued or in-flight requests), and
+// tests enforce them:
+//
+//   submitted == shed + expired_in_queue + cancelled_in_queue + admitted
+//   admitted  == completed_ok + deadline_exceeded + cancelled + failed
+//
+// `shed` counts refusals (admission queue full, shutdown, context-arena
+// allocation failure); `expired_in_queue` / `cancelled_in_queue` count
+// requests whose token fired before they ever touched a context (shutdown
+// drains count as cancelled_in_queue); the admitted outcomes classify the
+// Invoke status, with `failed` covering kernel errors *and* post-admission
+// resource exhaustion (scratch allocation failure mid-model).
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t shed = 0;
+  std::int64_t expired_in_queue = 0;
+  std::int64_t cancelled_in_queue = 0;
+  std::int64_t admitted = 0;
+  std::int64_t completed_ok = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t failed = 0;
+  std::int64_t quarantined = 0;  // contexts destroyed after failed runs
+  int queue_depth = 0;
+  int queue_depth_peak = 0;
+  std::int64_t next_request_id = 0;  // ids assigned so far + 1
+
+  // Process-wide latency distributions (serving.queue_wait_ns,
+  // serving.execute_ns, serving.e2e_ns) at snapshot time.
+  telemetry::HistogramSnapshot queue_wait;
+  telemetry::HistogramSnapshot execute;
+  telemetry::HistogramSnapshot e2e;
+
+  std::string ToJson() const;
 };
 
 // Handle to one submitted request. Thread-safe; shared by the submitter
@@ -84,6 +138,12 @@ class Request {
   std::int64_t queue_wait_ns() const { return queue_wait_ns_; }
   std::int64_t exec_ns() const { return exec_ns_; }
 
+  // Server-assigned id: monotonically increasing per server, starting at 1,
+  // assigned at Submit. All tracer spans this request produces (queue_wait,
+  // execute, invoke, per-node) carry it as their "req" argument, and its
+  // RequestSummary in the flight recorder uses the same id.
+  std::int64_t id() const { return id_; }
+
   CancellationToken& token() { return token_; }
 
  private:
@@ -97,9 +157,13 @@ class Request {
   CancellationToken token_;
   FillFn fill_;
   DoneFn done_fn_;
+  std::int64_t id_ = 0;
   std::uint64_t enqueue_ns_ = 0;
+  std::uint64_t dequeue_ns_ = 0;
   std::int64_t queue_wait_ns_ = 0;
   std::int64_t exec_ns_ = 0;
+  int queue_depth_at_admit_ = 0;
+  int nodes_executed_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -144,20 +208,53 @@ class Server {
   int queue_depth() const;
   const ContextPool& context_pool() const { return pool_; }
 
+  // Point-in-time view of this server's counters plus the process-wide
+  // serving latency histograms. Always callable, including while requests
+  // are in flight (the counters may then be mid-transition; the documented
+  // invariants hold at idle).
+  ServerStats StatsSnapshot() const;
+
+  // The failure flight recorder (ring of recent request summaries; bundles
+  // on anomaly). Exposed for tests and capture tools.
+  FlightRecorder& flight_recorder() { return recorder_; }
+
  private:
   void ExecutorLoop();
-  // Terminal bookkeeping shared by every completion path.
+  void ExporterLoop();
+  // Terminal bookkeeping shared by every completion path. `dequeued` is
+  // false for requests refused before entering the queue.
   void Finish(const std::shared_ptr<Request>& req, Status status,
-              ExecutionContext* ctx);
+              ExecutionContext* ctx, bool admitted);
 
   const ServerOptions options_;
   ContextPool pool_;
+  FlightRecorder recorder_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Request>> queue_;
   bool shutdown_ = false;
   std::vector<std::thread> executors_;
+
+  // Stats exporter thread state (separate mutex: the exporter must never
+  // contend with the admission path).
+  std::mutex exporter_mu_;
+  std::condition_variable exporter_cv_;
+  bool exporter_stop_ = false;
+  std::thread exporter_;
+
+  // Request identity + per-server outcome counters (see ServerStats).
+  std::atomic<std::int64_t> next_request_id_{1};
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> expired_in_queue_{0};
+  std::atomic<std::int64_t> cancelled_in_queue_{0};
+  std::atomic<std::int64_t> admitted_{0};
+  std::atomic<std::int64_t> completed_ok_{0};
+  std::atomic<std::int64_t> deadline_exceeded_{0};
+  std::atomic<std::int64_t> cancelled_{0};
+  std::atomic<std::int64_t> failed_{0};
+  std::atomic<int> queue_depth_peak_{0};
 };
 
 }  // namespace lce::serving

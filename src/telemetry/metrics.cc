@@ -1,7 +1,10 @@
 #include "telemetry/metrics.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "telemetry/json.h"
 
@@ -11,16 +14,177 @@ namespace {
 void DumpMetricsAtExit() {
   const char* path = std::getenv("LCE_METRICS");
   if (path == nullptr || *path == '\0') return;
-  const Status s = MetricsRegistry::Global().WriteJson(path);
+  const char* format = std::getenv("LCE_METRICS_FORMAT");
+  const bool prom = format != nullptr && std::strcmp(format, "prom") == 0;
+  const Status s = prom
+                       ? MetricsRegistry::Global().WritePrometheusText(path)
+                       : MetricsRegistry::Global().WriteJson(path);
   if (!s.ok()) {
     std::fprintf(stderr, "[lce] LCE_METRICS dump failed: %s\n",
                  s.message().c_str());
   } else {
-    std::fprintf(stderr, "[lce] wrote metrics to %s\n", path);
+    std::fprintf(stderr, "[lce] wrote metrics (%s) to %s\n",
+                 prom ? "prom" : "json", path);
   }
 }
 
+// Shortest round-trippable-enough representation that is always valid JSON
+// and valid Prometheus sample syntax (never inf/nan: callers only pass
+// finite values derived from int64 aggregates).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Status::DataLoss("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; the registry
+// uses dotted names, so map every other character to '_' and prefix "lce_"
+// (which also guarantees a legal first character).
+std::string PrometheusName(const std::string& name) {
+  std::string out = "lce_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram bucket layout.
+// ---------------------------------------------------------------------------
+
+int Histogram::BucketIndex(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Octave o = floor(log2(value)) >= kSubBucketBits; the top kSubBucketBits
+  // bits below the leading one select the linear sub-bucket.
+  const int o = 63 - __builtin_clzll(static_cast<unsigned long long>(value));
+  const int sub = static_cast<int>((value >> (o - kSubBucketBits)) - kSubBuckets);
+  return kSubBuckets + (o - kSubBucketBits) * kSubBuckets + sub;
+}
+
+std::int64_t Histogram::BucketLowerBound(int i) {
+  if (i <= 0) return 0;
+  if (i < kSubBuckets) return i;
+  const int k = i - kSubBuckets;
+  const int o = kSubBucketBits + k / kSubBuckets;
+  const int sub = k % kSubBuckets;
+  return (std::int64_t{1} << o) +
+         static_cast<std::int64_t>(sub) * (std::int64_t{1} << (o - kSubBucketBits));
+}
+
+std::int64_t Histogram::BucketUpperBound(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<std::int64_t>::max();
+  return BucketLowerBound(i + 1);
+}
+
+HistogramSnapshot Histogram::TakeSnapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(std::numeric_limits<std::int64_t>::min(),
+             std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  const double rank = q * static_cast<double>(count - 1);
+  std::int64_t cum = 0;
+  double value = static_cast<double>(max);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::int64_t n = static_cast<std::int64_t>(buckets[i]);
+    if (n == 0) continue;
+    if (rank <= static_cast<double>(cum + n - 1)) {
+      // The n observations in this bucket occupy ranks [cum, cum+n-1] and
+      // integer values [lo, hi-1]; interpolate the rank linearly across
+      // that span (midpoint for a lone observation).
+      const double lo =
+          static_cast<double>(Histogram::BucketLowerBound(static_cast<int>(i)));
+      const double hi = static_cast<double>(
+                            Histogram::BucketUpperBound(static_cast<int>(i))) -
+                        1.0;
+      const double within =
+          n > 1 ? (rank - static_cast<double>(cum)) / static_cast<double>(n - 1)
+                : 0.5;
+      value = lo + within * (hi - lo);
+      break;
+    }
+    cum += n;
+  }
+  // Clamp to the observed extremes: makes q=0, q=1 and the single-element
+  // case exact instead of bucket-approximate.
+  value = std::max(value, static_cast<double>(min));
+  value = std::min(value, static_cast<double>(max));
+  return value;
+}
+
+std::string HistogramSnapshot::ToJson() const {
+  std::string out = "{";
+  out += "\"count\": " + std::to_string(count);
+  out += ", \"sum\": " + std::to_string(sum);
+  out += ", \"min\": " + std::to_string(min);
+  out += ", \"max\": " + std::to_string(max);
+  out += ", \"p50\": " + FormatDouble(p50());
+  out += ", \"p90\": " + FormatDouble(p90());
+  out += ", \"p99\": " + FormatDouble(p99());
+  out += ", \"buckets\": [";
+  std::int64_t cum = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cum += static_cast<std::int64_t>(buckets[i]);
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"le\": " +
+           std::to_string(Histogram::BucketUpperBound(static_cast<int>(i))) +
+           ", \"count\": " + std::to_string(cum) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
 
 MetricsRegistry::MetricsRegistry() {
   if (const char* path = std::getenv("LCE_METRICS");
@@ -44,6 +208,18 @@ Metric* MetricsRegistry::GetOrCreate(const std::string& name,
   return it->second.get();
 }
 
+::lce::telemetry::Histogram* MetricsRegistry::Histogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<::lce::telemetry::Histogram>(name))
+             .first;
+  }
+  return it->second.get();
+}
+
 std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Sample> out;
@@ -54,8 +230,19 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
   return out;  // map iteration order is already name-sorted
 }
 
+std::vector<HistogramSnapshot> MetricsRegistry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(histogram->TakeSnapshot());
+  }
+  return out;  // map iteration order is already name-sorted
+}
+
 std::string MetricsRegistry::ToJson() const {
   const auto samples = Snapshot();
+  const auto histograms = SnapshotHistograms();
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& s : samples) {
@@ -73,28 +260,171 @@ std::string MetricsRegistry::ToJson() const {
     out += "    \"" + JsonEscape(s.name) + "\": " + std::to_string(s.value);
     first = false;
   }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(h.name) + "\": " + h.ToJson();
+    first = false;
+  }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
 }
 
 Status MetricsRegistry::WriteJson(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::Internal("cannot open '" + path + "' for writing");
+  return WriteStringToFile(path, ToJson());
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  const auto samples = Snapshot();
+  const auto histograms = SnapshotHistograms();
+  std::string out;
+  for (const auto& s : samples) {
+    const std::string name = PrometheusName(s.name);
+    out += "# TYPE " + name +
+           (s.kind == MetricKind::kCounter ? " counter\n" : " gauge\n");
+    out += name + " " + std::to_string(s.value) + "\n";
   }
-  const std::string json = ToJson();
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  if (written != json.size()) {
-    return Status::DataLoss("short write to '" + path + "'");
+  for (const auto& h : histograms) {
+    const std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::int64_t cum = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cum += static_cast<std::int64_t>(h.buckets[i]);
+      out += name + "_bucket{le=\"" +
+             std::to_string(
+                 Histogram::BucketUpperBound(static_cast<int>(i))) +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
   }
-  return Status::Ok();
+  return out;
+}
+
+Status MetricsRegistry::WritePrometheusText(const std::string& path) const {
+  return WriteStringToFile(path, ToPrometheusText());
 }
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, metric] : metrics_) metric->Set(0);
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Exposition format validation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsValidMetricNameChar(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+// name[{label="value",...}]
+bool ParseSampleName(std::string_view line, std::size_t* pos) {
+  std::size_t i = 0;
+  if (i >= line.size() || !IsValidMetricNameChar(line[i], /*first=*/true)) {
+    return false;
+  }
+  ++i;
+  while (i < line.size() && IsValidMetricNameChar(line[i], /*first=*/false)) {
+    ++i;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      // label name
+      if (!IsValidMetricNameChar(line[i], /*first=*/true)) return false;
+      while (i < line.size() &&
+             IsValidMetricNameChar(line[i], /*first=*/false)) {
+        ++i;
+      }
+      if (i >= line.size() || line[i] != '=') return false;
+      ++i;
+      if (i >= line.size() || line[i] != '"') return false;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') ++i;  // escaped char consumes two bytes
+        ++i;
+      }
+      if (i >= line.size()) return false;  // unterminated label value
+      ++i;                                 // closing quote
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) return false;  // unterminated label set
+    ++i;                                 // closing brace
+  }
+  *pos = i;
+  return true;
+}
+
+bool ParseFloatValue(std::string_view text) {
+  if (text.empty()) return false;
+  if (text == "+Inf" || text == "-Inf" || text == "NaN") return true;
+  std::string buf(text);
+  char* end = nullptr;
+  std::strtod(buf.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != buf.c_str();
+}
+
+}  // namespace
+
+bool ValidatePrometheusText(std::string_view text, std::string* error) {
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# TYPE ", 0) != 0 && line.rfind("# HELP ", 0) != 0) {
+        return fail("comment is neither # TYPE nor # HELP");
+      }
+      continue;
+    }
+    std::size_t pos = 0;
+    if (!ParseSampleName(line, &pos)) {
+      return fail("invalid metric name or label set");
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return fail("missing space before sample value");
+    }
+    ++pos;
+    // Optional trailing timestamp: take the first token as the value.
+    std::string_view rest = line.substr(pos);
+    const std::size_t space = rest.find(' ');
+    const std::string_view value_tok =
+        space == std::string_view::npos ? rest : rest.substr(0, space);
+    if (!ParseFloatValue(value_tok)) {
+      return fail("sample value is not a number");
+    }
+    if (space != std::string_view::npos) {
+      const std::string_view ts = rest.substr(space + 1);
+      if (!ParseFloatValue(ts)) {
+        return fail("trailing timestamp is not a number");
+      }
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
 }
 
 }  // namespace lce::telemetry

@@ -1,27 +1,38 @@
-// Process-wide registry of named counters and gauges -- the numeric side of
-// the telemetry subsystem (the tracer is the timeline side).
+// Process-wide registry of named counters, gauges and histograms -- the
+// numeric side of the telemetry subsystem (the tracer is the timeline side).
 //
 // Counters accumulate monotonically (binary MACs executed, ParallelFor
 // shards, validator rejects, dropped trace events); gauges record a level,
 // usually a high-water mark (arena bytes, packed weight bytes, im2col
-// scratch bytes). All updates are relaxed atomics on stable Metric objects,
-// so hot paths pay one atomic RMW after a one-time name lookup:
+// scratch bytes); histograms record latency-shaped distributions
+// (serving queue wait / execute / end-to-end, per-node invoke latency) in
+// log-spaced int64 nanosecond buckets. All updates are relaxed atomics on
+// stable objects, so hot paths pay one or two atomic RMWs after a one-time
+// name lookup:
 //
 //   static telemetry::Metric* macs =
 //       telemetry::MetricsRegistry::Global().Counter("bgemm.binary_macs");
 //   macs->Add(m * n * k);
 //
+//   static telemetry::Histogram* e2e =
+//       telemetry::MetricsRegistry::Global().Histogram("serving.e2e_ns");
+//   e2e->Record(latency_ns);
+//
 // The registry dumps as JSON (metrics.json via LCE_METRICS=<path>, the
-// `trace_model --metrics=` flag, or MetricsRegistry::ToJson()).
+// `trace_model --metrics=` flag, or MetricsRegistry::ToJson()) or as
+// Prometheus text exposition (ToPrometheusText(), or LCE_METRICS=<path>
+// with LCE_METRICS_FORMAT=prom).
 #ifndef LCE_TELEMETRY_METRICS_H_
 #define LCE_TELEMETRY_METRICS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/status.h"
@@ -60,10 +71,107 @@ class Metric {
   std::atomic<std::int64_t> value_{0};
 };
 
+// One read-only view of a histogram's state: bucket counts plus the scalar
+// aggregates, with interpolated quantiles. Produced by
+// Histogram::TakeSnapshot(); safe to keep after the registry moves on.
+struct HistogramSnapshot {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // 0 when count == 0
+  std::int64_t max = 0;
+
+  // Per-bucket observation counts (size Histogram::kNumBuckets).
+  std::vector<std::uint64_t> buckets;
+
+  // Interpolated quantile, q in [0, 1]. Walks the cumulative bucket counts
+  // to the bucket containing rank q*(count-1), interpolates linearly within
+  // it, and clamps to the observed [min, max] so q=0 / q=1 are exact at the
+  // extremes. Error is bounded by one bucket's width: <= 12.5% of the value
+  // (see Histogram's bucket layout).
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p90() const { return Quantile(0.90); }
+  double p99() const { return Quantile(0.99); }
+
+  // {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..,
+  //  "buckets":[{"le":<upper-bound>,"count":<cumulative>},...]} with one
+  // entry per non-empty bucket (cumulative, Prometheus-style).
+  std::string ToJson() const;
+};
+
+// Lock-free log-bucketed int64 histogram, designed for nanosecond
+// latencies. Record() is two relaxed fetch_adds plus two bounded CAS loops
+// (min/max) -- no locks, no allocation, safe from any thread.
+//
+// Bucket layout (HdrHistogram-style): values 0..7 get exact unit buckets;
+// every octave [2^o, 2^(o+1)) above that is split into 8 linear
+// sub-buckets. Bucket width is therefore always <= 1/8 of the bucket's
+// lower bound, so any value reconstructed from its bucket is within 12.5%
+// relative error -- and so are the snapshot's interpolated quantiles. The
+// layout covers the full positive int64 range (negative values clamp to 0)
+// in 488 buckets = ~4 KiB of atomics per histogram.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 8 per octave
+  // 8 exact unit buckets + octaves o = 3..62, 8 sub-buckets each.
+  static constexpr int kNumBuckets = kSubBuckets + (62 - kSubBucketBits + 1) * kSubBuckets;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Records one observation (negative values clamp to 0). Relaxed atomics
+  // only; concurrent Record()s never lose counts.
+  void Record(std::int64_t value) {
+    const std::int64_t v = value < 0 ? 0 : value;
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::int64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Bucket index for a value (clamped to >= 0).
+  static int BucketIndex(std::int64_t value);
+  // Inclusive lower / exclusive upper bound of bucket i.
+  static std::int64_t BucketLowerBound(int i);
+  static std::int64_t BucketUpperBound(int i);
+
+  // Consistent-enough view for concurrent use: each field is read with a
+  // relaxed load, so a snapshot racing active Record()s may be off by the
+  // in-flight observations but is never corrupt.
+  HistogramSnapshot TakeSnapshot() const;
+
+  // Zeroes all state (used by MetricsRegistry::Reset()).
+  void Reset();
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
 class MetricsRegistry {
  public:
   // The process-wide registry. If the LCE_METRICS environment variable is
-  // set, a JSON snapshot is written to that path at process exit.
+  // set, a snapshot is written to that path at process exit -- JSON by
+  // default, Prometheus text when LCE_METRICS_FORMAT=prom.
   static MetricsRegistry& Global();
 
   // Returns the metric with this name, creating it on first use. Pointers
@@ -75,18 +183,32 @@ class MetricsRegistry {
   Metric* Gauge(const std::string& name) {
     return GetOrCreate(name, MetricKind::kGauge);
   }
+  // The histogram with this name, creating it on first use; pointers are
+  // stable. Histograms live in their own namespace (a name may not be both
+  // a scalar metric and a histogram).
+  ::lce::telemetry::Histogram* Histogram(const std::string& name);
 
   struct Sample {
     std::string name;
     MetricKind kind = MetricKind::kCounter;
     std::int64_t value = 0;
   };
-  // All metrics, sorted by name.
+  // All scalar metrics, sorted by name.
   std::vector<Sample> Snapshot() const;
+  // All histograms, sorted by name.
+  std::vector<HistogramSnapshot> SnapshotHistograms() const;
 
-  // {"counters": {...}, "gauges": {...}} with keys sorted.
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  // sorted; histogram values follow HistogramSnapshot::ToJson().
   std::string ToJson() const;
   Status WriteJson(const std::string& path) const;
+
+  // Prometheus text exposition (one `# TYPE` line plus samples per metric;
+  // histograms emit cumulative `_bucket{le=...}` series with `_sum` and
+  // `_count`). Names are sanitized to the Prometheus charset and prefixed
+  // `lce_`. Scrape-ready; validated by ValidatePrometheusText.
+  std::string ToPrometheusText() const;
+  Status WritePrometheusText(const std::string& path) const;
 
   // Zeroes every metric's value (objects and cached pointers stay valid).
   void Reset();
@@ -98,7 +220,16 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Metric>> metrics_;
+  std::map<std::string, std::unique_ptr<::lce::telemetry::Histogram>>
+      histograms_;
 };
+
+// Line-format check for Prometheus text exposition: every line must be
+// blank, a `# HELP`/`# TYPE` comment, or `name[{label="value",...}] number`
+// with a valid metric name and a parseable float. Returns true on success;
+// on failure `error` (if non-null) names the first offending line. Used by
+// the telemetry tests and the CI exposition-format gate.
+bool ValidatePrometheusText(std::string_view text, std::string* error = nullptr);
 
 }  // namespace lce::telemetry
 

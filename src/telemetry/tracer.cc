@@ -186,9 +186,13 @@ std::string Tracer::ToChromeTraceJson() const {
     }
     out += "}";
   }
+  // Both keys carry the same count: "dropped_events" is the historical
+  // name; "tracer.dropped_spans" matches the registry metric so tools that
+  // look at either the metrics dump or the trace metadata see one name.
+  const std::string dropped = std::to_string(dropped_events());
   out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"producer\":\"lce\","
          "\"dropped_events\":" +
-         std::to_string(dropped_events()) + "}}\n";
+         dropped + ",\"tracer.dropped_spans\":" + dropped + "}}\n";
   return out;
 }
 

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
 
 #include "profiling/bench_utils.h"
 #include "profiling/model_profiler.h"
+#include "telemetry/metrics.h"
 
 namespace lce::profiling {
 namespace {
@@ -29,6 +33,41 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 5.5);
   EXPECT_NEAR(Percentile(xs, 0.9), 9.1, 1e-9);
   EXPECT_DOUBLE_EQ(Percentile({42.0}, 0.99), 42.0);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  // Single element: every quantile is that element.
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 1.0), 7.5);
+  // Two elements: endpoints exact, midpoint interpolated, order-agnostic.
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 20.0}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile({20.0, 10.0}, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile({20.0, 10.0}, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 20.0}, 0.25), 12.5);
+}
+
+// Property test (shared contract with telemetry::HistogramSnapshot, see
+// test_telemetry.cc): on random latency-shaped data, the log-bucketed
+// histogram's interpolated quantiles track the exact Percentile() of the
+// same samples within one bucket's relative error (<= 12.5%).
+TEST(Stats, PercentileMatchesHistogramQuantilesWithinBucketError) {
+  std::mt19937_64 rng(4242);
+  std::lognormal_distribution<double> latency(11.0, 1.2);
+  telemetry::Histogram hist("bench_utils.property_ns");
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i) {
+    const auto v = static_cast<std::int64_t>(latency(rng));
+    hist.Record(v);
+    xs.push_back(static_cast<double>(v));
+  }
+  const auto snap = hist.TakeSnapshot();
+  for (double q : {0.0, 0.05, 0.5, 0.9, 0.99, 1.0}) {
+    const double exact = Percentile(xs, q);
+    const double est = snap.Quantile(q);
+    EXPECT_LE(std::abs(est - exact), 0.125 * exact + 1.0)
+        << "q=" << q << " exact=" << exact << " hist=" << est;
+  }
 }
 
 TEST(Stats, Range) {

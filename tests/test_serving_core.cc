@@ -8,9 +8,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,6 +25,7 @@
 #include "models/builder.h"
 #include "serving/context_pool.h"
 #include "serving/server.h"
+#include "telemetry/json.h"
 #include "telemetry/metrics.h"
 
 namespace lce {
@@ -505,6 +509,189 @@ TEST(ServingServer, ResidentArenaBytesBoundedByInflight) {
   }
   EXPECT_EQ(gauge->value(), before)
       << "server shutdown must release every pooled arena";
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped observability (docs/OBSERVABILITY.md): request identity,
+// the StatsSnapshot() outcome invariants, and reconciliation between the
+// serving.* latency histograms and the outcome counters -- the two metric
+// families must never drift.
+// ---------------------------------------------------------------------------
+
+TEST(ServingStats, RequestIdsAreMonotonicallyIncreasingFromOne) {
+  auto model = CompileServingModel();
+  ServerOptions opts;
+  opts.max_inflight = 2;
+  Server server(model, opts);
+  std::vector<std::shared_ptr<Request>> reqs;
+  for (int i = 0; i < 8; ++i) {
+    reqs.push_back(server.Submit(
+        [](ExecutionContext& ctx) { FillInput(ctx.input(0), 3); }));
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i]->Wait();
+    EXPECT_EQ(reqs[i]->id(), static_cast<std::int64_t>(i) + 1)
+        << "ids are assigned in Submit order, starting at 1";
+  }
+  EXPECT_EQ(server.StatsSnapshot().next_request_id, 9);
+}
+
+// Drives one of every outcome through a single server -- completion, shed,
+// deadline expiry in the queue, cancellation in the queue -- then checks
+// the documented ServerStats invariants and that the process-wide
+// histogram count *deltas* reconcile exactly with the per-server counters:
+//   execute/e2e record iff admitted, queue_wait records per dequeue.
+TEST(ServingStats, SnapshotReconcilesOutcomesAndHistograms) {
+  auto model = CompileServingModel();
+  auto& registry = telemetry::MetricsRegistry::Global();
+  const std::int64_t qw_before =
+      registry.Histogram("serving.queue_wait_ns")->count();
+  const std::int64_t ex_before =
+      registry.Histogram("serving.execute_ns")->count();
+  const std::int64_t e2e_before =
+      registry.Histogram("serving.e2e_ns")->count();
+
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.max_queue_depth = 3;
+  Server server(model, opts);
+
+  // Block the single executor so the queue fills deterministically.
+  std::promise<void> started;
+  std::promise<void> gate_promise;
+  std::shared_future<void> gate = gate_promise.get_future().share();
+  auto r0 = server.Submit([&](ExecutionContext& ctx) {
+    started.set_value();
+    gate.wait();
+    FillInput(ctx.input(0), 1);
+  });
+  started.get_future().wait();
+
+  // Queue (depth 3): one normal, one with a deadline that expires while
+  // waiting, one cancelled while waiting. A fifth submit overflows the
+  // bounded queue and is shed at admission.
+  auto r1 = server.Submit(
+      [](ExecutionContext& ctx) { FillInput(ctx.input(0), 2); });
+  auto r2 = server.Submit(
+      [](ExecutionContext& ctx) { FillInput(ctx.input(0), 3); }, nullptr, 1ms);
+  auto r3 = server.Submit(
+      [](ExecutionContext& ctx) { FillInput(ctx.input(0), 4); });
+  auto r4 = server.Submit(
+      [](ExecutionContext& ctx) { FillInput(ctx.input(0), 5); });
+  EXPECT_EQ(r4->Wait().code(), StatusCode::kResourceExhausted);
+
+  r3->Cancel();
+  std::this_thread::sleep_for(10ms);  // r2's 1ms budget expires in the queue
+  gate_promise.set_value();
+  EXPECT_TRUE(r0->Wait().ok());
+  EXPECT_TRUE(r1->Wait().ok());
+  EXPECT_EQ(r2->Wait().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r3->Wait().code(), StatusCode::kCancelled);
+
+  const serving::ServerStats stats = server.StatsSnapshot();
+  EXPECT_EQ(stats.submitted, 5);
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.expired_in_queue, 1);
+  EXPECT_EQ(stats.cancelled_in_queue, 1);
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.completed_ok, 2);
+  EXPECT_EQ(stats.deadline_exceeded, 0) << "expiry in queue is not an "
+                                           "admitted-request outcome";
+  EXPECT_EQ(stats.cancelled, 0);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.queue_depth_peak, 3);
+
+  // The documented invariants, stated as written in server.h.
+  EXPECT_EQ(stats.submitted, stats.shed + stats.expired_in_queue +
+                                 stats.cancelled_in_queue + stats.admitted);
+  EXPECT_EQ(stats.admitted, stats.completed_ok + stats.deadline_exceeded +
+                                stats.cancelled + stats.failed);
+
+  // Histogram-vs-counter reconciliation (deltas: the histograms are
+  // process-wide and shared with every other server in this test binary).
+  EXPECT_EQ(registry.Histogram("serving.execute_ns")->count() - ex_before,
+            stats.admitted);
+  EXPECT_EQ(registry.Histogram("serving.e2e_ns")->count() - e2e_before,
+            stats.admitted);
+  EXPECT_EQ(registry.Histogram("serving.queue_wait_ns")->count() - qw_before,
+            stats.submitted - stats.shed)
+      << "queue_wait records every dequeued request, shed ones never enqueue";
+  EXPECT_EQ(stats.execute.count, stats.e2e.count)
+      << "execute and e2e both record iff admitted, so at idle their "
+         "process-wide counts are always equal";
+
+  std::string error;
+  EXPECT_TRUE(telemetry::ValidateJsonSyntax(stats.ToJson(), &error)) << error;
+}
+
+// The periodic exporter thread writes StatsSnapshot().ToJson() to the
+// configured path every interval, plus one final write on shutdown, so the
+// file always holds a complete last-known-good snapshot.
+TEST(ServingStats, PeriodicExporterLeavesValidFinalSnapshot) {
+  const std::string path = "lce_stats_export_test.json";
+  std::remove(path.c_str());
+  auto model = CompileServingModel();
+  auto* exports =
+      telemetry::MetricsRegistry::Global().Counter("serving.stats_exports_total");
+  const std::int64_t exports_before = exports->value();
+  {
+    ServerOptions opts;
+    opts.max_inflight = 2;
+    opts.stats_export_interval = 5ms;
+    opts.stats_export_path = path;
+    Server server(model, opts);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(
+          server
+              .Infer([](ExecutionContext& ctx) { FillInput(ctx.input(0), 9); })
+              .ok());
+    }
+  }  // ~Server joins the exporter after a final export
+  EXPECT_GT(exports->value(), exports_before);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "exporter must leave a final snapshot at " << path;
+  std::string data;
+  char buf[1 << 12];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  std::string error;
+  EXPECT_TRUE(telemetry::ValidateJsonSyntax(data, &error)) << error;
+  EXPECT_NE(data.find("\"completed_ok\""), std::string::npos);
+  EXPECT_NE(data.find("\"e2e_ns\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// CI artifact hook: with LCE_STATS_JSON=<path> in the environment this test
+// leaves a live StatsSnapshot JSON there for upload; without it, it only
+// validates the JSON shape.
+TEST(ServingStats, SnapshotJsonIsValidAndExportedForCi) {
+  auto model = CompileServingModel();
+  ServerOptions opts;
+  opts.max_inflight = 2;
+  Server server(model, opts);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(server
+                    .Infer([i](ExecutionContext& ctx) {
+                      FillInput(ctx.input(0), static_cast<std::uint64_t>(i) + 1);
+                    })
+                    .ok());
+  }
+  const serving::ServerStats stats = server.StatsSnapshot();
+  EXPECT_EQ(stats.admitted, 6);
+  EXPECT_EQ(stats.completed_ok, 6);
+  const std::string json = stats.ToJson();
+  std::string error;
+  ASSERT_TRUE(telemetry::ValidateJsonSyntax(json, &error)) << error;
+  if (const char* path = std::getenv("LCE_STATS_JSON");
+      path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr) << "cannot open LCE_STATS_JSON path " << path;
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
 }
 
 }  // namespace

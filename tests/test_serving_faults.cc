@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "converter/convert.h"
@@ -21,6 +25,7 @@
 #include "serving/context_pool.h"
 #include "serving/fault_injection.h"
 #include "serving/server.h"
+#include "telemetry/json.h"
 #include "telemetry/metrics.h"
 
 namespace lce {
@@ -219,6 +224,147 @@ TEST_F(ServingFaults, InjectionCountersRecordEveryFiredFault) {
   ExecutionContext ok(model);
   EXPECT_TRUE(ok.allocation_ok());
   EXPECT_EQ(injected->value(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Failure flight recorder (docs/OBSERVABILITY.md): a quarantine must
+// deterministically leave a self-contained bundle behind, and the fault
+// outcomes must reconcile with the serving.* histograms exactly like the
+// healthy ones do.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingFaults, QuarantineWritesFlightRecorderBundle) {
+  // CI sets LCE_FLIGHT_RECORDER so the bundle survives as an artifact;
+  // without it the test uses (and cleans up) a local path.
+  const char* env = std::getenv("LCE_FLIGHT_RECORDER");
+  const bool keep = env != nullptr && env[0] != '\0';
+  const std::string path =
+      keep ? std::string(env) : std::string("lce_flight_bundle_test.json");
+  std::remove(path.c_str());
+
+  auto model = CompileServingModel();
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.flight_recorder.dump_path = path;
+  opts.flight_recorder.min_dump_interval = 0ms;
+  Server server(model, opts);
+
+  // Healthy traffic first, so the bundle's ring shows the anomaly in
+  // context rather than in isolation.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        server.Infer([](ExecutionContext& ctx) { FillInput(ctx.input(0), 7); })
+            .ok());
+  }
+
+  FaultInjector::Global().FailNode(
+      /*step=*/2, Status::Internal("induced kernel failure"));
+  const Status failed = server.Infer(
+      [](ExecutionContext& ctx) { FillInput(ctx.input(0), 8); });
+  ASSERT_EQ(failed.code(), StatusCode::kInternal);
+
+  // Infer() returns when the request completes; the quarantine (and its
+  // dump) happens on the executor right after, once the context is back in
+  // the pool's hands -- give it a moment.
+  for (int i = 0; i < 2000 && server.flight_recorder().dumps_written() == 0;
+       ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(server.flight_recorder().dumps_written(), 1)
+      << "a quarantine is the always-on trigger; it must produce a bundle";
+
+  // The bundle on disk is one valid JSON document containing the failed
+  // request's summary, the metrics snapshot, the Prometheus exposition and
+  // a trace tail that self-describes its truncation.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "no bundle at " << path;
+  std::string data;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  std::string error;
+  EXPECT_TRUE(telemetry::ValidateJsonSyntax(data, &error)) << error;
+  EXPECT_NE(data.find("\"reason\": \"quarantine\""), std::string::npos);
+  EXPECT_NE(data.find("\"outcome\": \"internal\""), std::string::npos);
+  EXPECT_NE(data.find("\"outcome\": \"ok\""), std::string::npos)
+      << "the ring must retain the healthy requests around the anomaly";
+  EXPECT_NE(data.find("\"prometheus\""), std::string::npos);
+  EXPECT_NE(data.find("tracer.dropped_spans"), std::string::npos);
+
+  // The exposition embedded in the bundle is the registry's; the raw text
+  // must pass the line-format validator.
+  EXPECT_TRUE(telemetry::ValidatePrometheusText(
+      telemetry::MetricsRegistry::Global().ToPrometheusText(), &error))
+      << error;
+
+  // The trigger request is the ring's newest summary, with enough recorded
+  // to reconstruct its life: admitted, ran some nodes, then failed.
+  const auto recent = server.flight_recorder().RecentRequests();
+  ASSERT_FALSE(recent.empty());
+  const auto& last = recent.back();
+  EXPECT_EQ(last.outcome, StatusCode::kInternal);
+  EXPECT_GT(last.nodes_executed, 0) << "the run reached step 2 before failing";
+  EXPECT_GE(last.dequeue_ns, last.enqueue_ns);
+  EXPECT_GE(last.finish_ns, last.dequeue_ns);
+
+  if (!keep) std::remove(path.c_str());
+}
+
+// Admitted-but-failed requests land in the same histogram buckets as
+// healthy ones: `admitted == completed_ok + deadline_exceeded + cancelled +
+// failed` with kernel errors *and* post-admission scratch exhaustion in
+// `failed`, and the execute/e2e histogram count deltas still equal the
+// admitted delta -- fault paths cannot make the metric families drift.
+TEST_F(ServingFaults, FaultOutcomesReconcileWithHistograms) {
+  auto model = CompileServingModel();
+  auto& registry = telemetry::MetricsRegistry::Global();
+  const std::int64_t ex_before =
+      registry.Histogram("serving.execute_ns")->count();
+  const std::int64_t e2e_before = registry.Histogram("serving.e2e_ns")->count();
+
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  Server server(model, opts);
+  ASSERT_TRUE(
+      server.Infer([](ExecutionContext& ctx) { FillInput(ctx.input(0), 60); })
+          .ok());
+
+  FaultInjector::Global().FailNode(/*step=*/2, Status::Internal("induced"));
+  EXPECT_EQ(server
+                .Infer([](ExecutionContext& ctx) {
+                  FillInput(ctx.input(0), 61);
+                })
+                .code(),
+            StatusCode::kInternal);
+
+  FaultInjector::Global().FailScratchAlloc(/*slot=*/-1, /*times=*/1);
+  EXPECT_EQ(server
+                .Infer([](ExecutionContext& ctx) {
+                  FillInput(ctx.input(0), 62);
+                })
+                .code(),
+            StatusCode::kResourceExhausted);
+
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(
+      server.Infer([](ExecutionContext& ctx) { FillInput(ctx.input(0), 63); })
+          .ok());
+
+  const serving::ServerStats stats = server.StatsSnapshot();
+  EXPECT_EQ(stats.admitted, 4);
+  EXPECT_EQ(stats.completed_ok, 2);
+  EXPECT_EQ(stats.failed, 2)
+      << "kernel errors and post-admission scratch exhaustion both classify "
+         "as failed";
+  EXPECT_EQ(stats.admitted, stats.completed_ok + stats.deadline_exceeded +
+                                stats.cancelled + stats.failed);
+  EXPECT_EQ(stats.quarantined, 2)
+      << "every failed Invoke quarantines its context";
+  EXPECT_EQ(registry.Histogram("serving.execute_ns")->count() - ex_before,
+            stats.admitted);
+  EXPECT_EQ(registry.Histogram("serving.e2e_ns")->count() - e2e_before,
+            stats.admitted);
 }
 
 }  // namespace

@@ -3,9 +3,13 @@
 // JSON structure, the metrics registry and the JSON syntax checker.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
+#include <random>
 #include <set>
 #include <string>
 #include <thread>
@@ -281,6 +285,169 @@ TEST(JsonChecker, RejectsInvalidDocuments) {
        }) {
     EXPECT_FALSE(ValidateJsonSyntax(doc)) << "accepted: " << doc;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram metric kind (docs/OBSERVABILITY.md).
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketIndexIsMonotoneAndBoundsContainValues) {
+  int prev = 0;
+  for (std::int64_t v = 0; v < 100000; ++v) {
+    const int i = Histogram::BucketIndex(v);
+    ASSERT_GE(i, prev) << "bucket index not monotone at " << v;
+    prev = i;
+    ASSERT_LE(Histogram::BucketLowerBound(i), v);
+    ASSERT_GT(Histogram::BucketUpperBound(i), v);
+  }
+  // Full positive int64 range maps inside the table.
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<std::int64_t>::max()),
+            Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0) << "negatives clamp to 0";
+}
+
+TEST(Histogram, BucketRelativeWidthStaysUnderOneEighth) {
+  // The quantile error contract: every bucket above the exact range spans
+  // at most 1/8 of its lower bound.
+  for (int i = Histogram::kSubBuckets; i < Histogram::kNumBuckets - 1; ++i) {
+    const std::int64_t lo = Histogram::BucketLowerBound(i);
+    const std::int64_t width = Histogram::BucketUpperBound(i) - lo;
+    EXPECT_LE(width * 8, lo) << "bucket " << i << " too wide";
+  }
+}
+
+TEST(Histogram, CountSumMinMaxAndExactEndpoints) {
+  Histogram h("t");
+  EXPECT_EQ(h.TakeSnapshot().Quantile(0.5), 0.0) << "empty histogram";
+  h.Record(12345);
+  auto single = h.TakeSnapshot();
+  EXPECT_EQ(single.count, 1);
+  EXPECT_EQ(single.sum, 12345);
+  // Single element: every quantile is that element, exactly.
+  EXPECT_EQ(single.Quantile(0.0), 12345.0);
+  EXPECT_EQ(single.Quantile(0.5), 12345.0);
+  EXPECT_EQ(single.Quantile(1.0), 12345.0);
+
+  h.Record(10);
+  auto two = h.TakeSnapshot();
+  EXPECT_EQ(two.count, 2);
+  EXPECT_EQ(two.min, 10);
+  EXPECT_EQ(two.max, 12345);
+  // Two elements: the extremes are exact at q=0 / q=1.
+  EXPECT_EQ(two.Quantile(0.0), 10.0);
+  EXPECT_EQ(two.Quantile(1.0), 12345.0);
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  Histogram h("c");
+  constexpr int kThreads = 8, kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(t * 1000 + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (auto b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+// Property test (ISSUE satellite): on random data, snapshot quantiles stay
+// within one bucket's relative error (<= 12.5%) of the exact sorted-vector
+// result.
+TEST(Histogram, QuantilesMatchExactPercentileWithinBucketError) {
+  std::mt19937_64 rng(20260808);
+  std::lognormal_distribution<double> latency(12.0, 1.5);  // ns-ish spread
+  Histogram h("p");
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = static_cast<std::int64_t>(latency(rng));
+    h.Record(v);
+    xs.push_back(static_cast<double>(v));
+  }
+  std::sort(xs.begin(), xs.end());
+  const auto snap = h.TakeSnapshot();
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double exact = xs[lo] + (pos - static_cast<double>(lo)) *
+                                      (xs[hi] - xs[lo]);
+    const double est = snap.Quantile(q);
+    EXPECT_LE(std::abs(est - exact), 0.125 * exact + 1.0)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(Histogram, RegistryJsonIncludesHistogramsAndStaysValid) {
+  auto& reg = MetricsRegistry::Global();
+  auto* h = reg.Histogram("test.histogram_json_ns");
+  h->Record(100);
+  h->Record(200000);
+  const std::string json = reg.ToJson();
+  std::string error;
+  EXPECT_TRUE(ValidateJsonSyntax(json, &error)) << error;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("test.histogram_json_ns"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  // Same pointer on re-lookup; Reset zeroes but keeps it valid.
+  EXPECT_EQ(reg.Histogram("test.histogram_json_ns"), h);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition + its line-format validator (the CI gate).
+// ---------------------------------------------------------------------------
+
+TEST(Prometheus, ExpositionValidatesAndCoversAllKinds) {
+  auto& reg = MetricsRegistry::Global();
+  reg.Counter("test.prom_counter")->Add(7);
+  reg.Gauge("test.prom_gauge")->Set(-3);
+  auto* h = reg.Histogram("test.prom_hist_ns");
+  h->Record(50);
+  h->Record(5000);
+  const std::string text = reg.ToPrometheusText();
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+  // Dots sanitize to underscores with the lce_ prefix.
+  EXPECT_NE(text.find("# TYPE lce_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("lce_test_prom_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lce_test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lce_test_prom_hist_ns histogram"),
+            std::string::npos);
+  // Histogram series: cumulative buckets ending in +Inf, plus _sum/_count.
+  EXPECT_NE(text.find("lce_test_prom_hist_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lce_test_prom_hist_ns_sum 5050"), std::string::npos);
+  EXPECT_NE(text.find("lce_test_prom_hist_ns_count 2"), std::string::npos);
+}
+
+TEST(Prometheus, BucketSeriesAreCumulative) {
+  auto& reg = MetricsRegistry::Global();
+  auto* h = reg.Histogram("test.prom_cumulative_ns");
+  for (int i = 0; i < 10; ++i) h->Record(10);
+  for (int i = 0; i < 5; ++i) h->Record(100000);
+  const std::string text = reg.ToPrometheusText();
+  // The later bucket line must carry the running total, not its own count.
+  EXPECT_NE(text.find("lce_test_prom_cumulative_ns_bucket{le=\"+Inf\"} 15"),
+            std::string::npos);
+}
+
+TEST(Prometheus, ValidatorRejectsMalformedLines) {
+  EXPECT_TRUE(ValidatePrometheusText(""));
+  EXPECT_TRUE(ValidatePrometheusText("# TYPE a counter\na 1\n"));
+  EXPECT_TRUE(ValidatePrometheusText("a_bucket{le=\"+Inf\"} 3\n"));
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText("bad-name 1\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name_only\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name notanumber\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("# random comment\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name{le=\"unterminated} 1\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name{le=\"x\"extra} 1\n", &error))
+      << "garbage between label value and closing brace";
 }
 
 TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
