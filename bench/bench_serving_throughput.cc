@@ -22,6 +22,18 @@
 // peak -- and structurally asserts the overload contract: queue depth never
 // exceeds its bound and resident arena bytes stay flat at
 // max_inflight * arena_bytes no matter the offered load.
+//
+// `--batch` runs the dynamic-batching experiment on an int8-heavy model
+// (all-float ConvNet through PTQ -- requantized int8 gemms are where lane
+// batching amortizes the packed-weight streaming best): the same 8
+// closed-loop request streams are offered to a batch-1 server and to a
+// `--max-batch=N` server, comparing QPS and per-request p99 at equal
+// offered load, and recording the mean batch occupancy
+// (admitted / batches_executed). With `--open-loop` it additionally
+// overloads the batched server with Poisson arrivals. Both runs assert the
+// bounds stay intact under batching: queue depth within max_queue_depth,
+// resident arenas within max_inflight * the *batch-N* arena, and the
+// resident packed-weight gauge flat across every compiled batch variant.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -34,7 +46,9 @@
 
 #include "bench_common.h"
 #include "converter/convert.h"
+#include "converter/ptq.h"
 #include "graph/compiled_model.h"
+#include "models/builder.h"
 #include "models/zoo.h"
 #include "serving/server.h"
 #include "telemetry/metrics.h"
@@ -150,6 +164,8 @@ struct OpenLoopResult {
   double queue_wait_p99_ms = 0.0;
   std::int64_t queue_depth_peak = 0;
   std::int64_t arena_peak_bytes = 0;
+  std::int64_t batches = 0;
+  double occupancy_mean = 0.0;
 };
 
 // Open-loop overload: Poisson arrivals at `rate_qps` submitted to a bounded
@@ -157,12 +173,20 @@ struct OpenLoopResult {
 // down when the server backs up -- the property that separates overload
 // behavior from the closed-loop runs above). All requests are drained
 // before returning, so every stat covers the full arrival set.
+// `max_batch` > 1 serves the arrivals through the dynamic batcher; the
+// arena bound then covers the batch-N contexts (`arena_bound_per_ctx`,
+// which defaults to the base model's arena when 0 / unbatched).
 OpenLoopResult RunOpenLoop(const std::shared_ptr<const CompiledModel>& model,
                            double rate_qps, double seconds, int inflight,
-                           int depth, double deadline_ms) {
+                           int depth, double deadline_ms, int max_batch = 1,
+                           std::chrono::nanoseconds batch_timeout =
+                               std::chrono::nanoseconds{0},
+                           std::int64_t arena_bound_per_ctx = 0) {
   serving::ServerOptions sopts;
   sopts.max_inflight = inflight;
   sopts.max_queue_depth = depth;
+  sopts.max_batch_size = max_batch;
+  sopts.batch_timeout = batch_timeout;
   serving::Server server(model, sopts);
 
   // One canonical input, copied into each admitted request's context.
@@ -268,15 +292,166 @@ OpenLoopResult RunOpenLoop(const std::shared_ptr<const CompiledModel>& model,
   }
   r.queue_depth_peak = depth_peak.load();
   r.arena_peak_bytes = arena_peak.load();
+  const serving::ServerStats stats = server.StatsSnapshot();
+  r.batches = stats.batches_executed;
+  r.occupancy_mean = r.batches > 0
+                         ? static_cast<double>(stats.admitted) /
+                               static_cast<double>(r.batches)
+                         : 0.0;
 
   // The overload contract, asserted structurally on every run: the queue
   // depth honors its bound and the resident arenas never exceed the pool.
+  const std::int64_t per_ctx =
+      arena_bound_per_ctx > 0
+          ? arena_bound_per_ctx
+          : static_cast<std::int64_t>(model->arena_bytes());
   LCE_CHECK(r.queue_depth_peak <= depth &&
             "admission queue exceeded max_queue_depth under overload");
-  LCE_CHECK(r.arena_peak_bytes <=
-                static_cast<std::int64_t>(inflight) *
-                    static_cast<std::int64_t>(model->arena_bytes()) &&
+  LCE_CHECK(r.arena_peak_bytes <= static_cast<std::int64_t>(inflight) * per_ctx &&
             "resident arenas exceeded max_inflight * arena_bytes");
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic-batching experiment (--batch).
+// ---------------------------------------------------------------------------
+
+// All-float ConvNet quantized to int8 by PTQ: five requantized int8 gemms
+// dominate the per-request cost, the configuration where batch-N lanes
+// amortize the packed-weight streaming best.
+Graph BuildInt8Net(int hw) {
+  Graph g;
+  ModelBuilder b(g, 21);
+  int x = b.Input(hw, hw, 3);
+  x = b.Conv(x, 32, 3, 1, Padding::kSameZero, Activation::kRelu);
+  x = b.Conv(x, 32, 3, 2, Padding::kSameZero, Activation::kRelu);
+  x = b.Conv(x, 64, 3, 1, Padding::kSameZero, Activation::kRelu);
+  x = b.Conv(x, 64, 3, 2, Padding::kSameZero, Activation::kRelu);
+  x = b.Conv(x, 128, 3, 1, Padding::kSameZero, Activation::kRelu);
+  x = b.GlobalAvgPool(x);
+  x = b.Dense(x, 10);
+  g.MarkOutput(x);
+  PtqStats ptq;
+  LCE_CHECK(QuantizeModelInt8(g, {}, &ptq).ok());
+  LCE_CHECK(ptq.convs_quantized == 5);
+  return g;
+}
+
+struct BatchLoopResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::int64_t requests = 0;
+  std::int64_t batches = 0;
+  double occupancy_mean = 0.0;
+  std::int64_t queue_depth_peak = 0;
+  std::int64_t arena_peak_bytes = 0;
+};
+
+// `streams` closed-loop clients blocking on Infer() against one bounded
+// Server -- the equal-offered-load harness for comparing max_batch_size
+// values. Asserts the queue-depth and resident-arena bounds throughout.
+BatchLoopResult RunServerClosedLoop(
+    const std::shared_ptr<const CompiledModel>& model, int streams,
+    double seconds, int inflight, int depth, int max_batch,
+    std::chrono::nanoseconds batch_timeout, std::int64_t arena_bound_per_ctx) {
+  serving::ServerOptions sopts;
+  sopts.max_inflight = inflight;
+  sopts.max_queue_depth = depth;
+  sopts.max_batch_size = max_batch;
+  sopts.batch_timeout = batch_timeout;
+  serving::Server server(model, sopts);
+
+  std::vector<float> input;
+  {
+    ExecutionContext probe(model);
+    Rng rng(78);
+    input.resize(probe.input(0).num_elements());
+    for (auto& v : input) v = rng.Uniform();
+  }
+  const auto fill = [&input](ExecutionContext& ctx) {
+    std::memcpy(ctx.input(0).data<float>(), input.data(),
+                input.size() * sizeof(float));
+  };
+
+  auto* arena_gauge = telemetry::MetricsRegistry::Global().Gauge(
+      "serving.resident_arena_bytes");
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> arena_peak{0};
+  std::atomic<std::int64_t> depth_peak{0};
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::int64_t v = arena_gauge->value();
+      std::int64_t prev = arena_peak.load(std::memory_order_relaxed);
+      while (v > prev && !arena_peak.compare_exchange_weak(
+                             prev, v, std::memory_order_relaxed)) {
+      }
+      v = server.queue_depth();
+      prev = depth_peak.load(std::memory_order_relaxed);
+      while (v > prev && !depth_peak.compare_exchange_weak(
+                             prev, v, std::memory_order_relaxed)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  std::vector<std::vector<double>> latencies(streams);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < streams; ++t) {
+    clients.emplace_back([&, t] {
+      // Warmup request (pool contexts + execute-estimate histogram).
+      LCE_CHECK(server.Infer(fill).ok());
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const Status s = server.Infer(fill);
+        LCE_CHECK(s.ok() && "closed-loop requests cannot be shed");
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies[t].push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+      }
+    });
+  }
+  while (ready.load() < streams) std::this_thread::yield();
+  const serving::ServerStats warm = server.StatsSnapshot();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : clients) th.join();
+  sampler.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  BatchLoopResult r;
+  std::vector<double> all;
+  for (const auto& per_stream : latencies) {
+    r.requests += static_cast<std::int64_t>(per_stream.size());
+    all.insert(all.end(), per_stream.begin(), per_stream.end());
+  }
+  r.qps = wall > 0 ? static_cast<double>(r.requests) / wall : 0.0;
+  if (!all.empty()) {
+    r.p50_ms = profiling::Percentile(all, 0.5) * 1e3;
+    r.p99_ms = profiling::Percentile(all, 0.99) * 1e3;
+  }
+  const serving::ServerStats stats = server.StatsSnapshot();
+  r.batches = stats.batches_executed - warm.batches_executed;
+  const std::int64_t admitted = stats.admitted - warm.admitted;
+  r.occupancy_mean =
+      r.batches > 0 ? static_cast<double>(admitted) /
+                          static_cast<double>(r.batches)
+                    : 0.0;
+  r.queue_depth_peak = depth_peak.load();
+  r.arena_peak_bytes = arena_peak.load();
+  LCE_CHECK(r.queue_depth_peak <= depth &&
+            "admission queue exceeded max_queue_depth under batching");
+  LCE_CHECK(r.arena_peak_bytes <=
+                static_cast<std::int64_t>(inflight) * arena_bound_per_ctx &&
+            "resident arenas exceeded max_inflight * batch-variant arena");
   return r;
 }
 
@@ -302,6 +477,15 @@ int main(int argc, char** argv) {
       std::atoi(ParseStringFlag(argc, argv, "--depth=", "16").c_str());
   const double deadline_flag_ms =
       std::atof(ParseStringFlag(argc, argv, "--deadline-ms=", "0").c_str());
+  const bool batch = HasFlag(argc, argv, "--batch");
+  const int max_batch =
+      std::atoi(ParseStringFlag(argc, argv, "--max-batch=", "4").c_str());
+  const int batch_streams =
+      std::atoi(ParseStringFlag(argc, argv, "--batch-streams=", "8").c_str());
+  const auto batch_timeout = std::chrono::microseconds(std::atoi(
+      ParseStringFlag(argc, argv, "--batch-timeout-us=", "0").c_str()));
+  const int batch_input =
+      std::atoi(ParseStringFlag(argc, argv, "--batch-input=", "8").c_str());
 
   const unsigned cores = std::thread::hardware_concurrency();
   telemetry::RunReport report("bench_serving_throughput");
@@ -434,6 +618,103 @@ int main(int argc, char** argv) {
                        static_cast<double>(ol.queue_depth_peak));
       report.AddResult(p + ".arena_peak_bytes",
                        static_cast<double>(ol.arena_peak_bytes));
+    }
+  }
+
+  if (batch) {
+    // Int8-heavy model at a small input: per-request work is light (the
+    // gemm M dimension is a few hundred rows per sample), so the per-invoke
+    // overheads and per-tile packed-weight streaming that lane batching
+    // amortizes are a large share of the cost.
+    Graph g = BuildInt8Net(batch_input);
+    CompileOptions copts;
+    copts.num_threads = pool_threads;
+    std::shared_ptr<const CompiledModel> model;
+    LCE_CHECK(CompiledModel::Compile(g, copts, &model).ok());
+
+    // The arena bound under batching covers the largest variant; compiling
+    // it standalone also proves the packed weights are borrowed: the
+    // resident gauge must not move for any batch variant.
+    const std::int64_t packed_before = ResidentPackedBytes();
+    std::shared_ptr<const CompiledModel> largest;
+    LCE_CHECK(
+        CompiledModel::CompileBatchVariant(model, max_batch, &largest).ok());
+    LCE_CHECK(ResidentPackedBytes() == packed_before &&
+              "batch variants must share, not duplicate, packed weights");
+    const auto arena_bound =
+        static_cast<std::int64_t>(largest->arena_bytes());
+
+    std::printf(
+        "=== Dynamic batching: int8net-%d, %d closed-loop streams, "
+        "inflight=%d, max_batch=%d, timeout=%lld us ===\n",
+        batch_input, batch_streams, inflight, max_batch,
+        static_cast<long long>(batch_timeout.count()));
+    const BatchLoopResult base = RunServerClosedLoop(
+        model, batch_streams, seconds, inflight, queue_depth,
+        /*max_batch=*/1, std::chrono::nanoseconds{0}, arena_bound);
+    const BatchLoopResult batched = RunServerClosedLoop(
+        model, batch_streams, seconds, inflight, queue_depth, max_batch,
+        batch_timeout, arena_bound);
+    LCE_CHECK(ResidentPackedBytes() == packed_before &&
+              "packed weights must stay flat across the batched servers");
+    const double speedup = base.qps > 0 ? batched.qps / base.qps : 0.0;
+    std::printf("%12s %10s %10s %10s %10s %10s\n", "max_batch", "QPS",
+                "p50-ms", "p99-ms", "batches", "occupancy");
+    std::printf("%12d %10.1f %10.2f %10.2f %10lld %10.2f\n", 1, base.qps,
+                base.p50_ms, base.p99_ms, static_cast<long long>(base.batches),
+                base.occupancy_mean);
+    std::printf("%12d %10.1f %10.2f %10.2f %10lld %10.2f\n", max_batch,
+                batched.qps, batched.p50_ms, batched.p99_ms,
+                static_cast<long long>(batched.batches),
+                batched.occupancy_mean);
+    std::printf(
+        "  batching speedup %.2fx at equal offered load (target >= 1.2x); "
+        "depth peak %lld/%d, arena peak %.2f/%.2f MiB\n\n",
+        speedup, static_cast<long long>(batched.queue_depth_peak), queue_depth,
+        batched.arena_peak_bytes / (1024.0 * 1024.0),
+        inflight * arena_bound / (1024.0 * 1024.0));
+    report.AddMetaInt("batch_streams", batch_streams);
+    report.AddMetaInt("max_batch", max_batch);
+    report.AddResult("int8net.batch1.qps", base.qps);
+    report.AddResult("int8net.batch1.p99_ms", base.p99_ms);
+    report.AddResult("int8net.batched.qps", batched.qps);
+    report.AddResult("int8net.batched.p50_ms", batched.p50_ms);
+    report.AddResult("int8net.batched.p99_ms", batched.p99_ms);
+    report.AddResult("int8net.batched.occupancy_mean", batched.occupancy_mean);
+    report.AddResult("int8net.batched.batches",
+                     static_cast<double>(batched.batches));
+    report.AddResult("int8net.batched.queue_depth_peak",
+                     static_cast<double>(batched.queue_depth_peak));
+    report.AddResult("int8net.batched.arena_peak_bytes",
+                     static_cast<double>(batched.arena_peak_bytes));
+    report.AddResult("int8net.batch_speedup", speedup);
+
+    if (open_loop) {
+      // Overload the batched server: Poisson arrivals above the batched
+      // sustainable rate. Backlog raises occupancy; the bounds must hold.
+      const double rate = std::max(1.0, overload * batched.qps);
+      const double deadline_ms =
+          deadline_flag_ms > 0.0 ? deadline_flag_ms
+                                 : 3.0 * std::max(batched.p99_ms, 1.0);
+      const OpenLoopResult ol =
+          RunOpenLoop(model, rate, seconds, inflight, queue_depth,
+                      deadline_ms, max_batch, batch_timeout, arena_bound);
+      std::printf(
+          "  open-loop batched overload: offered %.1f qps, ok %lld, shed "
+          "%lld, deadline %lld, occupancy %.2f, depth peak %lld/%d\n\n",
+          ol.offered_qps, static_cast<long long>(ol.ok),
+          static_cast<long long>(ol.shed),
+          static_cast<long long>(ol.deadline_exceeded), ol.occupancy_mean,
+          static_cast<long long>(ol.queue_depth_peak), queue_depth);
+      report.AddResult("int8net.open_loop.offered_qps", ol.offered_qps);
+      report.AddResult("int8net.open_loop.completed_qps", ol.completed_qps);
+      report.AddResult("int8net.open_loop.shed",
+                       static_cast<double>(ol.shed));
+      report.AddResult("int8net.open_loop.deadline_exceeded",
+                       static_cast<double>(ol.deadline_exceeded));
+      report.AddResult("int8net.open_loop.occupancy_mean", ol.occupancy_mean);
+      report.AddResult("int8net.open_loop.admitted_p99_ms",
+                       ol.admitted_p99_ms);
     }
   }
   std::printf(

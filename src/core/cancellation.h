@@ -69,6 +69,18 @@ class CancellationToken {
   // True once either trigger fired. This is the cancellation-point check.
   bool Expired() const { return cancelled() || deadline_expired(); }
 
+  // The absolute deadline in steady-clock nanoseconds (the same epoch as
+  // telemetry::NowNanos), or kNoDeadline when no deadline is armed. The
+  // batching scheduler reads this to bound how long a batch may wait for
+  // more lanes without pushing any member past its SLO budget.
+  std::int64_t deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+  bool has_deadline() const { return deadline_ns() != kNoDeadline; }
+
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
   // Ok while live; the terminal Status once a trigger fired. Explicit
   // cancellation is reported in preference to the deadline so a client
   // abandoning a request is not misclassified as an SLO miss.
@@ -81,9 +93,6 @@ class CancellationToken {
   }
 
  private:
-  static constexpr std::int64_t kNoDeadline =
-      std::numeric_limits<std::int64_t>::max();
-
   std::atomic<bool> cancelled_{false};
   std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
 };

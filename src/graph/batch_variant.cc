@@ -1,0 +1,99 @@
+#include "graph/batch_variant.h"
+
+#include <string>
+#include <utility>
+
+#include "core/macros.h"
+
+namespace lce {
+
+Status CloneGraphWithBatch(const Graph& src, int batch,
+                           std::unique_ptr<Graph>* out,
+                           std::vector<int>* node_map) {
+  LCE_CHECK(out != nullptr);
+  if (batch < 1) {
+    return Status::InvalidArgument("batch variant requires batch >= 1");
+  }
+  auto clone = std::make_unique<Graph>();
+  // Source value id -> clone value id; -1 until materialized.
+  std::vector<int> value_map(src.values().size(), -1);
+
+  for (const int vid : src.input_ids()) {
+    const Value& v = src.value(vid);
+    if (v.shape.rank() < 1 || v.shape.dim(0) != 1) {
+      return Status::InvalidArgument(
+          "batch variant requires batch-1 graph inputs; input '" + v.name +
+          "' has leading dimension " +
+          std::to_string(v.shape.rank() < 1 ? 0 : v.shape.dim(0)));
+    }
+    Shape widened = v.shape;
+    widened.dim(0) = batch;
+    value_map[vid] = clone->AddInput(v.name, v.dtype, widened);
+  }
+
+  if (node_map != nullptr) node_map->clear();
+  for (const int nid : src.TopologicalOrder()) {
+    const Node& n = src.node(nid);
+    std::vector<int> inputs;
+    inputs.reserve(n.inputs.size());
+    for (const int vid : n.inputs) {
+      if (value_map[vid] < 0) {
+        const Value& v = src.value(vid);
+        if (!v.is_constant) {
+          // A live node consuming a value with no live producer would have
+          // been rejected by validation on the source graph already.
+          return Status::Internal("batch clone reached operand '" + v.name +
+                                  "' before its producer");
+        }
+        // Shares the base graph's constant storage (Tensor buffers are
+        // refcounted); view-backed constants additionally require the base
+        // graph to outlive the clone -- the same lifetime contract
+        // CompiledModel already imposes on its graph.
+        value_map[vid] = clone->AddConstant(v.name, v.constant_data);
+      }
+      inputs.push_back(value_map[vid]);
+    }
+    int out_value = -1;
+    // TryAddNode re-runs shape inference and attr resolution against the
+    // widened operand shapes, so conv/pool geometry picks up the new batch.
+    LCE_RETURN_IF_ERROR(
+        clone->TryAddNode(n.type, n.name, std::move(inputs), n.attrs,
+                          &out_value));
+    value_map[n.outputs[0]] = out_value;
+    const int clone_nid = clone->value(out_value).producer;
+    if (node_map != nullptr) {
+      if (static_cast<int>(node_map->size()) <= clone_nid) {
+        node_map->resize(clone_nid + 1, -1);
+      }
+      (*node_map)[clone_nid] = nid;
+    }
+  }
+
+  for (const int vid : src.output_ids()) {
+    const Value& v = src.value(vid);
+    if (v.shape.rank() < 1 || v.shape.dim(0) != 1) {
+      return Status::InvalidArgument(
+          "batch variant requires batch-1 graph outputs; output '" + v.name +
+          "' has leading dimension " +
+          std::to_string(v.shape.rank() < 1 ? 0 : v.shape.dim(0)));
+    }
+    if (value_map[vid] < 0) {
+      return Status::Internal("graph output '" + v.name +
+                              "' was never produced by the batch clone");
+    }
+    const Value& cloned = clone->value(value_map[vid]);
+    if (cloned.shape.rank() < 1 || cloned.shape.dim(0) != batch) {
+      // Lane slicing needs dim 0 == batch on every output; an op that folds
+      // or reorders the batch dimension cannot be batched this way.
+      return Status::InvalidArgument(
+          "batch clone output '" + v.name +
+          "' does not carry the batch dimension; model cannot be batched");
+    }
+    clone->MarkOutput(value_map[vid]);
+  }
+
+  *out = std::move(clone);
+  return Status::Ok();
+}
+
+}  // namespace lce

@@ -1,0 +1,42 @@
+// Batch-N graph cloning for the serving batch scheduler (docs/SERVING.md).
+//
+// A batched execution runs the *same* model over N stacked requests, so its
+// graph differs from the base graph only in the leading (batch) dimension of
+// every non-constant value. CloneGraphWithBatch rebuilds that graph by
+// replaying the base graph's live nodes against batch-N inputs: AddNode's
+// shape inference re-derives all geometry (conv/pool batch, output dims)
+// from the widened operand shapes, so no per-op batch handling lives here.
+//
+// Constants are NOT copied: the clone's constant Values hold Tensors that
+// share the base graph's underlying buffers (Tensor copies share their
+// AlignedBuffer; views keep pointing at the base graph's storage). The
+// clone therefore costs O(IR nodes), not O(model bytes) -- the packed
+// weights stay shared one level up, in CompiledModel::CompileBatchVariant.
+#ifndef LCE_GRAPH_BATCH_VARIANT_H_
+#define LCE_GRAPH_BATCH_VARIANT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/ir.h"
+
+namespace lce {
+
+// Clones `src` with every graph input's leading dimension set to `batch`.
+// Requirements checked here:
+//   * batch >= 1;
+//   * every input and output of `src` has rank >= 1 and batch dimension 1
+//     (the serving layer slices batched I/O per lane along dim 0, which is
+//     only meaningful when the base model is batch-1).
+// On success `*out` holds the clone and, when non-null, `*node_map` maps
+// every clone node id to the id of the source node it replays (used by
+// CompileBatchVariant to pair each clone kernel with the base kernel whose
+// packed weights it shares).
+Status CloneGraphWithBatch(const Graph& src, int batch,
+                           std::unique_ptr<Graph>* out,
+                           std::vector<int>* node_map = nullptr);
+
+}  // namespace lce
+
+#endif  // LCE_GRAPH_BATCH_VARIANT_H_

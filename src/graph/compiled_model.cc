@@ -6,6 +6,7 @@
 
 #include "core/bitpack.h"
 #include "core/macros.h"
+#include "graph/batch_variant.h"
 #include "graph/memory_planner.h"
 #include "graph/validator.h"
 #include "kernels/bmaxpool.h"
@@ -48,6 +49,12 @@ telemetry::Metric* LiveExecutionContexts() {
 
 CompiledModel::CompiledModel(const Graph& graph) : graph_(graph) {}
 
+CompiledModel::CompiledModel(std::unique_ptr<const Graph> owned_graph,
+                             std::shared_ptr<const CompiledModel> base)
+    : graph_(*owned_graph),
+      owned_graph_(std::move(owned_graph)),
+      base_(std::move(base)) {}
+
 CompiledModel::~CompiledModel() {
   ResidentPackedBytes()->Add(-static_cast<std::int64_t>(packed_weight_bytes_));
 }
@@ -59,16 +66,59 @@ Status CompiledModel::Compile(const Graph& graph, CompileOptions options,
   // and the partially-built arena plan / kernel state dies here, so retrying
   // after a failure always starts from a clean slate.
   std::shared_ptr<CompiledModel> model(new CompiledModel(graph));
-  LCE_RETURN_IF_ERROR(model->Build(std::move(options)));
+  LCE_RETURN_IF_ERROR(model->Build(std::move(options), nullptr, nullptr));
   *out = std::move(model);
   return Status::Ok();
 }
 
-Status CompiledModel::Build(CompileOptions options) {
+Status CompiledModel::CompileBatchVariant(
+    const std::shared_ptr<const CompiledModel>& base, int batch,
+    std::shared_ptr<const CompiledModel>* out) {
+  LCE_CHECK(base != nullptr && out != nullptr);
+  if (batch < 1) {
+    return Status::InvalidArgument("batch variant requires batch >= 1");
+  }
+  if (batch == 1) {
+    // The base model IS the batch-1 variant.
+    *out = base;
+    return Status::Ok();
+  }
+  if (base->base_ != nullptr) {
+    return Status::InvalidArgument(
+        "batch variants must be compiled from the base model, not from "
+        "another variant");
+  }
+  std::unique_ptr<Graph> clone;
+  std::vector<int> node_map;
+  LCE_RETURN_IF_ERROR(
+      CloneGraphWithBatch(base->graph_, batch, &clone, &node_map));
+  // Same pool, profile, name, limits and histogram setting as the base:
+  // the variant is the same model, executed N requests at a time, and its
+  // per-node histograms intentionally merge with the base's.
+  CompileOptions options;
+  options.thread_pool = base->pool_;
+  options.kernel_profile = base->kernel_profile_;
+  options.model_name = base->model_name_;
+  options.enable_node_histograms = base->node_histograms_enabled_;
+  options.limits = base->limits_;
+  std::shared_ptr<CompiledModel> model(
+      new CompiledModel(std::move(clone), base));
+  model->batch_ = batch;
+  LCE_RETURN_IF_ERROR(
+      model->Build(std::move(options), base.get(), &node_map));
+  *out = std::move(model);
+  return Status::Ok();
+}
+
+Status CompiledModel::Build(CompileOptions options,
+                            const CompiledModel* weight_source,
+                            const std::vector<int>* node_map) {
   if (options.enable_tracing) telemetry::Tracer::Global().Enable();
   LCE_TRACE_SCOPE_CAT("compiled_model/compile", "interpreter");
   kernel_profile_ = options.kernel_profile;
   model_name_ = options.model_name.empty() ? "model" : options.model_name;
+  limits_ = options.limits;
+  node_histograms_enabled_ = options.enable_node_histograms;
   pool_ = options.thread_pool != nullptr
               ? std::move(options.thread_pool)
               : ThreadPool::Shared(options.num_threads);
@@ -175,7 +225,14 @@ Status CompiledModel::Build(CompileOptions options) {
       ->SetMax(static_cast<std::int64_t>(total_bytes));
   }  // prepare/plan
 
-  // Prepare kernels.
+  // Prepare kernels. On a batch-variant build (weight_source != null) the
+  // weight-bearing kernels are constructed as siblings of the mapped source
+  // kernel: the expensive batch-invariant state (packed/bitpacked weights,
+  // correction tables, output transforms) is shared by reference and only
+  // the geometry-dependent state (indirection tables, tile plans) is
+  // rebuilt for the batch-N geometry. Batch-agnostic kernels (the fully
+  // connected pair, which read the batch from their input tensor at Run)
+  // are aliased outright.
   LCE_TRACE_SCOPE_CAT("prepare/pack", "interpreter");
   std::size_t packed_weight_bytes = 0;
   kernels_.clear();
@@ -183,41 +240,65 @@ Status CompiledModel::Build(CompileOptions options) {
   for (int id : order_) {
     const Node& n = graph_.node(id);
     PreparedKernels& k = kernels_[id];
+    const PreparedKernels* src = nullptr;
+    if (weight_source != nullptr) {
+      LCE_CHECK(node_map != nullptr &&
+                id < static_cast<int>(node_map->size()));
+      const int src_id = (*node_map)[id];
+      LCE_CHECK(src_id >= 0 &&
+                src_id < static_cast<int>(weight_source->kernels_.size()));
+      src = &weight_source->kernels_[src_id];
+    }
     switch (n.type) {
       case OpType::kConv2D: {
-        const Value& w = graph_.value(n.inputs[1]);
-        LCE_DCHECK(w.is_constant);
         Conv2DFloatAttrs attrs;
         attrs.geo = n.attrs.conv;
         attrs.activation = n.attrs.activation;
         attrs.bias = n.attrs.bias;
+        if (src != nullptr) {
+          k.conv = std::make_shared<Conv2DFloat>(*src->conv, std::move(attrs));
+          break;
+        }
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
         if (n.attrs.binarize_weights) {
           // Training dialect: the emulated binarized conv applies sign() to
           // its latent float weights at execution time.
           std::vector<float> signed_w(w.constant_data.num_elements());
-          const float* src = w.constant_data.data<float>();
+          const float* wsrc = w.constant_data.data<float>();
           for (std::size_t i = 0; i < signed_w.size(); ++i) {
-            signed_w[i] = SignValue(src[i]);
+            signed_w[i] = SignValue(wsrc[i]);
           }
-          k.conv = std::make_unique<Conv2DFloat>(signed_w.data(), attrs);
+          k.conv = std::make_shared<Conv2DFloat>(signed_w.data(), attrs);
         } else {
-          k.conv = std::make_unique<Conv2DFloat>(w.constant_data.data<float>(),
+          k.conv = std::make_shared<Conv2DFloat>(w.constant_data.data<float>(),
                                                  attrs);
         }
         break;
       }
       case OpType::kDepthwiseConv2D: {
-        const Value& w = graph_.value(n.inputs[1]);
-        LCE_DCHECK(w.is_constant);
         DepthwiseConv2DAttrs attrs;
         attrs.geo = n.attrs.conv;
         attrs.activation = n.attrs.activation;
         attrs.bias = n.attrs.bias;
-        k.dwconv = std::make_unique<DepthwiseConv2DFloat>(
+        if (src != nullptr) {
+          k.dwconv = std::make_shared<DepthwiseConv2DFloat>(*src->dwconv,
+                                                            std::move(attrs));
+          break;
+        }
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
+        k.dwconv = std::make_shared<DepthwiseConv2DFloat>(
             w.constant_data.data<float>(), attrs);
         break;
       }
       case OpType::kFullyConnected: {
+        if (src != nullptr) {
+          // Batch-agnostic (batch comes from the input tensor at Run):
+          // the variant aliases the base kernel outright.
+          k.fc = src->fc;
+          break;
+        }
         const Value& w = graph_.value(n.inputs[1]);
         LCE_DCHECK(w.is_constant);
         FullyConnectedAttrs attrs;
@@ -228,18 +309,22 @@ Status CompiledModel::Build(CompileOptions options) {
         if (n.attrs.binarize_weights) {
           // Training dialect: emulated binarized FC with sign()ed weights.
           std::vector<float> signed_w(w.constant_data.num_elements());
-          const float* src = w.constant_data.data<float>();
+          const float* wsrc = w.constant_data.data<float>();
           for (std::size_t i = 0; i < signed_w.size(); ++i) {
-            signed_w[i] = SignValue(src[i]);
+            signed_w[i] = SignValue(wsrc[i]);
           }
-          k.fc = std::make_unique<FullyConnectedFloat>(signed_w.data(), attrs);
+          k.fc = std::make_shared<FullyConnectedFloat>(signed_w.data(), attrs);
         } else {
-          k.fc = std::make_unique<FullyConnectedFloat>(
+          k.fc = std::make_shared<FullyConnectedFloat>(
               w.constant_data.data<float>(), attrs);
         }
         break;
       }
       case OpType::kLceBFullyConnected: {
+        if (src != nullptr) {
+          k.bfc = src->bfc;  // batch-agnostic, aliased outright
+          break;
+        }
         const Value& w = graph_.value(n.inputs[1]);
         LCE_DCHECK(w.is_constant);
         BFullyConnectedAttrs attrs;
@@ -249,18 +334,16 @@ Status CompiledModel::Build(CompileOptions options) {
         attrs.multiplier = n.attrs.multiplier;
         attrs.bias = n.attrs.bias;
         if (w.dtype == DataType::kBitpacked) {
-          k.bfc = std::make_unique<BFullyConnected>(
+          k.bfc = std::make_shared<BFullyConnected>(
               w.constant_data.data<TBitpacked>(), attrs);
         } else {
-          k.bfc = std::make_unique<BFullyConnected>(
+          k.bfc = std::make_shared<BFullyConnected>(
               w.constant_data.data<float>(), attrs);
         }
         packed_weight_bytes += k.bfc->packed_weights_bytes();
         break;
       }
       case OpType::kConv2DInt8: {
-        const Value& w = graph_.value(n.inputs[1]);
-        LCE_DCHECK(w.is_constant);
         Conv2DInt8Attrs attrs;
         attrs.geo = n.attrs.conv;
         attrs.activation = n.attrs.activation;
@@ -269,13 +352,18 @@ Status CompiledModel::Build(CompileOptions options) {
         attrs.output_quant = n.attrs.output_quant;
         attrs.bias = n.attrs.bias_int32;
         attrs.weight_scales = n.attrs.weight_scales;
-        k.conv_int8 = std::make_unique<Conv2DInt8>(
+        if (src != nullptr) {
+          k.conv_int8 =
+              std::make_shared<Conv2DInt8>(*src->conv_int8, std::move(attrs));
+          break;
+        }
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
+        k.conv_int8 = std::make_shared<Conv2DInt8>(
             w.constant_data.data<std::int8_t>(), attrs);
         break;
       }
       case OpType::kLceBConv2d: {
-        const Value& w = graph_.value(n.inputs[1]);
-        LCE_DCHECK(w.is_constant);
         BConv2DAttrs attrs;
         attrs.geo = n.attrs.conv;
         attrs.output_type = n.attrs.bconv_output;
@@ -289,11 +377,17 @@ Status CompiledModel::Build(CompileOptions options) {
         attrs.use_indirect_bgemm =
             attrs.geo.filter_h > 1 || attrs.geo.filter_w > 1 ||
             attrs.geo.stride_h > 1 || attrs.geo.stride_w > 1;
+        if (src != nullptr) {
+          k.bconv = std::make_shared<BConv2D>(*src->bconv, std::move(attrs));
+          break;
+        }
+        const Value& w = graph_.value(n.inputs[1]);
+        LCE_DCHECK(w.is_constant);
         if (w.dtype == DataType::kBitpacked) {
-          k.bconv = std::make_unique<BConv2D>(
+          k.bconv = std::make_shared<BConv2D>(
               w.constant_data.data<TBitpacked>(), attrs);
         } else {
-          k.bconv = std::make_unique<BConv2D>(w.constant_data.data<float>(),
+          k.bconv = std::make_shared<BConv2D>(w.constant_data.data<float>(),
                                               attrs);
         }
         packed_weight_bytes += k.bconv->packed_weights_bytes();
@@ -303,7 +397,10 @@ Status CompiledModel::Build(CompileOptions options) {
         break;  // stateless ops
     }
   }
-  packed_weight_bytes_ = packed_weight_bytes;
+  // Variants report 0 resident weight bytes: everything they hold is an
+  // alias of the base model's packed weights (asserted flat by the serving
+  // bench's across-variant check).
+  packed_weight_bytes_ = weight_source == nullptr ? packed_weight_bytes : 0;
   if (options.enable_node_histograms) {
     // One latency histogram per node, namespaced by model: the serving
     // layer's per-model per-node attribution (table 4 / fig. 5 style
@@ -370,20 +467,47 @@ Tensor ExecutionContext::ValueTensor(int value_id) {
                       arena_.data() + model_->offsets_[value_id]);
 }
 
+namespace {
+
+// Lane i's dim-0 slice of a batched tensor: shape [1, ...rest] at byte
+// offset i * bytes([1, ...rest]). Valid for every dtype including
+// bitpacked, whose packing along the innermost dimension keeps per-lane
+// byte sizes proportional to the leading dimension.
+Tensor LaneSlice(Tensor full, int lane) {
+  Shape s = full.shape();
+  LCE_CHECK(s.rank() >= 1 && lane >= 0 && lane < s.dim(0));
+  s.dim(0) = 1;
+  std::size_t lane_bytes = 0;
+  LCE_CHECK(Tensor::CheckedByteSize(full.dtype(), s, &lane_bytes));
+  return Tensor::View(full.dtype(), s,
+                      static_cast<std::uint8_t*>(full.raw_data()) +
+                          lane_bytes * static_cast<std::size_t>(lane));
+}
+
+}  // namespace
+
 Tensor ExecutionContext::input(int i) {
   LCE_CHECK(arena_ok_ && "input() on a context whose arena allocation failed");
-  return ValueTensor(model_->graph_.input_ids()[i]);
+  Tensor full = ValueTensor(model_->graph_.input_ids()[i]);
+  return io_lane_ < 0 ? full : LaneSlice(std::move(full), io_lane_);
 }
 
 Tensor ExecutionContext::output(int i) {
   LCE_CHECK(arena_ok_ &&
             "output() on a context whose arena allocation failed");
-  return ValueTensor(model_->graph_.output_ids()[i]);
+  Tensor full = ValueTensor(model_->graph_.output_ids()[i]);
+  return io_lane_ < 0 ? full : LaneSlice(std::move(full), io_lane_);
+}
+
+void ExecutionContext::set_io_lane(int lane) {
+  LCE_CHECK(lane >= -1 && lane < model_->batch_);
+  io_lane_ = lane;
 }
 
 void ExecutionContext::Reset() {
   arena_.Zero();
   profile_.clear();
+  io_lane_ = -1;
 }
 
 void ExecutionContext::RunNode(const Node& n, OpProfile* prof) {

@@ -90,6 +90,19 @@ class CompiledModel {
   static Status Compile(const Graph& graph, CompileOptions options,
                         std::shared_ptr<const CompiledModel>* out);
 
+  // Compiles a sibling model that executes `base` over `batch` stacked
+  // requests (docs/SERVING.md). The variant owns its own batch-N graph
+  // clone, topological order, memory plan and arena size, but every
+  // weight-bearing kernel SHARES the base kernel's packed weights -- only
+  // the geometry-dependent state (indirection tables, tile plans) is
+  // rebuilt, so N batch variants cost one set of packed weights plus
+  // O(IR) metadata each. The variant keeps `base` alive. batch == 1
+  // returns `base` itself. Requires a base model (not itself a variant)
+  // whose graph has batch-1 inputs and outputs.
+  static Status CompileBatchVariant(
+      const std::shared_ptr<const CompiledModel>& base, int batch,
+      std::shared_ptr<const CompiledModel>* out);
+
   ~CompiledModel();
 
   CompiledModel(const CompiledModel&) = delete;
@@ -103,19 +116,39 @@ class CompiledModel {
   // Bytes each ExecutionContext allocates for its arena.
   std::size_t arena_bytes() const { return arena_size_; }
   // Bytes of bitpacked weights held by this model's kernels -- allocated
-  // once here, shared by every context.
+  // once here, shared by every context. Batch variants report 0: their
+  // kernels alias the base model's weights, and the resident-bytes gauge
+  // must stay flat however many variants exist.
   std::size_t packed_weight_bytes() const { return packed_weight_bytes_; }
   const std::shared_ptr<ThreadPool>& thread_pool() const { return pool_; }
   gemm::KernelProfile kernel_profile() const { return kernel_profile_; }
   const std::string& model_name() const { return model_name_; }
+  // Leading-dimension batch this model executes per Invoke (1 for a base
+  // model, N for a CompileBatchVariant sibling).
+  int batch() const { return batch_; }
+  // The base model a variant was compiled from; null for base models.
+  const CompiledModel* base_model() const { return base_.get(); }
 
  private:
   friend class ExecutionContext;
 
   explicit CompiledModel(const Graph& graph);
-  Status Build(CompileOptions options);
+  CompiledModel(std::unique_ptr<const Graph> owned_graph,
+                std::shared_ptr<const CompiledModel> base);
+  // When `weight_source` is non-null this is a batch-variant build:
+  // `node_map` maps this graph's node ids to the source model's, and every
+  // weight-bearing kernel is constructed as a sibling sharing the mapped
+  // source kernel's packed weights.
+  Status Build(CompileOptions options, const CompiledModel* weight_source,
+               const std::vector<int>* node_map);
 
   const Graph& graph_;
+  // Set only for batch variants: the variant owns its graph clone (base
+  // models borrow their caller's graph) and keeps the base model -- whose
+  // kernels own the shared packed weights -- alive.
+  std::unique_ptr<const Graph> owned_graph_;
+  std::shared_ptr<const CompiledModel> base_;
+  int batch_ = 1;
   std::shared_ptr<ThreadPool> pool_;
   gemm::KernelProfile kernel_profile_ = gemm::KernelProfile::kSimd;
   std::string model_name_;
@@ -134,16 +167,22 @@ class CompiledModel {
   // Prepared kernel objects, indexed by node id (only one is non-null).
   // Kernel Run() is const and keeps no per-invocation state (all scratch
   // comes from the caller's gemm::Context), so one kernel instance serves
-  // all concurrent contexts.
+  // all concurrent contexts. shared_ptr because a batch variant aliases
+  // the base model's batch-agnostic kernels (bfc/fc) outright and holds
+  // weight-sharing siblings of the batch-dependent ones.
   struct PreparedKernels {
-    std::unique_ptr<BConv2D> bconv;
-    std::unique_ptr<BFullyConnected> bfc;
-    std::unique_ptr<Conv2DFloat> conv;
-    std::unique_ptr<Conv2DInt8> conv_int8;
-    std::unique_ptr<DepthwiseConv2DFloat> dwconv;
-    std::unique_ptr<FullyConnectedFloat> fc;
+    std::shared_ptr<const BConv2D> bconv;
+    std::shared_ptr<const BFullyConnected> bfc;
+    std::shared_ptr<const Conv2DFloat> conv;
+    std::shared_ptr<const Conv2DInt8> conv_int8;
+    std::shared_ptr<const DepthwiseConv2DFloat> dwconv;
+    std::shared_ptr<const FullyConnectedFloat> fc;
   };
   std::vector<PreparedKernels> kernels_;
+  // Retained for CompileBatchVariant (variants compile under the same
+  // limits and histogram setting as their base).
+  ResourceLimits limits_;
+  bool node_histograms_enabled_ = false;
 };
 
 struct ExecutionOptions {
@@ -176,10 +215,22 @@ class ExecutionContext {
 
   // Tensor views into this context's arena; write inputs before Invoke,
   // read outputs after. Indices follow the graph's declaration order.
+  // While an I/O lane is set (batched serving), these return that lane's
+  // dim-0 slice instead of the full batched tensor.
   Tensor input(int i);
   Tensor output(int i);
   int num_inputs() const { return model_->num_inputs(); }
   int num_outputs() const { return model_->num_outputs(); }
+
+  // Batched-serving I/O scatter/gather (docs/SERVING.md): set_io_lane(i)
+  // makes input()/output() return views of lane i -- the [1, ...] dim-0
+  // slice of the batched tensor -- so per-request fill and read callbacks
+  // written against a batch-1 model work unchanged against a batch-N
+  // variant. Lane -1 (the default) restores whole-tensor views. The lane
+  // only affects input()/output(); Invoke always runs the full batch.
+  void set_io_lane(int lane);
+  void clear_io_lane() { io_lane_ = -1; }
+  int io_lane() const { return io_lane_; }
 
   // Executes the graph against this context's arena. Safe to call while
   // other contexts on the same model Invoke concurrently.
@@ -244,6 +295,7 @@ class ExecutionContext {
   std::vector<OpProfile> profile_;
   std::int64_t request_id_ = 0;
   int nodes_executed_ = 0;
+  int io_lane_ = -1;
 };
 
 }  // namespace lce

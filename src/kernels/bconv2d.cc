@@ -20,12 +20,14 @@ using telemetry::NowNanos;
 
 BConv2D::BConv2D(const float* weights_ohwi, BConv2DAttrs attrs)
     : attrs_(std::move(attrs)) {
+  InitGeometry();
   const Conv2DGeometry& g = attrs_.geo;
   const int in_c_pg = g.in_c / std::max(1, attrs_.groups);
   const int words = BitpackedWords(in_c_pg);
+  auto weights = std::make_shared<SharedWeights>();
   // Bitpack the weights: per (output channel, filter position), pack the
   // input-channel vector. This is the 32x weight compression.
-  packed_rows_.assign(
+  weights->rows.assign(
       static_cast<std::size_t>(g.out_c) * g.filter_h * g.filter_w * words, 0);
   for (int n = 0; n < g.out_c; ++n) {
     for (int p = 0; p < g.filter_h * g.filter_w; ++p) {
@@ -33,25 +35,44 @@ BConv2D::BConv2D(const float* weights_ohwi, BConv2DAttrs attrs)
           weights_ohwi +
           (static_cast<std::int64_t>(n) * g.filter_h * g.filter_w + p) * in_c_pg;
       BitpackRow(src, in_c_pg,
-                 packed_rows_.data() +
+                 weights->rows.data() +
                      (static_cast<std::int64_t>(n) * g.filter_h * g.filter_w + p) * words);
     }
   }
-  Init();
+  InitWeights(weights.get());
+  weights_ = std::move(weights);
 }
 
 BConv2D::BConv2D(const TBitpacked* packed_weights_ohwi, BConv2DAttrs attrs)
     : attrs_(std::move(attrs)) {
+  InitGeometry();
   const Conv2DGeometry& g = attrs_.geo;
   const int in_c_pg = g.in_c / std::max(1, attrs_.groups);
   const int words = BitpackedWords(in_c_pg);
   const std::size_t total =
       static_cast<std::size_t>(g.out_c) * g.filter_h * g.filter_w * words;
-  packed_rows_.assign(packed_weights_ohwi, packed_weights_ohwi + total);
-  Init();
+  auto weights = std::make_shared<SharedWeights>();
+  weights->rows.assign(packed_weights_ohwi, packed_weights_ohwi + total);
+  InitWeights(weights.get());
+  weights_ = std::move(weights);
 }
 
-void BConv2D::Init() {
+BConv2D::BConv2D(const BConv2D& base, BConv2DAttrs attrs)
+    : attrs_(std::move(attrs)), weights_(base.weights_) {
+  // Everything the shared state encodes must be identical; only the batch
+  // (and with it the output row count) may differ.
+  const Conv2DGeometry& g = attrs_.geo;
+  const Conv2DGeometry& bg = base.attrs_.geo;
+  LCE_CHECK(g.in_h == bg.in_h && g.in_w == bg.in_w && g.in_c == bg.in_c &&
+            g.out_c == bg.out_c && g.filter_h == bg.filter_h &&
+            g.filter_w == bg.filter_w && g.stride_h == bg.stride_h &&
+            g.stride_w == bg.stride_w && g.padding == bg.padding);
+  LCE_CHECK(attrs_.groups == base.attrs_.groups &&
+            attrs_.output_type == base.attrs_.output_type);
+  InitGeometry();
+}
+
+void BConv2D::InitGeometry() {
   const Conv2DGeometry& g = attrs_.geo;
   LCE_CHECK_GT(g.in_c, 0);
   LCE_CHECK_GT(g.out_c, 0);
@@ -71,54 +92,7 @@ void BConv2D::Init() {
     LCE_CHECK_EQ(in_c_pg % kBitpackWordSize, 0);
   }
   const int words = BitpackedWords(in_c_pg);
-  const int patch_words = g.filter_h * g.filter_w * words;
   k_bits_ = g.filter_h * g.filter_w * in_c_pg;
-
-  const int out_c_pg = g.out_c / groups;
-  group_weights_.clear();
-  group_weights_.reserve(groups);
-  for (int grp = 0; grp < groups; ++grp) {
-    group_weights_.emplace_back(
-        packed_rows_.data() +
-            static_cast<std::int64_t>(grp) * out_c_pg * patch_words,
-        out_c_pg, patch_words);
-  }
-
-  // Zero-padding correction table: sum of +/-1 weights per filter position,
-  // recovered from the bitpacked rows (wsum = in_c - 2 * popcount since a 1
-  // bit encodes -1 and padding bits are 0 but excluded via in_c).
-  if (g.padding == Padding::kSameZero) {
-    filter_pos_weight_sums_.assign(
-        static_cast<std::size_t>(g.filter_h) * g.filter_w * g.out_c, 0);
-    for (int n = 0; n < g.out_c; ++n) {
-      for (int p = 0; p < g.filter_h * g.filter_w; ++p) {
-        const TBitpacked* row =
-            packed_rows_.data() +
-            (static_cast<std::int64_t>(n) * g.filter_h * g.filter_w + p) * words;
-        std::int32_t neg = 0;
-        for (int w = 0; w < words; ++w) neg += std::popcount(row[w]);
-        filter_pos_weight_sums_[static_cast<std::size_t>(p) * g.out_c + n] =
-            in_c_pg - 2 * neg;
-      }
-    }
-  }
-
-  // Output transform policy, shared verbatim by the fused and legacy paths
-  // (the bitpacked flavor precomputes its thresholds in its constructor).
-  switch (attrs_.output_type) {
-    case BConvOutputType::kFloat:
-      transform_ = std::make_unique<pipeline::FloatOutputTransform>(
-          g.out_c, attrs_.pre_activation, attrs_.multiplier, attrs_.bias);
-      break;
-    case BConvOutputType::kBitpacked:
-      transform_ = std::make_unique<pipeline::BitpackedOutputTransform>(
-          g.out_c, k_bits_, attrs_.pre_activation, attrs_.multiplier,
-          attrs_.bias);
-      break;
-    case BConvOutputType::kInt32:
-      transform_ = std::make_unique<pipeline::Int32OutputTransform>(g.out_c);
-      break;
-  }
 
   // Gather path setup. Grouped convolutions always gather (their per-group
   // word slices have no contiguous im2col-free form); for groups == 1 the
@@ -137,6 +111,61 @@ void BConv2D::Init() {
 
   // Interior/border row-tile classification for the fused engine.
   tile_plan_ = pipeline::TilePlan(g, gemm::kBgemmMr);
+}
+
+void BConv2D::InitWeights(SharedWeights* weights) const {
+  const Conv2DGeometry& g = attrs_.geo;
+  const int groups = std::max(1, attrs_.groups);
+  const int in_c_pg = g.in_c / groups;
+  const int words = BitpackedWords(in_c_pg);
+  const int patch_words = g.filter_h * g.filter_w * words;
+
+  const int out_c_pg = g.out_c / groups;
+  weights->groups.clear();
+  weights->groups.reserve(groups);
+  for (int grp = 0; grp < groups; ++grp) {
+    weights->groups.emplace_back(
+        weights->rows.data() +
+            static_cast<std::int64_t>(grp) * out_c_pg * patch_words,
+        out_c_pg, patch_words);
+  }
+
+  // Zero-padding correction table: sum of +/-1 weights per filter position,
+  // recovered from the bitpacked rows (wsum = in_c - 2 * popcount since a 1
+  // bit encodes -1 and padding bits are 0 but excluded via in_c).
+  if (g.padding == Padding::kSameZero) {
+    weights->filter_pos_weight_sums.assign(
+        static_cast<std::size_t>(g.filter_h) * g.filter_w * g.out_c, 0);
+    for (int n = 0; n < g.out_c; ++n) {
+      for (int p = 0; p < g.filter_h * g.filter_w; ++p) {
+        const TBitpacked* row =
+            weights->rows.data() +
+            (static_cast<std::int64_t>(n) * g.filter_h * g.filter_w + p) * words;
+        std::int32_t neg = 0;
+        for (int w = 0; w < words; ++w) neg += std::popcount(row[w]);
+        weights->filter_pos_weight_sums[static_cast<std::size_t>(p) * g.out_c +
+                                        n] = in_c_pg - 2 * neg;
+      }
+    }
+  }
+
+  // Output transform policy, shared verbatim by the fused and legacy paths
+  // (the bitpacked flavor precomputes its thresholds in its constructor).
+  switch (attrs_.output_type) {
+    case BConvOutputType::kFloat:
+      weights->transform = std::make_unique<pipeline::FloatOutputTransform>(
+          g.out_c, attrs_.pre_activation, attrs_.multiplier, attrs_.bias);
+      break;
+    case BConvOutputType::kBitpacked:
+      weights->transform = std::make_unique<pipeline::BitpackedOutputTransform>(
+          g.out_c, k_bits_, attrs_.pre_activation, attrs_.multiplier,
+          attrs_.bias);
+      break;
+    case BConvOutputType::kInt32:
+      weights->transform =
+          std::make_unique<pipeline::Int32OutputTransform>(g.out_c);
+      break;
+  }
 }
 
 void BConv2D::ApplyZeroPaddingCorrectionRows(std::int32_t* acc,
@@ -166,7 +195,7 @@ void BConv2D::ApplyZeroPaddingCorrectionRows(std::int32_t* acc,
         // This tap read one-padding (+1) but should contribute 0:
         // subtract the weight value at this position, per channel.
         const std::int32_t* wsum =
-            filter_pos_weight_sums_.data() +
+            weights_->filter_pos_weight_sums.data() +
             static_cast<std::size_t>(ky * g.filter_w + kx) * g.out_c;
         for (int n = 0; n < g.out_c; ++n) row[n] -= wsum[n];
       }
@@ -194,7 +223,7 @@ class BConvTileCompute final : public pipeline::TileCompute {
         patches_(patches),
         rows_(rows),
         patch_words_(patch_words),
-        k_blocks_(op.group_weights_[0].k_blocks()),
+        k_blocks_(op.weights_->groups[0].k_blocks()),
         a_elems_(gemm::BGemmApanelElems(k_blocks_, gemm::kBgemmMr)) {}
 
   std::size_t ShardScratchBytes(int block_tiles) const override {
@@ -225,7 +254,7 @@ class BConvTileCompute final : public pipeline::TileCompute {
               gemm::kBgemmMr, k_blocks_, plan.interior(tile0 + i),
               apanels + static_cast<std::int64_t>(i) * a_elems_);
         }
-        gemm::BGemmComputeBlock(apanels, a_elems_, op_.group_weights_[grp],
+        gemm::BGemmComputeBlock(apanels, a_elems_, op_.weights_->groups[grp],
                                 op_.k_bits_, profile, block_tiles, block_rows,
                                 acc + grp * out_c_pg, out_c);
       }
@@ -247,7 +276,7 @@ class BConvTileCompute final : public pipeline::TileCompute {
                                k_blocks_, panel);
       }
     }
-    gemm::BGemmComputeBlock(apanels, a_elems_, op_.group_weights_[0],
+    gemm::BGemmComputeBlock(apanels, a_elems_, op_.weights_->groups[0],
                             op_.k_bits_, profile, block_tiles, block_rows, acc,
                             out_c);
   }
@@ -353,7 +382,7 @@ void BConv2D::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
   args.compute = &compute;
   args.corrector =
       g.padding == Padding::kSameZero ? &corrector : nullptr;
-  args.transform = transform_.get();
+  args.transform = weights_->transform.get();
   args.out = output.raw_data();
   args.pre_t0 = t0;
   args.pre_t1 = t1;
@@ -425,10 +454,10 @@ void BConv2D::RunUnfused(const Tensor& input, Tensor& output,
     // Indirect path: pointer setup replaces im2col entirely.
     const gemm::IndirectionBuffer ind(input.data<TBitpacked>(), g);
     if (timed) t1 = NowNanos();
-    gemm::IndirectBGemm(ind, packed_rows_.data(), g.out_c, k_bits_, acc,
+    gemm::IndirectBGemm(ind, weights_->rows.data(), g.out_c, k_bits_, acc,
                         g.out_c);
   } else if (groups == 1) {
-    gemm::BGemm(patches, static_cast<int>(rows), group_weights_[0], k_bits_,
+    gemm::BGemm(patches, static_cast<int>(rows), weights_->groups[0], k_bits_,
                 acc, g.out_c, ctx);
   } else {
     std::uint64_t im2col_total = timed ? t1 - t0 : 0;
@@ -437,9 +466,10 @@ void BConv2D::RunUnfused(const Tensor& input, Tensor& output,
       Im2ColBitpackedGroup(input.data<TBitpacked>(), g, total_words,
                            grp * group_words, group_words, patch_scratch);
       const std::uint64_t g1 = timed ? NowNanos() : 0;
-      gemm::BGemm(patch_scratch, static_cast<int>(rows), group_weights_[grp],
-                  k_bits_, acc + static_cast<std::int64_t>(grp) * out_c_pg,
-                  g.out_c, ctx);
+      gemm::BGemm(patch_scratch, static_cast<int>(rows),
+                  weights_->groups[grp], k_bits_,
+                  acc + static_cast<std::int64_t>(grp) * out_c_pg, g.out_c,
+                  ctx);
       if (timed) {
         im2col_total += g1 - g0;
         if (tracing) {
@@ -456,7 +486,7 @@ void BConv2D::RunUnfused(const Tensor& input, Tensor& output,
   if (g.padding == Padding::kSameZero) {
     ApplyZeroPaddingCorrectionRows(acc, 0, rows);
   }
-  transform_->Apply(acc, 0, rows, output.raw_data());
+  weights_->transform->Apply(acc, 0, rows, output.raw_data());
 
   if (!timed) return;
   const std::uint64_t t3 = NowNanos();

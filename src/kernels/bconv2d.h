@@ -95,6 +95,13 @@ class BConv2D {
   // along the innermost dimension.
   BConv2D(const TBitpacked* packed_weights_ohwi, BConv2DAttrs attrs);
 
+  // Batch-variant sibling (docs/SERVING.md): shares `base`'s packed weight
+  // rows, per-group packed matrices, zero-padding correction table and
+  // output transform -- all batch-invariant -- and rebuilds only the
+  // geometry-dependent state (indirection cache, tile plan). `attrs` must
+  // match base.attrs() in everything except geo.batch.
+  BConv2D(const BConv2D& base, BConv2DAttrs attrs);
+
   // input: bitpacked NHWC [batch, in_h, in_w, in_c(packed)].
   // output: dtype matching attrs.output_type, shape [batch, oh, ow, out_c].
   // scratch usage: context slot 1 (im2col patches; untouched on the
@@ -107,18 +114,40 @@ class BConv2D {
 
   // Size in bytes of the bitpacked weights (32x smaller than float).
   std::size_t packed_weights_bytes() const {
-    return packed_rows_.size() * sizeof(TBitpacked);
+    return weights_->rows.size() * sizeof(TBitpacked);
   }
 
  private:
+  // Batch-invariant prepared weight state, shared (read-only) between a
+  // kernel and its batch-variant siblings: the bitpacked weight rows, the
+  // per-group Ruy-packed matrices, the zero-padding correction table and
+  // the output transform policy. Immutable once the owning constructor
+  // finishes, so any number of siblings may Run() concurrently against it.
+  struct SharedWeights {
+    // [out_c][fh*fw*words(in_c/groups)]
+    std::vector<TBitpacked> rows;
+    // One packed weight matrix per group (a single entry when groups == 1).
+    std::vector<gemm::PackedBinaryMatrix> groups;
+    // Zero-padding correction: weight sums per (filter position, channel),
+    // [fh*fw][out_c]; empty unless padding == kSameZero.
+    std::vector<std::int32_t> filter_pos_weight_sums;
+    // Output transform policy (float / bitpacked-threshold / raw int32),
+    // shared verbatim between the fused and legacy paths.
+    std::unique_ptr<pipeline::OutputTransform> transform;
+  };
+
   // Legacy unfused pipeline (full-image accumulator), reachable only via
   // attrs.force_unfused; shares the output transform with the fused path.
   void RunUnfused(const Tensor& input, Tensor& output, gemm::Context& ctx,
                   BConvStageTimes* times) const;
-  // Shared setup once packed_rows_ is filled: packed weight matrices, the
-  // zero-padding correction table, the output transform policy, the
-  // indirection cache and the interior/border tile plan.
-  void Init();
+  // Builds the geometry-dependent per-variant state: validation, k_bits_,
+  // the indirection cache and the interior/border tile plan. The only
+  // setup a batch-variant sibling repeats.
+  void InitGeometry();
+  // Builds the shared batch-invariant weight state from w->rows (packed
+  // matrices, correction table, transform). Requires InitGeometry() first
+  // (the bitpacked transform needs k_bits_).
+  void InitWeights(SharedWeights* w) const;
   // Corrects `nrows` output positions starting at flattened position `row0`;
   // `acc` points at the first of those rows (tile-local, stride out_c).
   void ApplyZeroPaddingCorrectionRows(std::int32_t* acc, std::int64_t row0,
@@ -130,18 +159,8 @@ class BConv2D {
   friend class BConvZeroPadCorrector;
 
   BConv2DAttrs attrs_;
-  // [out_c][fh*fw*words(in_c/groups)]
-  std::vector<TBitpacked> packed_rows_;
-  // One packed weight matrix per group (a single entry when groups == 1).
-  std::vector<gemm::PackedBinaryMatrix> group_weights_;
+  std::shared_ptr<const SharedWeights> weights_;
   int k_bits_ = 0;  // logical K per group: fh*fw*(in_c/groups)
-
-  // Output transform policy (float / bitpacked-threshold / raw int32),
-  // shared verbatim between the fused and legacy paths.
-  std::unique_ptr<pipeline::OutputTransform> transform_;
-
-  // Zero-padding correction: weight sums per (filter position, channel).
-  std::vector<std::int32_t> filter_pos_weight_sums_;  // [fh*fw][out_c]
 
   // Gather path (always for groups > 1; for groups == 1 when
   // use_indirect_bgemm and non-pointwise): the geometry-only indirection

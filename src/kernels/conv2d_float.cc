@@ -11,8 +11,18 @@ Conv2DFloat::Conv2DFloat(const float* weights_ohwi, Conv2DFloatAttrs attrs)
   if (!attrs_.bias.empty()) {
     LCE_CHECK_EQ(static_cast<int>(attrs_.bias.size()), g.out_c);
   }
-  packed_weights_ =
-      gemm::PackedFloatMatrix(weights_ohwi, g.out_c, Im2ColDepthFloat(g));
+  packed_weights_ = std::make_shared<gemm::PackedFloatMatrix>(
+      weights_ohwi, g.out_c, Im2ColDepthFloat(g));
+}
+
+Conv2DFloat::Conv2DFloat(const Conv2DFloat& base, Conv2DFloatAttrs attrs)
+    : attrs_(std::move(attrs)), packed_weights_(base.packed_weights_) {
+  const Conv2DGeometry& g = attrs_.geo;
+  const Conv2DGeometry& bg = base.attrs_.geo;
+  LCE_CHECK(g.in_h == bg.in_h && g.in_w == bg.in_w && g.in_c == bg.in_c &&
+            g.out_c == bg.out_c && g.filter_h == bg.filter_h &&
+            g.filter_w == bg.filter_w && g.stride_h == bg.stride_h &&
+            g.stride_w == bg.stride_w && g.padding == bg.padding);
 }
 
 void Conv2DFloat::Run(const Tensor& input, Tensor& output,
@@ -32,7 +42,7 @@ void Conv2DFloat::Run(const Tensor& input, Tensor& output,
   Im2ColFloat(input.data<float>(), g, pad_value, patches);
 
   float* out = output.data<float>();
-  gemm::FloatGemm(patches, static_cast<int>(rows), packed_weights_, out,
+  gemm::FloatGemm(patches, static_cast<int>(rows), *packed_weights_, out,
                   g.out_c, ctx);
 
   if (!attrs_.bias.empty() || attrs_.activation != Activation::kNone) {

@@ -3,6 +3,7 @@
 #ifndef LCE_KERNELS_CONV2D_FLOAT_H_
 #define LCE_KERNELS_CONV2D_FLOAT_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/tensor.h"
@@ -23,6 +24,11 @@ class Conv2DFloat {
   // weights: float OHWI, packed once for the GEMM.
   Conv2DFloat(const float* weights_ohwi, Conv2DFloatAttrs attrs);
 
+  // Batch-variant sibling (docs/SERVING.md): shares `base`'s packed weight
+  // matrix; `attrs` must match base.attrs() in everything except geo.batch
+  // (the kernel reads the batch from attrs at Run).
+  Conv2DFloat(const Conv2DFloat& base, Conv2DFloatAttrs attrs);
+
   // input: float NHWC; output: float NHWC [batch, oh, ow, out_c].
   void Run(const Tensor& input, Tensor& output, gemm::Context& ctx) const;
 
@@ -30,7 +36,7 @@ class Conv2DFloat {
 
  private:
   Conv2DFloatAttrs attrs_;
-  gemm::PackedFloatMatrix packed_weights_;
+  std::shared_ptr<const gemm::PackedFloatMatrix> packed_weights_;
 };
 
 }  // namespace lce

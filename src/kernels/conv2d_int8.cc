@@ -18,7 +18,8 @@ Conv2DInt8::Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs)
   if (!attrs_.bias.empty()) {
     LCE_CHECK_EQ(static_cast<int>(attrs_.bias.size()), g.out_c);
   }
-  packed_weights_ =
+  auto weights = std::make_shared<SharedWeights>();
+  weights->matrix =
       gemm::PackedInt8Matrix(weights_ohwi, g.out_c, Im2ColDepthFloat(g));
 
   std::vector<std::int32_t> requant_multiplier;
@@ -68,12 +69,31 @@ Conv2DInt8::Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs)
       break;
   }
 
-  transform_ = std::make_unique<pipeline::Int8RequantTransform>(
+  weights->transform = std::make_unique<pipeline::Int8RequantTransform>(
       g.out_c, attrs_.input_quant.zero_point, attrs_.output_quant.zero_point,
-      packed_weights_.row_sums().data(), attrs_.bias,
+      weights->matrix.row_sums().data(), attrs_.bias,
       std::move(requant_multiplier), std::move(requant_shift), act_min,
       act_max);
+  weights_ = std::move(weights);
 
+  InitGeometry();
+}
+
+Conv2DInt8::Conv2DInt8(const Conv2DInt8& base, Conv2DInt8Attrs attrs)
+    : attrs_(std::move(attrs)), weights_(base.weights_) {
+  // Everything the shared state encodes must be identical; only the batch
+  // (and with it the output row count) may differ.
+  const Conv2DGeometry& g = attrs_.geo;
+  const Conv2DGeometry& bg = base.attrs_.geo;
+  LCE_CHECK(g.in_h == bg.in_h && g.in_w == bg.in_w && g.in_c == bg.in_c &&
+            g.out_c == bg.out_c && g.filter_h == bg.filter_h &&
+            g.filter_w == bg.filter_w && g.stride_h == bg.stride_h &&
+            g.stride_w == bg.stride_w && g.padding == bg.padding);
+  InitGeometry();
+}
+
+void Conv2DInt8::InitGeometry() {
+  const Conv2DGeometry& g = attrs_.geo;
   // Pad with the input zero point so padding contributes zero after offset
   // subtraction (same value the legacy im2col uses).
   pad_value_ = static_cast<std::int8_t>(
@@ -93,7 +113,7 @@ class Conv2DInt8TileCompute final : public pipeline::TileCompute {
   Conv2DInt8TileCompute(const Conv2DInt8& op, const std::int8_t* input)
       : op_(op),
         input_(input),
-        k_blocks_(op.packed_weights_.k_blocks()),
+        k_blocks_(op.weights_->matrix.k_blocks()),
         a_elems_(static_cast<std::int64_t>(k_blocks_) * gemm::kInt8Mr *
                  gemm::kInt8Kc),
         stage_bytes_(static_cast<std::size_t>(gemm::kInt8Mr) *
@@ -118,7 +138,7 @@ class Conv2DInt8TileCompute final : public pipeline::TileCompute {
           k_blocks_, plan.interior(tile0 + i), stage,
           apanels + static_cast<std::int64_t>(i) * a_elems_);
     }
-    gemm::Int8ComputeBlock(apanels, a_elems_, op_.packed_weights_, profile,
+    gemm::Int8ComputeBlock(apanels, a_elems_, op_.weights_->matrix, profile,
                            block_tiles, block_rows, acc,
                            op_.attrs_.geo.out_c);
   }
@@ -157,7 +177,7 @@ void Conv2DInt8::Run(const Tensor& input, Tensor& output, gemm::Context& ctx,
   args.out_c = g.out_c;
   args.plan = &tile_plan_;
   args.compute = &compute;
-  args.transform = transform_.get();
+  args.transform = weights_->transform.get();
   args.out = output.raw_data();
   pipeline::RunConvPipeline(args, ctx, times);
 }
@@ -173,10 +193,10 @@ void Conv2DInt8::RunUnfused(const Tensor& input, Tensor& output,
 
   auto* acc = reinterpret_cast<std::int32_t*>(ctx.Scratch(
       2, static_cast<std::size_t>(rows) * g.out_c * sizeof(std::int32_t)));
-  gemm::Int8Gemm(patches, static_cast<int>(rows), packed_weights_, acc,
+  gemm::Int8Gemm(patches, static_cast<int>(rows), weights_->matrix, acc,
                  g.out_c, ctx);
 
-  transform_->Apply(acc, 0, rows, output.raw_data());
+  weights_->transform->Apply(acc, 0, rows, output.raw_data());
 }
 
 }  // namespace lce

@@ -45,6 +45,12 @@ class Conv2DInt8 {
  public:
   Conv2DInt8(const std::int8_t* weights_ohwi, Conv2DInt8Attrs attrs);
 
+  // Batch-variant sibling (docs/SERVING.md): shares `base`'s packed weight
+  // matrix and requantization transform (batch-invariant) and rebuilds only
+  // the geometry-dependent state (indirection cache, tile plan). `attrs`
+  // must match base.attrs() in everything except geo.batch.
+  Conv2DInt8(const Conv2DInt8& base, Conv2DInt8Attrs attrs);
+
   // input: int8 NHWC; output: int8 NHWC.
   // scratch usage: fused path: context slot 2 (per-shard A-panels + staging
   // + row-tile accumulator); legacy path: slot 1 (im2col patches) and
@@ -55,17 +61,26 @@ class Conv2DInt8 {
   const Conv2DInt8Attrs& attrs() const { return attrs_; }
 
  private:
+  // Batch-invariant prepared weight state, shared (read-only) between a
+  // kernel and its batch-variant siblings. The transform references
+  // matrix.row_sums(), so both live and die together.
+  struct SharedWeights {
+    gemm::PackedInt8Matrix matrix;
+    // Requantization policy (multipliers, shifts, activation clamp), shared
+    // verbatim by the fused and legacy paths.
+    std::unique_ptr<pipeline::OutputTransform> transform;
+  };
+
   void RunUnfused(const Tensor& input, Tensor& output,
                   gemm::Context& ctx) const;
+  // Builds the geometry-dependent per-variant state (pad value, indirection
+  // cache, tile plan) -- the only setup a batch-variant sibling repeats.
+  void InitGeometry();
 
   friend class Conv2DInt8TileCompute;
 
   Conv2DInt8Attrs attrs_;
-  gemm::PackedInt8Matrix packed_weights_;
-  // Requantization policy (multipliers, shifts, activation clamp), shared
-  // verbatim by the fused and legacy paths. References
-  // packed_weights_.row_sums(), so it is built after the weights.
-  std::unique_ptr<pipeline::OutputTransform> transform_;
+  std::shared_ptr<const SharedWeights> weights_;
   // Byte value padded taps read: the input zero point, so padding
   // contributes zero after offset subtraction.
   std::int8_t pad_value_ = 0;

@@ -10,11 +10,23 @@ DepthwiseConv2DFloat::DepthwiseConv2DFloat(const float* weights,
   const Conv2DGeometry& g = attrs_.geo;
   LCE_CHECK_EQ(g.in_c, g.out_c);
   LCE_CHECK(g.padding != Padding::kSameOne);
-  weights_.assign(weights, weights + static_cast<std::size_t>(g.filter_h) *
-                                         g.filter_w * g.in_c);
+  weights_ = std::make_shared<std::vector<float>>(
+      weights,
+      weights + static_cast<std::size_t>(g.filter_h) * g.filter_w * g.in_c);
   if (!attrs_.bias.empty()) {
     LCE_CHECK_EQ(static_cast<int>(attrs_.bias.size()), g.in_c);
   }
+}
+
+DepthwiseConv2DFloat::DepthwiseConv2DFloat(const DepthwiseConv2DFloat& base,
+                                           DepthwiseConv2DAttrs attrs)
+    : attrs_(std::move(attrs)), weights_(base.weights_) {
+  const Conv2DGeometry& g = attrs_.geo;
+  const Conv2DGeometry& bg = base.attrs_.geo;
+  LCE_CHECK(g.in_h == bg.in_h && g.in_w == bg.in_w && g.in_c == bg.in_c &&
+            g.out_c == bg.out_c && g.filter_h == bg.filter_h &&
+            g.filter_w == bg.filter_w && g.stride_h == bg.stride_h &&
+            g.stride_w == bg.stride_w && g.padding == bg.padding);
 }
 
 void DepthwiseConv2DFloat::Run(const Tensor& input, Tensor& output) const {
@@ -44,7 +56,7 @@ void DepthwiseConv2DFloat::Run(const Tensor& input, Tensor& output) const {
                       ix) *
                          g.in_c;
             const float* w =
-                weights_.data() +
+                weights_->data() +
                 (static_cast<std::int64_t>(ky) * g.filter_w + kx) * g.in_c;
             for (int c = 0; c < g.in_c; ++c) o[c] += src[c] * w[c];
           }

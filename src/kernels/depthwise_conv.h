@@ -5,6 +5,7 @@
 #ifndef LCE_KERNELS_DEPTHWISE_CONV_H_
 #define LCE_KERNELS_DEPTHWISE_CONV_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/tensor.h"
@@ -23,13 +24,19 @@ class DepthwiseConv2DFloat {
   // weights: [filter_h][filter_w][channels] float.
   DepthwiseConv2DFloat(const float* weights, DepthwiseConv2DAttrs attrs);
 
+  // Batch-variant sibling (docs/SERVING.md): shares `base`'s weights;
+  // `attrs` must match base.attrs() in everything except geo.batch (the
+  // kernel reads the batch from attrs at Run).
+  DepthwiseConv2DFloat(const DepthwiseConv2DFloat& base,
+                       DepthwiseConv2DAttrs attrs);
+
   void Run(const Tensor& input, Tensor& output) const;
 
   const DepthwiseConv2DAttrs& attrs() const { return attrs_; }
 
  private:
   DepthwiseConv2DAttrs attrs_;
-  std::vector<float> weights_;
+  std::shared_ptr<const std::vector<float>> weights_;
 };
 
 // Returns the fixed 3x3 binomial blur kernel [1 2 1; 2 4 2; 1 2 1]/16

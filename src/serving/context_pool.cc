@@ -1,5 +1,6 @@
 #include "serving/context_pool.h"
 
+#include <string>
 #include <utility>
 
 #include "core/macros.h"
@@ -26,24 +27,68 @@ telemetry::Metric* QuarantinedTotal() {
   return m;
 }
 
+telemetry::Metric* EvictedTotal() {
+  static telemetry::Metric* m = telemetry::MetricsRegistry::Global().Counter(
+      "serving.pool.evicted_total");
+  return m;
+}
+
+std::vector<std::shared_ptr<const CompiledModel>> SingleModelVector(
+    std::shared_ptr<const CompiledModel> model) {
+  std::vector<std::shared_ptr<const CompiledModel>> models;
+  models.push_back(std::move(model));
+  return models;
+}
+
 }  // namespace
 
 ContextPool::ContextPool(std::shared_ptr<const CompiledModel> model,
                          int capacity, ExecutionOptions options)
-    : model_(std::move(model)),
+    : ContextPool(SingleModelVector(std::move(model)), capacity,
+                  std::move(options)) {}
+
+ContextPool::ContextPool(
+    std::vector<std::shared_ptr<const CompiledModel>> models, int capacity,
+    ExecutionOptions options)
+    : models_(std::move(models)),
       capacity_(capacity),
       options_(std::move(options)) {
-  LCE_CHECK(model_ != nullptr && "ContextPool requires a compiled model");
+  LCE_CHECK(!models_.empty() && "ContextPool requires at least one model");
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    LCE_CHECK(models_[i] != nullptr && "ContextPool requires compiled models");
+    for (std::size_t j = 0; j < i; ++j) {
+      LCE_CHECK(models_[i]->batch() != models_[j]->batch() &&
+                "duplicate batch size among pool models");
+    }
+  }
   LCE_CHECK_GT(capacity_, 0);
+  free_.resize(models_.size());
+}
+
+int ContextPool::VariantIndex(int batch) const {
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (models_[i]->batch() == batch) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 Status ContextPool::Acquire(std::unique_ptr<ExecutionContext>* out) {
+  return Acquire(models_.front()->batch(), out);
+}
+
+Status ContextPool::Acquire(int batch, std::unique_ptr<ExecutionContext>* out) {
   LCE_CHECK(out != nullptr);
+  const int idx = VariantIndex(batch);
+  if (idx < 0) {
+    return Status::InvalidArgument("no compiled variant for batch " +
+                                   std::to_string(batch));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!free_.empty()) {
-      *out = std::move(free_.back());
-      free_.pop_back();
+    auto& free_list = free_[static_cast<std::size_t>(idx)];
+    if (!free_list.empty()) {
+      *out = std::move(free_list.back());
+      free_list.pop_back();
       ++outstanding_;
       ReusedTotal()->Add(1);
       return Status::Ok();
@@ -53,11 +98,28 @@ Status ContextPool::Acquire(std::unique_ptr<ExecutionContext>* out) {
                                        std::to_string(capacity_) +
                                        " contexts checked out)");
     }
+    // The capacity bound covers parked contexts too (resident arenas ==
+    // outstanding + pooled <= capacity). When every idle slot is parked
+    // under a different batch size, evict one: the arena mix follows the
+    // batch sizes actually being requested.
+    int resident = outstanding_;
+    for (const auto& fl : free_) resident += static_cast<int>(fl.size());
+    if (resident >= capacity_) {
+      for (auto& fl : free_) {
+        if (!fl.empty()) {
+          fl.pop_back();  // destroys the context (unique_ptr)
+          ++evicted_;
+          EvictedTotal()->Add(1);
+          break;
+        }
+      }
+    }
     ++outstanding_;  // reserve the slot while constructing outside the lock
   }
   // Construction (one arena allocation) happens outside the pool lock so a
   // slow or failing allocation never blocks concurrent Release/Acquire.
-  auto ctx = std::make_unique<ExecutionContext>(model_, options_);
+  auto ctx = std::make_unique<ExecutionContext>(
+      models_[static_cast<std::size_t>(idx)], options_);
   if (!ctx->allocation_ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     --outstanding_;
@@ -72,6 +134,8 @@ Status ContextPool::Acquire(std::unique_ptr<ExecutionContext>* out) {
 void ContextPool::Release(std::unique_ptr<ExecutionContext> ctx,
                           const Status& invoke_status) {
   LCE_CHECK(ctx != nullptr);
+  const int idx = VariantIndex(ctx->model().batch());
+  LCE_CHECK(idx >= 0 && "released context does not belong to this pool");
   bool quarantine = false;
   if (!invoke_status.ok()) {
     // Poisoned run: the arena (and possibly the gemm scratch) holds the
@@ -89,12 +153,19 @@ void ContextPool::Release(std::unique_ptr<ExecutionContext> ctx,
   --outstanding_;
   LCE_CHECK_GE(outstanding_, 0);
   if (quarantine) ++quarantined_;
-  if (ctx != nullptr) free_.push_back(std::move(ctx));
+  if (ctx != nullptr) {
+    free_[static_cast<std::size_t>(idx)].push_back(std::move(ctx));
+  }
 }
 
 std::int64_t ContextPool::quarantined() const {
   std::lock_guard<std::mutex> lock(mu_);
   return quarantined_;
+}
+
+std::int64_t ContextPool::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
 }
 
 int ContextPool::outstanding() const {
@@ -104,7 +175,9 @@ int ContextPool::outstanding() const {
 
 int ContextPool::pooled() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(free_.size());
+  int n = 0;
+  for (const auto& fl : free_) n += static_cast<int>(fl.size());
+  return n;
 }
 
 }  // namespace lce::serving

@@ -22,6 +22,17 @@
 //                   the gemm scratch; the context is destroyed, never
 //                   reused, and its slot is replenished lazily by a later
 //                   Acquire. `serving.pool.quarantined_total` counts these.
+//
+// BATCH VARIANTS. The pool can serve several sibling CompiledModels at
+// once -- one per batch size, sharing packed weights (see
+// CompiledModel::CompileBatchVariant). Acquire(batch) hands out a context
+// for the variant with that batch. The `capacity` bound covers contexts
+// of *all* variants together: checked-out plus parked contexts never
+// exceed capacity, so resident arena bytes stay bounded by
+// capacity * max-variant-arena regardless of how batch sizes mix. When
+// the bound forces it, an idle context of another batch size is evicted
+// (destroyed, `serving.pool.evicted_total`) to make room -- the pool
+// adapts its resident mix to the batch sizes actually being served.
 #ifndef LCE_SERVING_CONTEXT_POOL_H_
 #define LCE_SERVING_CONTEXT_POOL_H_
 
@@ -37,42 +48,59 @@ namespace lce::serving {
 
 class ContextPool {
  public:
+  // Single-model pool: every Acquire targets `model` (batch-1 serving).
   ContextPool(std::shared_ptr<const CompiledModel> model, int capacity,
               ExecutionOptions options = {});
+  // Multi-variant pool: `models[i]` are sibling compilations of one model
+  // at distinct batch sizes (each non-null, batches unique). Acquire(batch)
+  // selects by CompiledModel::batch().
+  ContextPool(std::vector<std::shared_ptr<const CompiledModel>> models,
+              int capacity, ExecutionOptions options = {});
 
   ContextPool(const ContextPool&) = delete;
   ContextPool& operator=(const ContextPool&) = delete;
 
-  // Hands out a context for exactly one request. Fails with
+  // Hands out a batch-1 context for exactly one request. Fails with
   // ResourceExhausted when every slot is checked out or when a replacement
   // context's arena allocation fails (in which case nothing is leaked and a
   // later Acquire retries the allocation).
   Status Acquire(std::unique_ptr<ExecutionContext>* out);
+  // Same, for the variant serving `batch` lanes. InvalidArgument when no
+  // variant with that batch size was registered.
+  Status Acquire(int batch, std::unique_ptr<ExecutionContext>* out);
 
   // Returns a context after a request. `invoke_status` is the request's
-  // Invoke status -- Status::Ok() for a request that never invoked.
+  // Invoke status -- Status::Ok() for a request that never invoked. The
+  // context goes back to its own variant's free list.
   void Release(std::unique_ptr<ExecutionContext> ctx,
                const Status& invoke_status);
 
   int capacity() const { return capacity_; }
-  // Contexts currently checked out to requests.
+  // Contexts currently checked out to requests (all variants).
   int outstanding() const;
-  // Contexts parked in the free list (reused without allocation).
+  // Contexts parked in the free lists (reused without allocation).
   int pooled() const;
   // Contexts this pool destroyed after failed runs (the per-pool view of
   // the process-wide serving.pool.quarantined_total counter; feeds
   // ServerStats::quarantined).
   std::int64_t quarantined() const;
+  // Idle contexts destroyed to make room for a different batch size.
+  std::int64_t evicted() const;
 
  private:
-  const std::shared_ptr<const CompiledModel> model_;
+  // Index into models_/free_ for the variant with this batch, or -1.
+  int VariantIndex(int batch) const;
+
+  const std::vector<std::shared_ptr<const CompiledModel>> models_;
   const int capacity_;
   const ExecutionOptions options_;
 
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ExecutionContext>> free_;
+  // free_[i] parks idle contexts of models_[i].
+  std::vector<std::vector<std::unique_ptr<ExecutionContext>>> free_;
   int outstanding_ = 0;
   std::int64_t quarantined_ = 0;
+  std::int64_t evicted_ = 0;
 };
 
 }  // namespace lce::serving

@@ -54,6 +54,10 @@ telemetry::Metric* StatsExportsTotal() {
   static telemetry::Metric* m = Counter("serving.stats_exports_total");
   return m;
 }
+telemetry::Metric* BatchesExecutedTotal() {
+  static telemetry::Metric* m = Counter("serving.batches_executed_total");
+  return m;
+}
 telemetry::Metric* QueueDepth() {
   static telemetry::Metric* m =
       telemetry::MetricsRegistry::Global().Gauge("serving.queue_depth");
@@ -88,6 +92,14 @@ telemetry::Histogram* E2eHist() {
       telemetry::MetricsRegistry::Global().Histogram("serving.e2e_ns");
   return h;
 }
+// Lanes per executed batch. Recorded once per batch Invoke, so its count
+// tracks serving.batches_executed_total and its mean is the achieved
+// occupancy (1.0 == batching never found a batchmate).
+telemetry::Histogram* BatchOccupancyHist() {
+  static telemetry::Histogram* h =
+      telemetry::MetricsRegistry::Global().Histogram("serving.batch_occupancy");
+  return h;
+}
 
 }  // namespace
 
@@ -105,17 +117,19 @@ std::string ServerStats::ToJson() const {
   out += "  \"cancelled\": " + std::to_string(cancelled) + ",\n";
   out += "  \"failed\": " + std::to_string(failed) + ",\n";
   out += "  \"quarantined\": " + std::to_string(quarantined) + ",\n";
+  out += "  \"batches_executed\": " + std::to_string(batches_executed) + ",\n";
   out += "  \"queue_depth\": " + std::to_string(queue_depth) + ",\n";
   out += "  \"queue_depth_peak\": " + std::to_string(queue_depth_peak) + ",\n";
   out += "  \"next_request_id\": " + std::to_string(next_request_id) + ",\n";
   out += "  \"queue_wait_ns\": " + queue_wait.ToJson() + ",\n";
   out += "  \"execute_ns\": " + execute.ToJson() + ",\n";
-  out += "  \"e2e_ns\": " + e2e.ToJson() + "\n";
+  out += "  \"e2e_ns\": " + e2e.ToJson() + ",\n";
+  out += "  \"batch_occupancy\": " + batch_occupancy.ToJson() + "\n";
   out += "}\n";
   return out;
 }
 
-const Status& Request::Wait() {
+Status Request::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return done_; });
   return status_;
@@ -141,13 +155,51 @@ void Request::Complete(Status status) {
   cv_.notify_all();
 }
 
+std::vector<std::shared_ptr<const CompiledModel>> Server::BuildModelSet(
+    std::shared_ptr<const CompiledModel> model, const ServerOptions& options) {
+  std::vector<std::shared_ptr<const CompiledModel>> models;
+  models.push_back(model);
+  // One weight-sharing sibling per servable batch size. Compilation cost
+  // is geometry-only (packed weights are shared, the resident-weights
+  // gauge does not move); a model whose outputs cannot carry a batch
+  // dimension is a configuration error, caught here at startup.
+  for (int n = 2; n <= options.max_batch_size; ++n) {
+    std::shared_ptr<const CompiledModel> variant;
+    const Status st = CompiledModel::CompileBatchVariant(model, n, &variant);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[lce] batch-%d variant compilation failed: %s\n",
+                   n, st.message().c_str());
+      LCE_CHECK(st.ok() && "max_batch_size > 1 requires a batchable model");
+    }
+    models.push_back(std::move(variant));
+  }
+  return models;
+}
+
+BatchScheduler::Options Server::SchedulerOptions(const ServerOptions& options) {
+  BatchScheduler::Options o;
+  o.max_queue_depth = options.max_queue_depth;
+  o.max_batch_size = std::max(1, options.max_batch_size);
+  o.batch_timeout_ns = options.batch_timeout.count();
+  // Execution-time estimate for deadline-aware batch closing: the live
+  // serving.execute_ns p50. Empty histogram (cold server) => 0, i.e. the
+  // scheduler assumes instant execution until real samples arrive.
+  o.execute_estimate_ns = []() -> std::int64_t {
+    const telemetry::HistogramSnapshot s = ExecuteHist()->TakeSnapshot();
+    return s.count == 0 ? 0 : static_cast<std::int64_t>(s.p50());
+  };
+  return o;
+}
+
 Server::Server(std::shared_ptr<const CompiledModel> model,
                ServerOptions options)
     : options_(std::move(options)),
-      pool_(std::move(model), std::max(1, options_.max_inflight),
-            options_.execution),
-      recorder_(options_.flight_recorder) {
+      pool_(BuildModelSet(std::move(model), options_),
+            std::max(1, options_.max_inflight), options_.execution),
+      recorder_(options_.flight_recorder),
+      scheduler_(SchedulerOptions(options_)) {
   LCE_CHECK_GT(options_.max_queue_depth, 0);
+  LCE_CHECK_GE(options_.max_batch_size, 1);
   const int executors = std::max(1, options_.max_inflight);
   executors_.reserve(executors);
   for (int i = 0; i < executors; ++i) {
@@ -160,18 +212,14 @@ Server::Server(std::shared_ptr<const CompiledModel> model,
 }
 
 Server::~Server() {
-  std::deque<std::shared_ptr<Request>> drained;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-    drained.swap(queue_);
-    QueueDepth()->Set(0);
-  }
-  cv_.notify_all();
-  for (const auto& req : drained) {
-    // Drained requests were enqueued but never reached an executor.
+  const std::vector<BatchItem> drained = scheduler_.Shutdown();
+  QueueDepth()->Set(0);
+  for (const auto& item : drained) {
+    // Drained requests were enqueued but never reached an executor. The
+    // scheduler is shut down, so this thread is the sole owner now.
+    item.request->queue_depth_at_admit_ = item.depth_at_admit;
     cancelled_in_queue_.fetch_add(1, std::memory_order_relaxed);
-    Finish(req, Status::Cancelled("server shutting down"), nullptr,
+    Finish(item.request, Status::Cancelled("server shutting down"), nullptr,
            /*admitted=*/false);
   }
   for (auto& t : executors_) t.join();
@@ -191,54 +239,59 @@ std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
   req->fill_ = std::move(fill);
   req->done_fn_ = std::move(done);
   req->id_ = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  const auto budget =
-      deadline.count() > 0 ? deadline : options_.default_deadline;
-  if (budget.count() > 0) req->token_.set_deadline_after(budget);
   req->enqueue_ns_ = telemetry::NowNanos();
   submitted_.fetch_add(1, std::memory_order_relaxed);
   SubmittedTotal()->Add(1);
 
-  bool shed = false;
-  bool down = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      down = true;
-    } else if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
-      // Admission control: the queue is the only elastic state in the
-      // server, and it is bounded. Shedding here -- synchronously, before
-      // any allocation -- is what keeps memory and tail latency flat when
-      // arrivals outrun capacity.
-      shed = true;
-    } else {
-      queue_.push_back(req);
-      const auto depth = static_cast<std::int64_t>(queue_.size());
-      req->queue_depth_at_admit_ = static_cast<int>(depth);
-      QueueDepth()->Set(depth);
-      QueueDepthPeak()->SetMax(depth);
-      int peak = queue_depth_peak_.load(std::memory_order_relaxed);
-      while (peak < depth && !queue_depth_peak_.compare_exchange_weak(
-                                 peak, static_cast<int>(depth),
-                                 std::memory_order_relaxed)) {
-      }
-    }
+  // Zero means "unset, apply the server default"; a *negative* budget is a
+  // deadline that already passed on the caller's side. Upgrading it to the
+  // default would grant an expired request a fresh budget, so it completes
+  // here -- before touching the queue -- as expired_in_queue.
+  if (deadline.count() < 0) {
+    expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+    ExpiredInQueueTotal()->Add(1);
+    Finish(req,
+           Status::DeadlineExceeded("deadline exhausted before submit"),
+           nullptr, /*admitted=*/false);
+    return req;
   }
-  if (down) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
-    Finish(req, Status::Cancelled("server shutting down"), nullptr,
-           /*admitted=*/false);
-  } else if (shed) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+  const auto budget =
+      deadline.count() > 0 ? deadline : options_.default_deadline;
+  if (budget.count() > 0) req->token_.set_deadline_after(budget);
+
+  // Admission control: the queue is the only elastic state in the server,
+  // and it is bounded (the scheduler refuses beyond max_queue_depth).
+  // Shedding here -- synchronously, before any allocation -- is what keeps
+  // memory and tail latency flat when arrivals outrun capacity.
+  BatchItem item;
+  item.request = req;
+  item.enqueue_ns = req->enqueue_ns_;
+  item.deadline_ns = req->token_.deadline_ns();
+  // TryEnqueue PUBLISHES the request: the instant it returns, an executor
+  // may already be running (or finishing) this request on another thread,
+  // so no request state may be written here-after. The depth at admit
+  // rides on the BatchItem (stamped under the scheduler lock) and the
+  // executor copies it onto the request; this thread only updates gauges.
+  int depth = 0;
+  const Status st = scheduler_.TryEnqueue(std::move(item), &depth);
+  if (st.ok()) {
+    QueueDepth()->Set(depth);
+    QueueDepthPeak()->SetMax(depth);
+    int peak = queue_depth_peak_.load(std::memory_order_relaxed);
+    while (peak < depth &&
+           !queue_depth_peak_.compare_exchange_weak(
+               peak, depth, std::memory_order_relaxed)) {
+    }
+    return req;
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  if (st.code() == StatusCode::kResourceExhausted) {
+    // Queue full; shutdown refusals (kCancelled) count in shed_ but not in
+    // ShedTotal, matching the pre-scheduler behavior.
     ShedTotal()->Add(1);
     recorder_.OnShed(req->id_);
-    Finish(req,
-           Status::ResourceExhausted(
-               "admission queue full (max_queue_depth=" +
-               std::to_string(options_.max_queue_depth) + ")"),
-           nullptr, /*admitted=*/false);
-  } else {
-    cv_.notify_one();
   }
+  Finish(req, st, nullptr, /*admitted=*/false);
   return req;
 }
 
@@ -254,10 +307,7 @@ Status Server::Infer(FillFn fill, FillFn consume,
   return Submit(std::move(fill), std::move(done), deadline)->Wait();
 }
 
-int Server::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(queue_.size());
-}
+int Server::queue_depth() const { return scheduler_.depth(); }
 
 ServerStats Server::StatsSnapshot() const {
   ServerStats s;
@@ -271,27 +321,37 @@ ServerStats Server::StatsSnapshot() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.quarantined = pool_.quarantined();
+  s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth();
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   s.next_request_id = next_request_id_.load(std::memory_order_relaxed);
   s.queue_wait = QueueWaitHist()->TakeSnapshot();
   s.execute = ExecuteHist()->TakeSnapshot();
   s.e2e = E2eHist()->TakeSnapshot();
+  s.batch_occupancy = BatchOccupancyHist()->TakeSnapshot();
   return s;
 }
 
 void Server::ExecutorLoop() {
   for (;;) {
-    std::shared_ptr<Request> req;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      req = std::move(queue_.front());
-      queue_.pop_front();
-      QueueDepth()->Set(static_cast<std::int64_t>(queue_.size()));
-    }
-    const std::uint64_t dequeue_ns = telemetry::NowNanos();
+    std::vector<BatchItem> batch = scheduler_.NextBatch();
+    if (batch.empty()) return;  // shutdown with a drained queue
+    QueueDepth()->Set(scheduler_.depth());
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void Server::ExecuteBatch(std::vector<BatchItem> batch) {
+  const std::uint64_t dequeue_ns = telemetry::NowNanos();
+  // Per-lane queue-wait bookkeeping, then the expired-in-queue filter: a
+  // lane whose token fired while queued is completed without ever touching
+  // a context, and -- the batching contract -- its eviction shrinks the
+  // batch instead of aborting its batchmates.
+  std::vector<std::shared_ptr<Request>> lanes;
+  lanes.reserve(batch.size());
+  for (BatchItem& item : batch) {
+    const std::shared_ptr<Request>& req = item.request;
+    req->queue_depth_at_admit_ = item.depth_at_admit;
     req->dequeue_ns_ = dequeue_ns;
     req->queue_wait_ns_ =
         static_cast<std::int64_t>(dequeue_ns - req->enqueue_ns_);
@@ -301,10 +361,6 @@ void Server::ExecutorLoop() {
           "serving/queue_wait", "serving", req->enqueue_ns_, dequeue_ns, "req",
           req->id_);
     }
-    // A request that expired while queued is completed without ever
-    // touching a context -- under overload this is the cheap path that
-    // keeps executors available for requests that can still make their
-    // deadline.
     if (req->token_.Expired()) {
       const Status st = req->token_.status();
       if (st.code() == StatusCode::kCancelled) {
@@ -316,47 +372,116 @@ void Server::ExecutorLoop() {
       Finish(req, st, nullptr, /*admitted=*/false);
       continue;
     }
-    std::unique_ptr<ExecutionContext> ctx;
-    Status st = pool_.Acquire(&ctx);
-    if (!st.ok()) {
-      // Pool capacity equals the executor count, so this only fires when a
-      // replacement context's arena allocation failed -- shed the request
-      // and leave the slot for a later retry.
+    lanes.push_back(req);
+  }
+  if (lanes.empty()) return;
+  const int n = static_cast<int>(lanes.size());
+
+  std::unique_ptr<ExecutionContext> ctx;
+  Status st = pool_.Acquire(n, &ctx);
+  if (!st.ok()) {
+    // Pool capacity equals the executor count, so this only fires when a
+    // replacement context's arena allocation failed -- shed the batch and
+    // leave the slot for a later retry.
+    for (const auto& req : lanes) {
       shed_.fetch_add(1, std::memory_order_relaxed);
       ShedTotal()->Add(1);
       recorder_.OnShed(req->id_);
-      Finish(req, std::move(st), nullptr, /*admitted=*/false);
-      continue;
+      Finish(req, st, nullptr, /*admitted=*/false);
     }
-    admitted_.fetch_add(1, std::memory_order_relaxed);
-    AdmittedTotal()->Add(1);
-    // The context carries the request id for the duration of the run so
-    // Invoke's spans (invoke + per-node) join this request's serving spans
-    // in the trace; cleared before the context returns to the pool.
-    ctx->set_request_id(req->id_);
-    const std::uint64_t exec0 = telemetry::NowNanos();
-    req->fill_(*ctx);
-    st = ctx->Invoke(&req->token_);
-    const std::uint64_t exec1 = telemetry::NowNanos();
-    req->exec_ns_ = static_cast<std::int64_t>(exec1 - exec0);
-    req->nodes_executed_ = ctx->nodes_executed();
-    ctx->set_request_id(0);
-    ExecuteHist()->Record(req->exec_ns_);
+    return;
+  }
+  admitted_.fetch_add(n, std::memory_order_relaxed);
+  AdmittedTotal()->Add(n);
+  // The context carries a request id for the duration of the run so
+  // Invoke's spans (invoke + per-node) join the serving spans in the
+  // trace; for a multi-lane batch the first lane's id stands for the
+  // batch. Cleared before the context returns to the pool.
+  ctx->set_request_id(lanes.front()->id_);
+
+  // The batch Invoke runs under one token. A single-lane batch uses the
+  // request's own token (exactly the unbatched behavior: cancellation and
+  // deadline abort mid-model). A multi-lane batch must not let one lane's
+  // trigger abort its batchmates, so it gets a batch token whose deadline
+  // is the *latest* lane deadline -- and only if every lane has one
+  // (otherwise an unbounded lane keeps the batch unbounded). Lanes whose
+  // own deadline fires mid-run are evicted individually after Invoke.
+  CancellationToken batch_token;
+  if (n > 1) {
+    std::int64_t max_deadline = 0;
+    bool all_deadlines = true;
+    for (const auto& req : lanes) {
+      if (!req->token_.has_deadline()) {
+        all_deadlines = false;
+        break;
+      }
+      max_deadline = std::max(max_deadline, req->token_.deadline_ns());
+    }
+    if (all_deadlines) {
+      batch_token.set_deadline(CancellationToken::Clock::time_point(
+          std::chrono::duration_cast<CancellationToken::Clock::duration>(
+              std::chrono::nanoseconds(max_deadline))));
+    }
+  }
+  CancellationToken* invoke_token =
+      n == 1 ? &lanes.front()->token_ : &batch_token;
+
+  // Scatter: each lane's fill sees a batch-1 view of the batched input
+  // (lane i of dim 0), so request callbacks are identical for batched and
+  // unbatched serving.
+  const std::uint64_t exec0 = telemetry::NowNanos();
+  for (int i = 0; i < n; ++i) {
+    ctx->set_io_lane(i);
+    lanes[static_cast<std::size_t>(i)]->fill_(*ctx);
+  }
+  ctx->clear_io_lane();
+  st = ctx->Invoke(invoke_token);
+  const std::uint64_t exec1 = telemetry::NowNanos();
+  const auto exec_ns = static_cast<std::int64_t>(exec1 - exec0);
+  const int nodes_executed = ctx->nodes_executed();
+  ctx->set_request_id(0);
+
+  batches_executed_.fetch_add(1, std::memory_order_relaxed);
+  BatchesExecutedTotal()->Add(1);
+  BatchOccupancyHist()->Record(n);
+
+  // Gather + per-lane outcome classification. Execute time and the e2e
+  // latency are recorded per admitted lane (their histogram counts stay
+  // equal to the admitted counter, batched or not); a lane whose own token
+  // fired during the run is evicted with its token's status and never sees
+  // the batch output, everyone else gets the batch status -- with a lane
+  // view of the outputs on Ok.
+  for (int i = 0; i < n; ++i) {
+    const std::shared_ptr<Request>& req = lanes[static_cast<std::size_t>(i)];
+    req->exec_ns_ = exec_ns;
+    req->nodes_executed_ = nodes_executed;
+    ExecuteHist()->Record(exec_ns);
     if (telemetry::TracingActive()) {
       telemetry::Tracer::Global().RecordCompleteWithArg(
           "serving/execute", "serving", exec0, exec1, "req", req->id_);
     }
-    // done callback (output reads) runs before the context returns to the
-    // pool; Release then resets (Ok) or quarantines (non-Ok) it.
-    const bool quarantines = !st.ok();
-    const std::int64_t req_id = req->id_;
-    Finish(req, st, st.ok() ? ctx.get() : nullptr, /*admitted=*/true);
-    pool_.Release(std::move(ctx), st);
-    // Quarantine is the flight recorder's always-on trigger: an arena was
-    // just poisoned and destroyed, and the evidence of how is still in the
-    // ring and the trace buffers.
-    if (quarantines) recorder_.OnQuarantine(req_id);
+    Status lane_st = req->token_.Expired() ? req->token_.status() : st;
+    if (lane_st.ok()) {
+      // done callback (output reads) runs before the context returns to
+      // the pool, against this lane's output slice.
+      ctx->set_io_lane(i);
+      Finish(req, std::move(lane_st), ctx.get(), /*admitted=*/true);
+    } else {
+      Finish(req, std::move(lane_st), nullptr, /*admitted=*/true);
+    }
   }
+  ctx->clear_io_lane();
+  // Quarantine classifies the *context*, so it follows the batch Invoke
+  // status: an Ok run with an individually-expired lane still produced a
+  // clean arena and the context is reused; a failed run poisons the arena
+  // for every lane and the context is destroyed.
+  const bool quarantines = !st.ok();
+  const std::int64_t batch_rep_id = lanes.front()->id_;
+  pool_.Release(std::move(ctx), st);
+  // Quarantine is the flight recorder's always-on trigger: an arena was
+  // just poisoned and destroyed, and the evidence of how is still in the
+  // ring and the trace buffers.
+  if (quarantines) recorder_.OnQuarantine(batch_rep_id);
 }
 
 void Server::ExporterLoop() {

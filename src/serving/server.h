@@ -25,6 +25,15 @@
 //     itself keeps serving; recovery is a fresh context on the next
 //     request.
 //
+//   * BATCHING IS DYNAMIC. With `max_batch_size > 1` the admission queue
+//     is owned by a BatchScheduler: executors pull *batches* (closed by
+//     size or by a deadline-aware timeout, see serving/batch_scheduler.h)
+//     and run them as one batch-N Invoke on a sibling CompiledModel
+//     variant that shares the base model's packed weights. Requests keep
+//     single-request semantics -- fill/done see a batch-1 lane view of the
+//     batched tensors, and one lane's expiry or cancellation evicts only
+//     that lane's result, never its batchmates'.
+//
 // One Server owns `max_inflight` executor threads. Submit() never blocks;
 // Infer() is the blocking convenience wrapper. Each executor drains the
 // admission queue in FIFO order, so queue wait is measurable and fair.
@@ -35,7 +44,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -45,6 +53,7 @@
 #include "core/cancellation.h"
 #include "core/status.h"
 #include "graph/compiled_model.h"
+#include "serving/batch_scheduler.h"
 #include "serving/context_pool.h"
 #include "serving/flight_recorder.h"
 #include "telemetry/metrics.h"
@@ -62,6 +71,17 @@ struct ServerOptions {
   // disables the default (requests without an explicit deadline never
   // expire).
   std::chrono::nanoseconds default_deadline{0};
+  // Dynamic batching (docs/SERVING.md, "Batching semantics"). Up to
+  // max_batch_size queued requests execute as one batch-N Invoke; the
+  // server compiles one weight-sharing batch variant per size in
+  // [2, max_batch_size] at construction (LCE_CHECK-fails for a model that
+  // cannot be batched). 1 = unbatched, the exact pre-batching behavior.
+  int max_batch_size = 1;
+  // How long the oldest queued request may wait for more lanes before its
+  // batch closes anyway; the scheduler additionally closes early so no
+  // member misses its deadline waiting (see serving/batch_scheduler.h).
+  // Zero = opportunistic batching (batch whatever is queued, never wait).
+  std::chrono::nanoseconds batch_timeout{0};
   // Per-context execution options (profiling, observer).
   ExecutionOptions execution;
   // Periodic stats export (docs/OBSERVABILITY.md): every interval a
@@ -90,7 +110,8 @@ struct ServerOptions {
 // `shed` counts refusals (admission queue full, shutdown, context-arena
 // allocation failure); `expired_in_queue` / `cancelled_in_queue` count
 // requests whose token fired before they ever touched a context (shutdown
-// drains count as cancelled_in_queue); the admitted outcomes classify the
+// drains count as cancelled_in_queue; a deadline already negative at
+// Submit counts as expired_in_queue); the admitted outcomes classify the
 // Invoke status, with `failed` covering kernel errors *and* post-admission
 // resource exhaustion (scratch allocation failure mid-model).
 struct ServerStats {
@@ -104,6 +125,9 @@ struct ServerStats {
   std::int64_t cancelled = 0;
   std::int64_t failed = 0;
   std::int64_t quarantined = 0;  // contexts destroyed after failed runs
+  // Batch-N Invokes this server ran (each covers >= 1 admitted lanes;
+  // sum(batch_occupancy) over this server's batches == lanes executed).
+  std::int64_t batches_executed = 0;
   int queue_depth = 0;
   int queue_depth_peak = 0;
   std::int64_t next_request_id = 0;  // ids assigned so far + 1
@@ -113,6 +137,9 @@ struct ServerStats {
   telemetry::HistogramSnapshot queue_wait;
   telemetry::HistogramSnapshot execute;
   telemetry::HistogramSnapshot e2e;
+  // Lanes per executed batch (serving.batch_occupancy): count equals the
+  // process-wide batches_executed; mean is the achieved occupancy.
+  telemetry::HistogramSnapshot batch_occupancy;
 
   std::string ToJson() const;
 };
@@ -127,7 +154,12 @@ class Request {
   void Cancel() { token_.Cancel(); }
 
   // Blocks until the request reaches a terminal state; returns its status.
-  const Status& Wait();
+  // By value, deliberately: callers commonly write
+  // `server.Submit(...)->Wait()`, and a reference into the request would
+  // dangle the moment that temporary shared_ptr releases the last
+  // reference. (Same rule for status() below -- no accessor on this class
+  // returns a reference into request state.)
+  Status Wait();
 
   bool done() const;
   // Terminal status; meaningful once done() (Ok until then).
@@ -144,6 +176,11 @@ class Request {
   // RequestSummary in the flight recorder uses the same id.
   std::int64_t id() const { return id_; }
 
+  // The request's cancellation token. This IS a reference into request
+  // state (tokens are identity objects and cannot be returned by value):
+  // keep a shared_ptr<Request> alive for as long as the reference is held.
+  // `Submit(...)->token().Cancel()` is safe (the temporary outlives the
+  // full expression); storing the reference past that is not.
   CancellationToken& token() { return token_; }
 
  private:
@@ -191,8 +228,11 @@ class Server {
   //              the context pointer is non-null only on Ok -- read the
   //              output tensors there, before the context returns to the
   //              pool.
-  //   `deadline` latency budget measured from Submit; <=0 applies
-  //              ServerOptions::default_deadline.
+  //   `deadline` latency budget measured from Submit; 0 (unset) applies
+  //              ServerOptions::default_deadline, while a *negative*
+  //              budget is already exhausted -- the request completes
+  //              immediately with kDeadlineExceeded, it is NOT silently
+  //              upgraded to the default.
   // The returned handle is already terminal (ResourceExhausted) when the
   // request was shed at admission.
   std::shared_ptr<Request> Submit(
@@ -219,7 +259,16 @@ class Server {
   FlightRecorder& flight_recorder() { return recorder_; }
 
  private:
+  // Compiles the weight-sharing batch variants [2, max_batch_size] next to
+  // the base model (LCE_CHECK-fails for an unbatchable model).
+  static std::vector<std::shared_ptr<const CompiledModel>> BuildModelSet(
+      std::shared_ptr<const CompiledModel> model, const ServerOptions& options);
+  static BatchScheduler::Options SchedulerOptions(const ServerOptions& options);
+
   void ExecutorLoop();
+  // One closed batch: queue-wait bookkeeping + expired-lane filtering,
+  // scatter / batch Invoke / gather, per-lane outcome classification.
+  void ExecuteBatch(std::vector<BatchItem> batch);
   void ExporterLoop();
   // Terminal bookkeeping shared by every completion path. `dequeued` is
   // false for requests refused before entering the queue.
@@ -229,11 +278,9 @@ class Server {
   const ServerOptions options_;
   ContextPool pool_;
   FlightRecorder recorder_;
+  // Owns the admission queue; executors block in scheduler_.NextBatch().
+  BatchScheduler scheduler_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Request>> queue_;
-  bool shutdown_ = false;
   std::vector<std::thread> executors_;
 
   // Stats exporter thread state (separate mutex: the exporter must never
@@ -254,6 +301,7 @@ class Server {
   std::atomic<std::int64_t> deadline_exceeded_{0};
   std::atomic<std::int64_t> cancelled_{0};
   std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> batches_executed_{0};
   std::atomic<int> queue_depth_peak_{0};
 };
 

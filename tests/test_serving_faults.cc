@@ -6,8 +6,10 @@
 // for bit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -365,6 +367,74 @@ TEST_F(ServingFaults, FaultOutcomesReconcileWithHistograms) {
             stats.admitted);
   EXPECT_EQ(registry.Histogram("serving.e2e_ns")->count() - e2e_before,
             stats.admitted);
+}
+
+// A kernel fault during a *batched* Invoke fails every admitted lane with
+// the propagated status, but the shared context quarantines exactly once --
+// two failed lanes must not double-count quarantines -- and the replacement
+// context recovers bit-exactly.
+TEST_F(ServingFaults, LaneKernelFaultFailsBatchQuarantinesOnce) {
+  auto model = CompileServingModel();
+  const std::vector<float> expected = Reference(model, 70);
+
+  ServerOptions opts;
+  opts.max_inflight = 1;
+  opts.max_batch_size = 2;
+  opts.batch_timeout = 0ms;
+  Server server(model, opts);
+
+  // Block the lone executor inside a healthy request's fill so the next two
+  // submissions pile up and close as one size-2 batch.
+  std::promise<void> started, gate_promise;
+  std::shared_future<void> gate = gate_promise.get_future().share();
+  auto r0 = server.Submit([&](ExecutionContext& ctx) {
+    started.set_value();
+    gate.wait();
+    FillInput(ctx.input(0), 70);
+  });
+  started.get_future().wait();
+
+  // Lane A arms the node fault during scatter: the executor's very next
+  // Invoke is the batch-2 run, so the fault fires inside it.
+  auto lane_a = server.Submit([](ExecutionContext& ctx) {
+    FaultInjector::Global().FailNode(
+        /*step=*/2, Status::Internal("induced batch kernel failure"));
+    FillInput(ctx.input(0), 71);
+  });
+  auto lane_b = server.Submit(
+      [](ExecutionContext& ctx) { FillInput(ctx.input(0), 72); });
+  gate_promise.set_value();
+
+  ASSERT_TRUE(r0->Wait().ok());
+  EXPECT_EQ(lane_a->Wait().code(), StatusCode::kInternal);
+  EXPECT_EQ(lane_b->Wait().code(), StatusCode::kInternal)
+      << "a batch-level kernel fault is a batch-level outcome: every lane "
+         "shared the poisoned run";
+  EXPECT_EQ(lane_a->Wait().message(), "induced batch kernel failure");
+
+  // Self-disarmed after one trigger; the quarantine replacement must
+  // reproduce the healthy output bit for bit.
+  std::vector<float> got(10, -1.0f);
+  ASSERT_TRUE(server
+                  .Infer([](ExecutionContext& ctx) {
+                    FillInput(ctx.input(0), 70);
+                  },
+                         [&got](ExecutionContext& ctx) {
+                           const float* o = ctx.output(0).data<float>();
+                           std::copy(o, o + 10, got.begin());
+                         })
+                  .ok());
+  EXPECT_EQ(0, std::memcmp(got.data(), expected.data(), 10 * sizeof(float)));
+
+  const serving::ServerStats stats = server.StatsSnapshot();
+  EXPECT_EQ(stats.admitted, 4);
+  EXPECT_EQ(stats.completed_ok, 2);
+  EXPECT_EQ(stats.failed, 2);
+  EXPECT_EQ(stats.quarantined, 1)
+      << "one poisoned context, one quarantine -- regardless of lane count";
+  EXPECT_EQ(stats.batches_executed, 3);
+  EXPECT_EQ(stats.admitted, stats.completed_ok + stats.deadline_exceeded +
+                                stats.cancelled + stats.failed);
 }
 
 }  // namespace
