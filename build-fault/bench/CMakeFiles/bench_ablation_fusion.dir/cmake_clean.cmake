@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fusion.dir/bench_ablation_fusion.cc.o"
+  "CMakeFiles/bench_ablation_fusion.dir/bench_ablation_fusion.cc.o.d"
+  "bench_ablation_fusion"
+  "bench_ablation_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

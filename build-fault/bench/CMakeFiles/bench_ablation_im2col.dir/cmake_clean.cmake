@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_im2col.dir/bench_ablation_im2col.cc.o"
+  "CMakeFiles/bench_ablation_im2col.dir/bench_ablation_im2col.cc.o.d"
+  "bench_ablation_im2col"
+  "bench_ablation_im2col.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_im2col.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_padding.dir/bench_ablation_padding.cc.o"
+  "CMakeFiles/bench_ablation_padding.dir/bench_ablation_padding.cc.o.d"
+  "bench_ablation_padding"
+  "bench_ablation_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

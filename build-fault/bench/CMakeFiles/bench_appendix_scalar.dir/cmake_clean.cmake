@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_scalar.dir/bench_appendix_scalar.cc.o"
+  "CMakeFiles/bench_appendix_scalar.dir/bench_appendix_scalar.cc.o.d"
+  "bench_appendix_scalar"
+  "bench_appendix_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pareto.dir/bench_fig7_pareto.cc.o"
+  "CMakeFiles/bench_fig7_pareto.dir/bench_fig7_pareto.cc.o.d"
+  "bench_fig7_pareto"
+  "bench_fig7_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernels_microbench.dir/bench_kernels_microbench.cc.o"
+  "CMakeFiles/bench_kernels_microbench.dir/bench_kernels_microbench.cc.o.d"
+  "bench_kernels_microbench"
+  "bench_kernels_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

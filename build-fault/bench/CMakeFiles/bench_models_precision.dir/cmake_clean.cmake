@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_models_precision.dir/bench_models_precision.cc.o"
+  "CMakeFiles/bench_models_precision.dir/bench_models_precision.cc.o.d"
+  "bench_models_precision"
+  "bench_models_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_models_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

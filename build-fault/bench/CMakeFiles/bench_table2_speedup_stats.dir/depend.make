@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_speedup_stats.
+# This may be replaced when dependencies are built.

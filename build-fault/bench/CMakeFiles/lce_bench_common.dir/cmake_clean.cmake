@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/lce_bench_common.dir/bench_common.cc.o.d"
+  "liblce_bench_common.a"
+  "liblce_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

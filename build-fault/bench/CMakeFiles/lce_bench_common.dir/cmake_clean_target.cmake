@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblce_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_and_deploy.dir/convert_and_deploy.cpp.o"
+  "CMakeFiles/convert_and_deploy.dir/convert_and_deploy.cpp.o.d"
+  "convert_and_deploy"
+  "convert_and_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_and_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

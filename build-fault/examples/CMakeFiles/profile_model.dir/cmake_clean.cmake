@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_model.dir/profile_model.cpp.o"
+  "CMakeFiles/profile_model.dir/profile_model.cpp.o.d"
+  "profile_model"
+  "profile_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_stream.dir/realtime_stream.cpp.o"
+  "CMakeFiles/realtime_stream.dir/realtime_stream.cpp.o.d"
+  "realtime_stream"
+  "realtime_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_observability.dir/serving_observability.cpp.o"
+  "CMakeFiles/serving_observability.dir/serving_observability.cpp.o.d"
+  "serving_observability"
+  "serving_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_model.dir/trace_model.cpp.o"
+  "CMakeFiles/trace_model.dir/trace_model.cpp.o.d"
+  "trace_model"
+  "trace_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_bnn.dir/train_bnn.cpp.o"
+  "CMakeFiles/train_bnn.dir/train_bnn.cpp.o.d"
+  "train_bnn"
+  "train_bnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_bnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/converter/convert.cc" "src/CMakeFiles/lce.dir/converter/convert.cc.o" "gcc" "src/CMakeFiles/lce.dir/converter/convert.cc.o.d"
+  "/root/repo/src/converter/passes.cc" "src/CMakeFiles/lce.dir/converter/passes.cc.o" "gcc" "src/CMakeFiles/lce.dir/converter/passes.cc.o.d"
+  "/root/repo/src/converter/ptq.cc" "src/CMakeFiles/lce.dir/converter/ptq.cc.o" "gcc" "src/CMakeFiles/lce.dir/converter/ptq.cc.o.d"
+  "/root/repo/src/converter/serializer.cc" "src/CMakeFiles/lce.dir/converter/serializer.cc.o" "gcc" "src/CMakeFiles/lce.dir/converter/serializer.cc.o.d"
+  "/root/repo/src/core/bitpack.cc" "src/CMakeFiles/lce.dir/core/bitpack.cc.o" "gcc" "src/CMakeFiles/lce.dir/core/bitpack.cc.o.d"
+  "/root/repo/src/core/quantization.cc" "src/CMakeFiles/lce.dir/core/quantization.cc.o" "gcc" "src/CMakeFiles/lce.dir/core/quantization.cc.o.d"
+  "/root/repo/src/core/random.cc" "src/CMakeFiles/lce.dir/core/random.cc.o" "gcc" "src/CMakeFiles/lce.dir/core/random.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/CMakeFiles/lce.dir/core/thread_pool.cc.o" "gcc" "src/CMakeFiles/lce.dir/core/thread_pool.cc.o.d"
+  "/root/repo/src/costmodel/cortex_a76.cc" "src/CMakeFiles/lce.dir/costmodel/cortex_a76.cc.o" "gcc" "src/CMakeFiles/lce.dir/costmodel/cortex_a76.cc.o.d"
+  "/root/repo/src/gemm/baselines.cc" "src/CMakeFiles/lce.dir/gemm/baselines.cc.o" "gcc" "src/CMakeFiles/lce.dir/gemm/baselines.cc.o.d"
+  "/root/repo/src/gemm/bgemm.cc" "src/CMakeFiles/lce.dir/gemm/bgemm.cc.o" "gcc" "src/CMakeFiles/lce.dir/gemm/bgemm.cc.o.d"
+  "/root/repo/src/gemm/float_gemm.cc" "src/CMakeFiles/lce.dir/gemm/float_gemm.cc.o" "gcc" "src/CMakeFiles/lce.dir/gemm/float_gemm.cc.o.d"
+  "/root/repo/src/gemm/indirect_bgemm.cc" "src/CMakeFiles/lce.dir/gemm/indirect_bgemm.cc.o" "gcc" "src/CMakeFiles/lce.dir/gemm/indirect_bgemm.cc.o.d"
+  "/root/repo/src/gemm/int8_gemm.cc" "src/CMakeFiles/lce.dir/gemm/int8_gemm.cc.o" "gcc" "src/CMakeFiles/lce.dir/gemm/int8_gemm.cc.o.d"
+  "/root/repo/src/graph/batch_variant.cc" "src/CMakeFiles/lce.dir/graph/batch_variant.cc.o" "gcc" "src/CMakeFiles/lce.dir/graph/batch_variant.cc.o.d"
+  "/root/repo/src/graph/compiled_model.cc" "src/CMakeFiles/lce.dir/graph/compiled_model.cc.o" "gcc" "src/CMakeFiles/lce.dir/graph/compiled_model.cc.o.d"
+  "/root/repo/src/graph/interpreter.cc" "src/CMakeFiles/lce.dir/graph/interpreter.cc.o" "gcc" "src/CMakeFiles/lce.dir/graph/interpreter.cc.o.d"
+  "/root/repo/src/graph/ir.cc" "src/CMakeFiles/lce.dir/graph/ir.cc.o" "gcc" "src/CMakeFiles/lce.dir/graph/ir.cc.o.d"
+  "/root/repo/src/graph/memory_planner.cc" "src/CMakeFiles/lce.dir/graph/memory_planner.cc.o" "gcc" "src/CMakeFiles/lce.dir/graph/memory_planner.cc.o.d"
+  "/root/repo/src/graph/printer.cc" "src/CMakeFiles/lce.dir/graph/printer.cc.o" "gcc" "src/CMakeFiles/lce.dir/graph/printer.cc.o.d"
+  "/root/repo/src/graph/validator.cc" "src/CMakeFiles/lce.dir/graph/validator.cc.o" "gcc" "src/CMakeFiles/lce.dir/graph/validator.cc.o.d"
+  "/root/repo/src/kernels/bconv2d.cc" "src/CMakeFiles/lce.dir/kernels/bconv2d.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/bconv2d.cc.o.d"
+  "/root/repo/src/kernels/bdepthwise.cc" "src/CMakeFiles/lce.dir/kernels/bdepthwise.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/bdepthwise.cc.o.d"
+  "/root/repo/src/kernels/bfully_connected.cc" "src/CMakeFiles/lce.dir/kernels/bfully_connected.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/bfully_connected.cc.o.d"
+  "/root/repo/src/kernels/bmaxpool.cc" "src/CMakeFiles/lce.dir/kernels/bmaxpool.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/bmaxpool.cc.o.d"
+  "/root/repo/src/kernels/conv2d_float.cc" "src/CMakeFiles/lce.dir/kernels/conv2d_float.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/conv2d_float.cc.o.d"
+  "/root/repo/src/kernels/conv2d_int8.cc" "src/CMakeFiles/lce.dir/kernels/conv2d_int8.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/conv2d_int8.cc.o.d"
+  "/root/repo/src/kernels/depthwise_conv.cc" "src/CMakeFiles/lce.dir/kernels/depthwise_conv.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/depthwise_conv.cc.o.d"
+  "/root/repo/src/kernels/elementwise.cc" "src/CMakeFiles/lce.dir/kernels/elementwise.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/elementwise.cc.o.d"
+  "/root/repo/src/kernels/fully_connected.cc" "src/CMakeFiles/lce.dir/kernels/fully_connected.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/fully_connected.cc.o.d"
+  "/root/repo/src/kernels/im2col.cc" "src/CMakeFiles/lce.dir/kernels/im2col.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/im2col.cc.o.d"
+  "/root/repo/src/kernels/pipeline/conv_pipeline.cc" "src/CMakeFiles/lce.dir/kernels/pipeline/conv_pipeline.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/pipeline/conv_pipeline.cc.o.d"
+  "/root/repo/src/kernels/pipeline/gather_pack.cc" "src/CMakeFiles/lce.dir/kernels/pipeline/gather_pack.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/pipeline/gather_pack.cc.o.d"
+  "/root/repo/src/kernels/pipeline/output_transform.cc" "src/CMakeFiles/lce.dir/kernels/pipeline/output_transform.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/pipeline/output_transform.cc.o.d"
+  "/root/repo/src/kernels/pipeline/tile_plan.cc" "src/CMakeFiles/lce.dir/kernels/pipeline/tile_plan.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/pipeline/tile_plan.cc.o.d"
+  "/root/repo/src/kernels/pooling.cc" "src/CMakeFiles/lce.dir/kernels/pooling.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/pooling.cc.o.d"
+  "/root/repo/src/kernels/quantize_ops.cc" "src/CMakeFiles/lce.dir/kernels/quantize_ops.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/quantize_ops.cc.o.d"
+  "/root/repo/src/kernels/reference.cc" "src/CMakeFiles/lce.dir/kernels/reference.cc.o" "gcc" "src/CMakeFiles/lce.dir/kernels/reference.cc.o.d"
+  "/root/repo/src/models/alexnets.cc" "src/CMakeFiles/lce.dir/models/alexnets.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/alexnets.cc.o.d"
+  "/root/repo/src/models/binary_resnet_e.cc" "src/CMakeFiles/lce.dir/models/binary_resnet_e.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/binary_resnet_e.cc.o.d"
+  "/root/repo/src/models/birealnet.cc" "src/CMakeFiles/lce.dir/models/birealnet.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/birealnet.cc.o.d"
+  "/root/repo/src/models/builder.cc" "src/CMakeFiles/lce.dir/models/builder.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/builder.cc.o.d"
+  "/root/repo/src/models/densenets.cc" "src/CMakeFiles/lce.dir/models/densenets.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/densenets.cc.o.d"
+  "/root/repo/src/models/float_resnet.cc" "src/CMakeFiles/lce.dir/models/float_resnet.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/float_resnet.cc.o.d"
+  "/root/repo/src/models/macs.cc" "src/CMakeFiles/lce.dir/models/macs.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/macs.cc.o.d"
+  "/root/repo/src/models/meliusnet.cc" "src/CMakeFiles/lce.dir/models/meliusnet.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/meliusnet.cc.o.d"
+  "/root/repo/src/models/quicknet.cc" "src/CMakeFiles/lce.dir/models/quicknet.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/quicknet.cc.o.d"
+  "/root/repo/src/models/reactnet.cc" "src/CMakeFiles/lce.dir/models/reactnet.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/reactnet.cc.o.d"
+  "/root/repo/src/models/realtobinary.cc" "src/CMakeFiles/lce.dir/models/realtobinary.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/realtobinary.cc.o.d"
+  "/root/repo/src/models/resnet_ablation.cc" "src/CMakeFiles/lce.dir/models/resnet_ablation.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/resnet_ablation.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/CMakeFiles/lce.dir/models/zoo.cc.o" "gcc" "src/CMakeFiles/lce.dir/models/zoo.cc.o.d"
+  "/root/repo/src/profiling/bench_utils.cc" "src/CMakeFiles/lce.dir/profiling/bench_utils.cc.o" "gcc" "src/CMakeFiles/lce.dir/profiling/bench_utils.cc.o.d"
+  "/root/repo/src/profiling/model_profiler.cc" "src/CMakeFiles/lce.dir/profiling/model_profiler.cc.o" "gcc" "src/CMakeFiles/lce.dir/profiling/model_profiler.cc.o.d"
+  "/root/repo/src/serving/batch_scheduler.cc" "src/CMakeFiles/lce.dir/serving/batch_scheduler.cc.o" "gcc" "src/CMakeFiles/lce.dir/serving/batch_scheduler.cc.o.d"
+  "/root/repo/src/serving/context_pool.cc" "src/CMakeFiles/lce.dir/serving/context_pool.cc.o" "gcc" "src/CMakeFiles/lce.dir/serving/context_pool.cc.o.d"
+  "/root/repo/src/serving/fault_injection.cc" "src/CMakeFiles/lce.dir/serving/fault_injection.cc.o" "gcc" "src/CMakeFiles/lce.dir/serving/fault_injection.cc.o.d"
+  "/root/repo/src/serving/flight_recorder.cc" "src/CMakeFiles/lce.dir/serving/flight_recorder.cc.o" "gcc" "src/CMakeFiles/lce.dir/serving/flight_recorder.cc.o.d"
+  "/root/repo/src/serving/server.cc" "src/CMakeFiles/lce.dir/serving/server.cc.o" "gcc" "src/CMakeFiles/lce.dir/serving/server.cc.o.d"
+  "/root/repo/src/telemetry/json.cc" "src/CMakeFiles/lce.dir/telemetry/json.cc.o" "gcc" "src/CMakeFiles/lce.dir/telemetry/json.cc.o.d"
+  "/root/repo/src/telemetry/metrics.cc" "src/CMakeFiles/lce.dir/telemetry/metrics.cc.o" "gcc" "src/CMakeFiles/lce.dir/telemetry/metrics.cc.o.d"
+  "/root/repo/src/telemetry/run_report.cc" "src/CMakeFiles/lce.dir/telemetry/run_report.cc.o" "gcc" "src/CMakeFiles/lce.dir/telemetry/run_report.cc.o.d"
+  "/root/repo/src/telemetry/tracer.cc" "src/CMakeFiles/lce.dir/telemetry/tracer.cc.o" "gcc" "src/CMakeFiles/lce.dir/telemetry/tracer.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/lce.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/lce.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-fault/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("telemetry")
+subdirs("gemm")
+subdirs("kernels")
+subdirs("graph")
+subdirs("serving")
+subdirs("converter")
+subdirs("models")
+subdirs("costmodel")
+subdirs("profiling")
+subdirs("train")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_fuzz.dir/fuzz_serializer.cc.o"
+  "CMakeFiles/lce_fuzz.dir/fuzz_serializer.cc.o.d"
+  "lce_fuzz"
+  "lce_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

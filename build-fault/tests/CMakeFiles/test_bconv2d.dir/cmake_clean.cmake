@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bconv2d.dir/test_bconv2d.cc.o"
+  "CMakeFiles/test_bconv2d.dir/test_bconv2d.cc.o.d"
+  "test_bconv2d"
+  "test_bconv2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bconv2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bconv2d_fused.dir/test_bconv2d_fused.cc.o"
+  "CMakeFiles/test_bconv2d_fused.dir/test_bconv2d_fused.cc.o.d"
+  "test_bconv2d_fused"
+  "test_bconv2d_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bconv2d_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdepthwise.dir/test_bdepthwise.cc.o"
+  "CMakeFiles/test_bdepthwise.dir/test_bdepthwise.cc.o.d"
+  "test_bdepthwise"
+  "test_bdepthwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdepthwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_utils.dir/test_bench_utils.cc.o"
+  "CMakeFiles/test_bench_utils.dir/test_bench_utils.cc.o.d"
+  "test_bench_utils"
+  "test_bench_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfully_connected.dir/test_bfully_connected.cc.o"
+  "CMakeFiles/test_bfully_connected.dir/test_bfully_connected.cc.o.d"
+  "test_bfully_connected"
+  "test_bfully_connected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfully_connected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

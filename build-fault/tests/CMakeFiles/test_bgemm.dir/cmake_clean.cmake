@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgemm.dir/test_bgemm.cc.o"
+  "CMakeFiles/test_bgemm.dir/test_bgemm.cc.o.d"
+  "test_bgemm"
+  "test_bgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

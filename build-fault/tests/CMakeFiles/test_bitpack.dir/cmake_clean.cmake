@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitpack.dir/test_bitpack.cc.o"
+  "CMakeFiles/test_bitpack.dir/test_bitpack.cc.o.d"
+  "test_bitpack"
+  "test_bitpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

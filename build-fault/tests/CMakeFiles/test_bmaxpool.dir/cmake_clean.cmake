@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmaxpool.dir/test_bmaxpool.cc.o"
+  "CMakeFiles/test_bmaxpool.dir/test_bmaxpool.cc.o.d"
+  "test_bmaxpool"
+  "test_bmaxpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmaxpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

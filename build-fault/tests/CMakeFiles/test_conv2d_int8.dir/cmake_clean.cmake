@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv2d_int8.dir/test_conv2d_int8.cc.o"
+  "CMakeFiles/test_conv2d_int8.dir/test_conv2d_int8.cc.o.d"
+  "test_conv2d_int8"
+  "test_conv2d_int8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv2d_int8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_pipeline.dir/test_conv_pipeline.cc.o"
+  "CMakeFiles/test_conv_pipeline.dir/test_conv_pipeline.cc.o.d"
+  "test_conv_pipeline"
+  "test_conv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

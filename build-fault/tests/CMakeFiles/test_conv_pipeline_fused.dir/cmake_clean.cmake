@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_pipeline_fused.dir/test_conv_pipeline_fused.cc.o"
+  "CMakeFiles/test_conv_pipeline_fused.dir/test_conv_pipeline_fused.cc.o.d"
+  "test_conv_pipeline_fused"
+  "test_conv_pipeline_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_pipeline_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_converter.dir/test_converter.cc.o"
+  "CMakeFiles/test_converter.dir/test_converter.cc.o.d"
+  "test_converter"
+  "test_converter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_converter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elementwise.dir/test_elementwise.cc.o"
+  "CMakeFiles/test_elementwise.dir/test_elementwise.cc.o.d"
+  "test_elementwise"
+  "test_elementwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elementwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_gemm.dir/test_float_gemm.cc.o"
+  "CMakeFiles/test_float_gemm.dir/test_float_gemm.cc.o.d"
+  "test_float_gemm"
+  "test_float_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

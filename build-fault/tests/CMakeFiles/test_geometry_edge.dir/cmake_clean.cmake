@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_edge.dir/test_geometry_edge.cc.o"
+  "CMakeFiles/test_geometry_edge.dir/test_geometry_edge.cc.o.d"
+  "test_geometry_edge"
+  "test_geometry_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

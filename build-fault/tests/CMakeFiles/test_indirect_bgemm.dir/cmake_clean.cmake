@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indirect_bgemm.dir/test_indirect_bgemm.cc.o"
+  "CMakeFiles/test_indirect_bgemm.dir/test_indirect_bgemm.cc.o.d"
+  "test_indirect_bgemm"
+  "test_indirect_bgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indirect_bgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

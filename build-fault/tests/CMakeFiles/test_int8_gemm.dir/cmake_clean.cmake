@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_int8_gemm.dir/test_int8_gemm.cc.o"
+  "CMakeFiles/test_int8_gemm.dir/test_int8_gemm.cc.o.d"
+  "test_int8_gemm"
+  "test_int8_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_int8_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

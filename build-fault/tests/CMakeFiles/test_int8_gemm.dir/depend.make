@@ -1,0 +1,2 @@
+# Empty dependencies file for test_int8_gemm.
+# This may be replaced when dependencies are built.

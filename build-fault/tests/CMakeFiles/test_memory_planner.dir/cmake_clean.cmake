@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_planner.dir/test_memory_planner.cc.o"
+  "CMakeFiles/test_memory_planner.dir/test_memory_planner.cc.o.d"
+  "test_memory_planner"
+  "test_memory_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptq.dir/test_ptq.cc.o"
+  "CMakeFiles/test_ptq.dir/test_ptq.cc.o.d"
+  "test_ptq"
+  "test_ptq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

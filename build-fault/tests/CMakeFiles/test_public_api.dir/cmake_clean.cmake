@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_public_api.dir/test_public_api.cc.o"
+  "CMakeFiles/test_public_api.dir/test_public_api.cc.o.d"
+  "test_public_api"
+  "test_public_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_public_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

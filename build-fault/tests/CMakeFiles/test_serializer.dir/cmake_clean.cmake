@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serializer.dir/test_serializer.cc.o"
+  "CMakeFiles/test_serializer.dir/test_serializer.cc.o.d"
+  "test_serializer"
+  "test_serializer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serializer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serving.dir/test_serving.cc.o"
+  "CMakeFiles/test_serving.dir/test_serving.cc.o.d"
+  "test_serving"
+  "test_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

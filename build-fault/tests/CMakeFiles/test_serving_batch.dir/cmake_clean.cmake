@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serving_batch.dir/test_serving_batch.cc.o"
+  "CMakeFiles/test_serving_batch.dir/test_serving_batch.cc.o.d"
+  "test_serving_batch"
+  "test_serving_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serving_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serving_core.dir/test_serving_core.cc.o"
+  "CMakeFiles/test_serving_core.dir/test_serving_core.cc.o.d"
+  "test_serving_core"
+  "test_serving_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serving_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serving_faults.dir/test_serving_faults.cc.o"
+  "CMakeFiles/test_serving_faults.dir/test_serving_faults.cc.o.d"
+  "test_serving_faults"
+  "test_serving_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serving_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zoo_structure.dir/test_zoo_structure.cc.o"
+  "CMakeFiles/test_zoo_structure.dir/test_zoo_structure.cc.o.d"
+  "test_zoo_structure"
+  "test_zoo_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zoo_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
