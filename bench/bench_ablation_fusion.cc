@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "gemm/int8_isa.h"
 #include "kernels/bconv2d.h"
 #include "kernels/bdepthwise.h"
 #include "kernels/conv2d_int8.h"
@@ -260,6 +261,11 @@ void SweepConvPipelineVariants(gemm::Context& ctx,
       const auto [f, l] =
           FusedVsLegacy([&] { fused.Run(in, out, ctx); },
                         [&] { legacy.Run(in, out, ctx); });
+      // Each sample pair ends on the legacy run, which parks the
+      // conv2d_int8.tier gauge on the widened family; one trailing fused
+      // run leaves it at the tier the fused path actually selected so the
+      // report snapshot (and the CI gauge assertion) sees it.
+      fused.Run(in, out, ctx);
       char shape[64];
       std::snprintf(shape, sizeof(shape), "%dx%dx%d-%d", c.hw, c.hw, c.in_c,
                     c.out_c);
@@ -283,6 +289,12 @@ int main(int argc, char** argv) {
   telemetry::RunReport report("bench_ablation_fusion");
   report.AddMeta("profile", ProfileName(profile));
   report.AddMetaInt("threads", threads > 0 ? threads : 1);
+  // Which int8 micro-kernel tier the fused conv2d_int8 runs actually use
+  // (gemm/int8_isa.h); perf-smoke asserts selected == best to catch a
+  // selection regression without hard-coding a machine-dependent tier.
+  report.AddMeta("int8_tier_selected",
+                 gemm::Int8TierName(gemm::SelectInt8Tier()));
+  report.AddMeta("int8_tier_best", gemm::Int8TierName(gemm::BestInt8Tier()));
   {
     gemm::Context ctx(threads > 0 ? threads : 1, profile);
     SweepConvPipelineVariants(ctx, report);

@@ -12,8 +12,8 @@ export LCE_BENCH_JSON=1
     name="$(basename "$b")"
     echo "===== $name ====="
     case "$name" in
-      # These two also emit telemetry run reports (latency + metrics).
-      bench_table3_quicknet_variants|bench_fig4_framework_comparison)
+      # These also emit telemetry run reports (latency + metrics).
+      bench_table3_quicknet_variants|bench_fig4_framework_comparison|bench_ablation_fusion|bench_int8_dotprod)
         "$b" "--json=results/${name}_report.json"
         ;;
       *)

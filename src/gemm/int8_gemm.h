@@ -18,6 +18,7 @@
 
 #include "core/aligned_buffer.h"
 #include "gemm/context.h"
+#include "gemm/int8_isa.h"
 
 namespace lce::gemm {
 
@@ -88,6 +89,67 @@ void Int8Gemm(const std::int8_t* lhs, int m, const PackedInt8Matrix& rhs,
 
 void Int8Gemm(const std::int8_t* lhs, int m, const std::int8_t* rhs, int n,
               int k, std::int32_t* out, int ldc, Context& ctx);
+
+// ---------------------------------------------------------------------------
+// Dot-product tier (gemm/int8_isa.h): AVX-512 VNNI / AVX2 maddubs / NEON sdot
+// ---------------------------------------------------------------------------
+
+inline constexpr int kInt8DotNr = 16;  // output channels per dot panel
+inline constexpr int kInt8DotKg = 4;   // K bytes per dot-product group
+
+// Weight panels for the dot-product kernels. Each panel covers kInt8DotNr
+// output channels; within a panel, layout is [k_groups][kInt8DotNr][4]:
+// one 4-byte K-group of all 16 channels is a contiguous 64-byte line (a
+// zmm register for vpdpbusd, two ymm for the AVX2 kernel, four NEON q
+// registers for sdot). K is zero-padded to a multiple of kInt8DotKg, so
+// padding never contributes to a dot product. Built once at kernel
+// construction (Compile()) time alongside PackedInt8Matrix; the compute
+// loop is panel-outer / row-inner, holding one panel L1-resident across
+// every row of a block before streaming the next (weight-stationary).
+class PackedInt8DotPanels {
+ public:
+  PackedInt8DotPanels() = default;
+  PackedInt8DotPanels(const std::int8_t* rows, int n, int k);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int k_groups() const { return k_groups_; }
+  int num_panels() const { return num_panels_; }
+  bool empty() const { return n_ == 0; }
+  std::int64_t panel_bytes() const {
+    return static_cast<std::int64_t>(k_groups_) * kInt8DotNr * kInt8DotKg;
+  }
+  const std::int8_t* panel(int p) const {
+    return reinterpret_cast<const std::int8_t*>(buf_.data()) +
+           static_cast<std::int64_t>(p) * panel_bytes();
+  }
+  // Row sums of the original matrix: the biased (u8 x s8) kernels remove
+  // their +128 activation bias with `128 * row_sums[col]`. Padded with
+  // zeros to num_panels() * kInt8DotNr entries so per-panel vector loads
+  // need no mask.
+  const std::vector<std::int32_t>& row_sums() const { return row_sums_; }
+
+ private:
+  int n_ = 0;
+  int k_ = 0;
+  int k_groups_ = 0;
+  int num_panels_ = 0;
+  AlignedBuffer buf_;
+  std::vector<std::int32_t> row_sums_;
+};
+
+// Exact signed dot products straight from staged (un-interleaved) patch
+// rows: `arows` holds `block_rows` raw int8 rows, row-major with leading
+// dimension `lda` = k_groups * kInt8DotKg bytes, zero-padded past k — the
+// layout the byte-gather stage produces without any panel interleave pass.
+// Writes block_rows x rhs.n() into `out` (leading dimension `ldc`). `tier`
+// must be a dot-product tier or kScalar (the portable reference, also the
+// fallback when the requested kernel is not compiled in). The +128-bias
+// bookkeeping of the u8 x s8 kernels is internal; the result is always the
+// exact widened dot product.
+void Int8DotComputeBlock(const std::int8_t* arows, int lda,
+                         const PackedInt8DotPanels& rhs, Int8Tier tier,
+                         int block_rows, std::int32_t* out, int ldc);
 
 }  // namespace lce::gemm
 

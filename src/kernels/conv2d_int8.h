@@ -35,6 +35,11 @@ struct Conv2DInt8Attrs {
   // quantization). When non-empty, overrides weight_quant.scale; bias[c]
   // must then be at scale s_in * weight_scales[c].
   std::vector<float> weight_scales;
+  // Row tiles per pipeline block. kInt8Mr is small (2 rows per tile), so
+  // the default 64-tile block (128 rows) amortizes the packed-RHS streaming
+  // while the staged rows + accumulator still fit in L2. Exposed so
+  // bench_int8_dotprod can sweep the weight-stationary blocking.
+  int block_tiles = 64;
   // Escape hatch for benchmarks and parity tests: run the legacy unfused
   // pipeline (full-image im2col -> full-image accumulator -> requantize)
   // instead of the fused row-tile pipeline.
@@ -66,6 +71,11 @@ class Conv2DInt8 {
   // matrix.row_sums(), so both live and die together.
   struct SharedWeights {
     gemm::PackedInt8Matrix matrix;
+    // Second weight layout for the dot-product tiers (gemm/int8_isa.h):
+    // K-grouped weight-stationary panels consumed by Int8DotComputeBlock.
+    // Built alongside `matrix` at Compile() time; which layout a Run()
+    // reads is the runtime tier selection's call.
+    gemm::PackedInt8DotPanels dot_panels;
     // Requantization policy (multipliers, shifts, activation clamp), shared
     // verbatim by the fused and legacy paths.
     std::unique_ptr<pipeline::OutputTransform> transform;
@@ -78,6 +88,7 @@ class Conv2DInt8 {
   void InitGeometry();
 
   friend class Conv2DInt8TileCompute;
+  friend class Conv2DInt8DotTileCompute;
 
   Conv2DInt8Attrs attrs_;
   std::shared_ptr<const SharedWeights> weights_;

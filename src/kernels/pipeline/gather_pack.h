@@ -62,6 +62,29 @@ void GatherPackInt8(const std::int8_t* input,
                     std::int64_t row0, int tile_rows, int k_blocks,
                     bool interior, std::int8_t* stage, std::int8_t* dst);
 
+// Int8 gather for the dot-product tiers (gemm/int8_isa.h): stages
+// `tile_rows` raw patch rows of taps*in_c bytes straight into `dst`,
+// row-major with leading dimension `lda` (>= taps*in_c; the tail is
+// zeroed so K-padding contributes nothing). The dot kernels
+// (gemm::Int8DotComputeBlock) read these rows directly — no biased panel
+// interleave pass, which is most of GatherPackInt8's non-memcpy work.
+// Rows beyond ind.rows() are zeroed (they never reach the output).
+void GatherStageInt8Dot(const std::int8_t* input,
+                        const gemm::IndirectionOffsets& ind,
+                        std::int8_t pad_value, std::int64_t row0,
+                        int tile_rows, int lda, bool interior,
+                        std::int8_t* dst);
+
+// Software-prefetches the gather sources of rows [row0, row0+tile_rows):
+// one prefetch per 64-byte line of each tap's channel vector. The int8
+// TileCompute calls this one tile ahead of the gather, so the next tile's
+// feature-map lines are already in flight while the current tile's dot
+// products execute (the gather stage is the int8 path's main memory-
+// latency exposure; see docs/PERFORMANCE.md).
+void PrefetchInt8GatherSources(const std::int8_t* input,
+                               const gemm::IndirectionOffsets& ind,
+                               std::int64_t row0, int tile_rows);
+
 }  // namespace lce::pipeline
 
 #endif  // LCE_KERNELS_PIPELINE_GATHER_PACK_H_

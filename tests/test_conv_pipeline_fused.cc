@@ -255,6 +255,18 @@ struct Int8Case {
   float out_scale;
 };
 
+// Every int8 tier selectable on this machine (gemm/int8_isa.h).
+std::vector<gemm::Int8Tier> AvailableInt8Tiers() {
+  std::vector<gemm::Int8Tier> tiers;
+  for (gemm::Int8Tier t :
+       {gemm::Int8Tier::kScalar, gemm::Int8Tier::kWidened,
+        gemm::Int8Tier::kAvx2Dot, gemm::Int8Tier::kNeonDot,
+        gemm::Int8Tier::kVnni}) {
+    if (gemm::Int8TierAvailable(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
 class Int8FusedParity : public ::testing::TestWithParam<Int8Case> {};
 
 TEST_P(Int8FusedParity, FusedMatchesLegacy) {
@@ -301,16 +313,23 @@ TEST_P(Int8FusedParity, FusedMatchesLegacy) {
     gemm::Context ctx(1);
     legacy.Run(in, out_legacy, ctx);
   }
-  for (const int threads : {1, 4}) {
-    Tensor out_fused(DataType::kInt8, out_legacy.shape());
-    gemm::Context ctx(threads);
-    fused.Run(in, out_fused, ctx);
-    for (std::int64_t i = 0; i < out_fused.num_elements(); ++i) {
-      ASSERT_EQ(out_fused.data<std::int8_t>()[i],
-                out_legacy.data<std::int8_t>()[i])
-          << "threads=" << threads << " element " << i;
+  // Every tier selectable on this machine must reproduce the legacy
+  // widened path byte-for-byte, single- and multi-threaded.
+  for (const gemm::Int8Tier tier : AvailableInt8Tiers()) {
+    gemm::SetInt8TierOverrideForTest(static_cast<int>(tier));
+    for (const int threads : {1, 4}) {
+      Tensor out_fused(DataType::kInt8, out_legacy.shape());
+      gemm::Context ctx(threads);
+      fused.Run(in, out_fused, ctx);
+      for (std::int64_t i = 0; i < out_fused.num_elements(); ++i) {
+        ASSERT_EQ(out_fused.data<std::int8_t>()[i],
+                  out_legacy.data<std::int8_t>()[i])
+            << "tier=" << gemm::Int8TierName(tier) << " threads=" << threads
+            << " element " << i;
+      }
     }
   }
+  gemm::SetInt8TierOverrideForTest(0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -352,6 +371,105 @@ TEST(Int8Fused, TileCountersAdvance) {
   EXPECT_EQ(CounterValue("conv2d_int8.fused_tiles"), m_tiles);
   EXPECT_GT(CounterValue("conv2d_int8.interior_tiles"), 0);
   EXPECT_LT(CounterValue("conv2d_int8.interior_tiles"), m_tiles);
+}
+
+// Adversarial saturation property test at the convolution level: weights
+// and activations drawn only from {-128, -127, +127}, so a saturating
+// vpmaddubsw pairwise sum (or a bias/rowsum bookkeeping slip) in any tier
+// diverges from the exact widened-dot legacy path. Padding is exercised
+// too (kSameZero with a nonzero input zero point).
+TEST(Int8Fused, ExtremeValueTierParity) {
+  Conv2DGeometry geo;
+  geo.in_h = geo.in_w = 9;
+  geo.in_c = 32;
+  geo.out_c = 24;
+  geo.filter_h = geo.filter_w = 3;
+  geo.padding = Padding::kSameZero;
+
+  Rng rng(31337);
+  const std::int8_t extremes[3] = {-128, -127, 127};
+  Tensor in(DataType::kInt8, Shape{1, 9, 9, 32});
+  for (std::int64_t i = 0; i < in.num_elements(); ++i) {
+    in.data<std::int8_t>()[i] = extremes[rng.Int8(0, 2)];
+  }
+  std::vector<std::int8_t> w(static_cast<std::size_t>(24) * 9 * 32);
+  for (auto& v : w) v = extremes[rng.Int8(0, 2)];
+
+  Conv2DInt8Attrs attrs;
+  attrs.geo = geo;
+  attrs.input_quant = {0.02f, 3};
+  attrs.weight_quant = {0.005f, 0};
+  attrs.output_quant = {0.25f, -4};  // keep most outputs off the clamp rails
+  Conv2DInt8 fused(w.data(), attrs);
+  attrs.force_unfused = true;
+  Conv2DInt8 legacy(w.data(), attrs);
+
+  Tensor out_legacy(DataType::kInt8, Shape{1, 9, 9, 24});
+  {
+    gemm::Context ctx(1);
+    legacy.Run(in, out_legacy, ctx);
+  }
+  for (const gemm::Int8Tier tier : AvailableInt8Tiers()) {
+    gemm::SetInt8TierOverrideForTest(static_cast<int>(tier));
+    for (const int threads : {1, 4}) {
+      Tensor out(DataType::kInt8, out_legacy.shape());
+      gemm::Context ctx(threads);
+      fused.Run(in, out, ctx);
+      EXPECT_EQ(std::memcmp(out.raw_data(), out_legacy.raw_data(),
+                            static_cast<std::size_t>(out.num_elements())),
+                0)
+          << "tier=" << gemm::Int8TierName(tier) << " threads=" << threads;
+    }
+  }
+  gemm::SetInt8TierOverrideForTest(0);
+}
+
+// The conv2d_int8.tier gauge must report the tier that actually ran.
+TEST(Int8Fused, TierGaugeReportsSelectedTier) {
+  Conv2DGeometry geo;
+  geo.in_h = geo.in_w = 8;
+  geo.in_c = 16;
+  geo.out_c = 8;
+  geo.filter_h = geo.filter_w = 3;
+  geo.padding = Padding::kSameZero;
+
+  Rng rng(5);
+  Tensor in(DataType::kInt8, Shape{1, 8, 8, 16});
+  FillInt8(in, rng);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(8) * 9 * 16, 2);
+  Conv2DInt8Attrs attrs;
+  attrs.geo = geo;
+  attrs.input_quant = {0.02f, 0};
+  attrs.weight_quant = {0.005f, 0};
+  attrs.output_quant = {0.05f, 0};
+  Conv2DInt8 op(w.data(), attrs);
+  Tensor out(DataType::kInt8, Shape{1, 8, 8, 8});
+
+  auto gauge = [] {
+    return telemetry::MetricsRegistry::Global().Gauge("conv2d_int8.tier");
+  };
+  for (const gemm::Int8Tier tier : AvailableInt8Tiers()) {
+    gemm::SetInt8TierOverrideForTest(static_cast<int>(tier));
+    gemm::Context ctx(1);
+    op.Run(in, out, ctx);
+    EXPECT_EQ(gauge()->value(), static_cast<std::int64_t>(tier))
+        << "forced tier " << gemm::Int8TierName(tier);
+  }
+  gemm::SetInt8TierOverrideForTest(0);
+  {
+    gemm::Context ctx(1);
+    op.Run(in, out, ctx);
+    EXPECT_EQ(gauge()->value(),
+              static_cast<std::int64_t>(gemm::SelectInt8Tier()));
+  }
+  // A scalar-profile context pins the gauge to the scalar tier regardless
+  // of the machine's best tier.
+  {
+    gemm::Context ctx(1, gemm::KernelProfile::kScalar);
+    op.Run(in, out, ctx);
+    EXPECT_EQ(gauge()->value(),
+              static_cast<std::int64_t>(gemm::Int8Tier::kScalar));
+  }
 }
 
 }  // namespace

@@ -1,12 +1,18 @@
 // Int8 GEMM tests: exact signed dot products (the widened-multiply kernel
-// must be saturation-free), profile agreement, row sums.
+// must be saturation-free), profile agreement, row sums, and the
+// dot-product tiers (gemm/int8_isa.h) against the same exact reference --
+// including the adversarial +-127/-128 patterns that would expose a
+// saturating vpmaddubsw implementation.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "core/random.h"
 #include "gemm/int8_gemm.h"
+#include "gemm/int8_isa.h"
 
 namespace lce::gemm {
 namespace {
@@ -83,6 +89,154 @@ TEST(Int8Gemm, ProfilesAgree) {
     Int8Gemm(lhs.data(), m, rhs.data(), n, k, scalar.data(), n, ctx);
   }
   EXPECT_EQ(simd, scalar);
+}
+
+// All tiers Int8DotComputeBlock accepts on this machine: the portable
+// reference plus every compiled-in AND CPU-supported dot tier.
+std::vector<Int8Tier> DotBlockTiers() {
+  std::vector<Int8Tier> tiers = {Int8Tier::kScalar};
+  for (Int8Tier t :
+       {Int8Tier::kVnni, Int8Tier::kAvx2Dot, Int8Tier::kNeonDot}) {
+    if (Int8TierAvailable(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+// Runs Int8DotComputeBlock for `tier` on row-major lhs/rhs and compares
+// against the exact widened-dot reference.
+void CheckDotBlock(const std::vector<std::int8_t>& lhs,
+                   const std::vector<std::int8_t>& rhs, int m, int n, int k,
+                   Int8Tier tier) {
+  std::vector<std::int32_t> expected;
+  NaiveInt8Gemm(lhs, rhs, m, n, k, &expected);
+
+  PackedInt8DotPanels panels(rhs.data(), n, k);
+  const int lda = panels.k_groups() * kInt8DotKg;
+  std::vector<std::int8_t> arows(static_cast<std::size_t>(m) * lda, 0);
+  for (int r = 0; r < m; ++r) {
+    for (int kk = 0; kk < k; ++kk) {
+      arows[static_cast<std::size_t>(r) * lda + kk] =
+          lhs[static_cast<std::size_t>(r) * k + kk];
+    }
+  }
+  std::vector<std::int32_t> out(static_cast<std::size_t>(m) * n, -1);
+  Int8DotComputeBlock(arows.data(), lda, panels, tier, m, out.data(), n);
+  EXPECT_EQ(out, expected) << "tier=" << Int8TierName(tier) << " m=" << m
+                           << " n=" << n << " k=" << k;
+}
+
+TEST_P(Int8GemmShapes, DotTiersExactMatch) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(3 * m + n * 7 + k * 13);
+  std::vector<std::int8_t> lhs(static_cast<std::size_t>(m) * k);
+  std::vector<std::int8_t> rhs(static_cast<std::size_t>(n) * k);
+  for (auto& v : lhs) v = rng.Int8(-128, 127);
+  for (auto& v : rhs) v = rng.Int8(-128, 127);
+  for (Int8Tier tier : DotBlockTiers()) CheckDotBlock(lhs, rhs, m, n, k, tier);
+}
+
+TEST(Int8DotBlock, ExtremeValuesNoSaturation) {
+  // The canonical hazard: biased u8 activation 255 (= +127) times weight
+  // +127, twice per i16 lane, overflows a saturating vpmaddubsw pairwise
+  // sum (2 * 255 * 127 = 64770 > 32767). Every tier must still produce the
+  // exact widened dot product; the AVX2 kernel does so by splitting even
+  // and odd bytes so each i16 lane holds a single u8 x s8 product.
+  const int m = 3, n = 17, k = 256;
+  std::vector<std::int8_t> lhs(static_cast<std::size_t>(m) * k, 127);
+  std::vector<std::int8_t> rhs(static_cast<std::size_t>(n) * k, 127);
+  for (Int8Tier tier : DotBlockTiers()) CheckDotBlock(lhs, rhs, m, n, k, tier);
+
+  // And the all -128 x +127 corner of the widened-path test above.
+  lhs.assign(lhs.size(), -128);
+  for (Int8Tier tier : DotBlockTiers()) CheckDotBlock(lhs, rhs, m, n, k, tier);
+}
+
+TEST(Int8DotBlock, AdversarialSignPatterns) {
+  // Random +-127 / -128-only values: every 4-byte group sits at the edge
+  // of the biased-u8 product range, so any off-by-one in the +128 bias or
+  // the 128 * rowsum correction shows up immediately.
+  const int m = 8, n = 33, k = 252;
+  Rng rng(2026);
+  std::vector<std::int8_t> lhs(static_cast<std::size_t>(m) * k);
+  std::vector<std::int8_t> rhs(static_cast<std::size_t>(n) * k);
+  const std::int8_t extremes[3] = {-128, -127, 127};
+  for (auto& v : lhs) v = extremes[rng.Int8(0, 2)];
+  for (auto& v : rhs) v = extremes[rng.Int8(0, 2)];
+  for (Int8Tier tier : DotBlockTiers()) CheckDotBlock(lhs, rhs, m, n, k, tier);
+}
+
+TEST(Int8DotBlock, PanelLayoutAndRowSums) {
+  const int n = 20, k = 10;  // 2 panels (second partial), 3 K-groups
+  std::vector<std::int8_t> rhs(static_cast<std::size_t>(n) * k);
+  for (int j = 0; j < n; ++j) {
+    for (int kk = 0; kk < k; ++kk) {
+      rhs[static_cast<std::size_t>(j) * k + kk] =
+          static_cast<std::int8_t>(j - kk);
+    }
+  }
+  PackedInt8DotPanels panels(rhs.data(), n, k);
+  EXPECT_EQ(panels.num_panels(), 2);
+  EXPECT_EQ(panels.k_groups(), 3);
+  EXPECT_EQ(panels.panel_bytes(), 3 * kInt8DotNr * kInt8DotKg);
+  // Element (j, kk) lives at panel[kk/4][(kk/4*16 + j%16)*4 + kk%4].
+  for (int j = 0; j < n; ++j) {
+    const std::int8_t* p = panels.panel(j / kInt8DotNr);
+    const int jj = j % kInt8DotNr;
+    for (int kk = 0; kk < k; ++kk) {
+      EXPECT_EQ(p[(kk / kInt8DotKg * kInt8DotNr + jj) * kInt8DotKg +
+                  kk % kInt8DotKg],
+                static_cast<std::int8_t>(j - kk));
+    }
+  }
+  // K-padding bytes (kk = 10, 11 of the last group) must be zero.
+  for (int j = 0; j < n; ++j) {
+    const std::int8_t* p = panels.panel(j / kInt8DotNr);
+    const int jj = j % kInt8DotNr;
+    for (int kk = k; kk < panels.k_groups() * kInt8DotKg; ++kk) {
+      EXPECT_EQ(p[(kk / kInt8DotKg * kInt8DotNr + jj) * kInt8DotKg +
+                  kk % kInt8DotKg],
+                0);
+    }
+  }
+  // row_sums: padded to a panel multiple, real entries exact.
+  ASSERT_EQ(panels.row_sums().size(),
+            static_cast<std::size_t>(2) * kInt8DotNr);
+  for (int j = 0; j < n; ++j) {
+    std::int32_t s = 0;
+    for (int kk = 0; kk < k; ++kk) s += static_cast<std::int8_t>(j - kk);
+    EXPECT_EQ(panels.row_sums()[j], s);
+  }
+  for (std::size_t j = n; j < panels.row_sums().size(); ++j) {
+    EXPECT_EQ(panels.row_sums()[j], 0);
+  }
+}
+
+TEST(Int8Isa, SelectionRespectsOverridesAndAvailability) {
+  // kScalar and kWidened are always available.
+  EXPECT_TRUE(Int8TierAvailable(Int8Tier::kScalar));
+  EXPECT_TRUE(Int8TierAvailable(Int8Tier::kWidened));
+  // The best tier is available by definition.
+  EXPECT_TRUE(Int8TierAvailable(BestInt8Tier()));
+  // The test hook wins over everything and ignores unsupported tiers.
+  SetInt8TierOverrideForTest(static_cast<int>(Int8Tier::kScalar));
+  EXPECT_EQ(SelectInt8Tier(), Int8Tier::kScalar);
+  SetInt8TierOverrideForTest(static_cast<int>(Int8Tier::kNeonDot));
+  if (!Int8TierAvailable(Int8Tier::kNeonDot)) {
+    EXPECT_NE(SelectInt8Tier(), Int8Tier::kNeonDot);
+  }
+  SetInt8TierOverrideForTest(0);
+  if (std::getenv("LCE_FORCE_ISA") == nullptr) {
+    EXPECT_EQ(SelectInt8Tier(), BestInt8Tier());
+  } else if (std::string(std::getenv("LCE_FORCE_ISA")) == "scalar") {
+    // The forced-scalar ctest variants pin the env override.
+    EXPECT_EQ(SelectInt8Tier(), Int8Tier::kScalar);
+  }
+
+  EXPECT_TRUE(Int8TierIsDotProduct(Int8Tier::kVnni));
+  EXPECT_TRUE(Int8TierIsDotProduct(Int8Tier::kAvx2Dot));
+  EXPECT_TRUE(Int8TierIsDotProduct(Int8Tier::kNeonDot));
+  EXPECT_FALSE(Int8TierIsDotProduct(Int8Tier::kWidened));
+  EXPECT_FALSE(Int8TierIsDotProduct(Int8Tier::kScalar));
 }
 
 TEST(Int8Gemm, RowSumsAreCorrect) {
