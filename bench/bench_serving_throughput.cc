@@ -244,7 +244,9 @@ OpenLoopResult RunOpenLoop(const std::shared_ptr<const CompiledModel>& model,
             .count();
     if (elapsed >= seconds) break;
     // Exponential inter-arrival gap: a Poisson process at rate_qps.
-    const double u = arrivals.Uniform();
+    // Uniform() defaults to [-1, 1); the exponential transform needs
+    // [0, 1) or half the gaps come out negative (a max-rate burst).
+    const double u = arrivals.Uniform(0.0f, 1.0f);
     const double gap_s = -std::log(1.0 - u) / rate_qps;
     next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
         std::chrono::duration<double>(gap_s));

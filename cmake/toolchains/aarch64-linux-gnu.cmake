@@ -1,0 +1,23 @@
+# Cross toolchain for the CI aarch64 build-only job (docs/KERNELS.md: the
+# NEON bconv micro-kernel and the neondot int8 tier are compile-guarded;
+# this build proves the guarded code actually compiles, it does not run it).
+#
+#   cmake -B build-aarch64 \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake \
+#     -DLCE_BUILD_TESTS=OFF
+#
+# armv8.2-a+dotprod arms both __ARM_NEON and __ARM_FEATURE_DOTPROD, so the
+# sdot tier (gemm/int8_isa.h) is included in the compile.
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+set(CMAKE_CXX_FLAGS_INIT "-march=armv8.2-a+dotprod")
+
+# Search target sysroot for libraries/headers, never for host programs.
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE ONLY)

@@ -41,6 +41,20 @@ struct ResourceLimits {
   std::int64_t max_values = std::int64_t{1} << 21;
   std::int64_t max_node_inputs = 1024;
 
+  // Shape-polymorphic surface (docs/SERVING.md, "Multi-resolution
+  // serving"). A multi-resolution CompiledModel carries one ShapeVariant
+  // per resolution bucket; each bucket costs O(IR) metadata plus its own
+  // arena plan, so both dimensions need caps: a hostile (or misconfigured)
+  // client cycling through resolutions must not compile unbounded variants,
+  // and one absurd resolution must not plan an unbounded arena (the
+  // per-bucket arena is already bounded by max_arena_bytes above, which
+  // applies to every variant build independently).
+  std::int64_t max_shape_buckets = 8;
+  // Largest admissible square input resolution for a shape bucket.
+  // 4096 px is far above any zoo scenario (96-320 px) while keeping
+  // indirection tables and tile plans comfortably sized.
+  std::int64_t max_input_hw = 4096;
+
   // No limits (trusted in-process graphs); overflow checks stay active.
   static ResourceLimits Unlimited() {
     ResourceLimits l;
@@ -52,6 +66,8 @@ struct ResourceLimits {
     l.max_nodes = std::numeric_limits<std::int64_t>::max();
     l.max_values = std::numeric_limits<std::int64_t>::max();
     l.max_node_inputs = std::numeric_limits<std::int64_t>::max();
+    l.max_shape_buckets = std::numeric_limits<std::int64_t>::max();
+    l.max_input_hw = std::numeric_limits<std::int64_t>::max();
     return l;
   }
 };

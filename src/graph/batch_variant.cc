@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/macros.h"
+#include "graph/shape_variant.h"
 
 namespace lce {
 
@@ -14,10 +15,8 @@ Status CloneGraphWithBatch(const Graph& src, int batch,
   if (batch < 1) {
     return Status::InvalidArgument("batch variant requires batch >= 1");
   }
-  auto clone = std::make_unique<Graph>();
-  // Source value id -> clone value id; -1 until materialized.
-  std::vector<int> value_map(src.values().size(), -1);
-
+  std::vector<Shape> widened_shapes;
+  widened_shapes.reserve(src.input_ids().size());
   for (const int vid : src.input_ids()) {
     const Value& v = src.value(vid);
     if (v.shape.rank() < 1 || v.shape.dim(0) != 1) {
@@ -28,47 +27,8 @@ Status CloneGraphWithBatch(const Graph& src, int batch,
     }
     Shape widened = v.shape;
     widened.dim(0) = batch;
-    value_map[vid] = clone->AddInput(v.name, v.dtype, widened);
+    widened_shapes.push_back(widened);
   }
-
-  if (node_map != nullptr) node_map->clear();
-  for (const int nid : src.TopologicalOrder()) {
-    const Node& n = src.node(nid);
-    std::vector<int> inputs;
-    inputs.reserve(n.inputs.size());
-    for (const int vid : n.inputs) {
-      if (value_map[vid] < 0) {
-        const Value& v = src.value(vid);
-        if (!v.is_constant) {
-          // A live node consuming a value with no live producer would have
-          // been rejected by validation on the source graph already.
-          return Status::Internal("batch clone reached operand '" + v.name +
-                                  "' before its producer");
-        }
-        // Shares the base graph's constant storage (Tensor buffers are
-        // refcounted); view-backed constants additionally require the base
-        // graph to outlive the clone -- the same lifetime contract
-        // CompiledModel already imposes on its graph.
-        value_map[vid] = clone->AddConstant(v.name, v.constant_data);
-      }
-      inputs.push_back(value_map[vid]);
-    }
-    int out_value = -1;
-    // TryAddNode re-runs shape inference and attr resolution against the
-    // widened operand shapes, so conv/pool geometry picks up the new batch.
-    LCE_RETURN_IF_ERROR(
-        clone->TryAddNode(n.type, n.name, std::move(inputs), n.attrs,
-                          &out_value));
-    value_map[n.outputs[0]] = out_value;
-    const int clone_nid = clone->value(out_value).producer;
-    if (node_map != nullptr) {
-      if (static_cast<int>(node_map->size()) <= clone_nid) {
-        node_map->resize(clone_nid + 1, -1);
-      }
-      (*node_map)[clone_nid] = nid;
-    }
-  }
-
   for (const int vid : src.output_ids()) {
     const Value& v = src.value(vid);
     if (v.shape.rank() < 1 || v.shape.dim(0) != 1) {
@@ -77,11 +37,20 @@ Status CloneGraphWithBatch(const Graph& src, int batch,
           "' has leading dimension " +
           std::to_string(v.shape.rank() < 1 ? 0 : v.shape.dim(0)));
     }
-    if (value_map[vid] < 0) {
-      return Status::Internal("graph output '" + v.name +
-                              "' was never produced by the batch clone");
-    }
-    const Value& cloned = clone->value(value_map[vid]);
+  }
+
+  // The shared replay engine (graph/shape_variant.h) re-runs shape
+  // inference against the widened operand shapes, so conv/pool geometry
+  // picks up the new batch.
+  std::unique_ptr<Graph> clone;
+  LCE_RETURN_IF_ERROR(
+      CloneGraphWithInputShapes(src, widened_shapes, &clone, node_map));
+
+  for (std::size_t pos = 0; pos < src.output_ids().size(); ++pos) {
+    const Value& v = src.value(src.output_ids()[pos]);
+    // The clone's copy of this output: MarkOutput appended them in
+    // src.output_ids() order inside the replay.
+    const Value& cloned = clone->value(clone->output_ids()[pos]);
     if (cloned.shape.rank() < 1 || cloned.shape.dim(0) != batch) {
       // Lane slicing needs dim 0 == batch on every output; an op that folds
       // or reorders the batch dimension cannot be batched this way.
@@ -89,7 +58,6 @@ Status CloneGraphWithBatch(const Graph& src, int batch,
           "batch clone output '" + v.name +
           "' does not carry the batch dimension; model cannot be batched");
     }
-    clone->MarkOutput(value_map[vid]);
   }
 
   *out = std::move(clone);

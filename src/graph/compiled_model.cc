@@ -8,6 +8,7 @@
 #include "core/macros.h"
 #include "graph/batch_variant.h"
 #include "graph/memory_planner.h"
+#include "graph/shape_variant.h"
 #include "graph/validator.h"
 #include "kernels/bmaxpool.h"
 #include "kernels/elementwise.h"
@@ -65,9 +66,19 @@ Status CompiledModel::Compile(const Graph& graph, CompileOptions options,
   // Build into a private instance: a failed compile leaves `*out` untouched
   // and the partially-built arena plan / kernel state dies here, so retrying
   // after a failure always starts from a clean slate.
+  std::vector<int> resolutions = std::move(options.input_resolutions);
   std::shared_ptr<CompiledModel> model(new CompiledModel(graph));
   LCE_RETURN_IF_ERROR(model->Build(std::move(options), nullptr, nullptr));
-  *out = std::move(model);
+  // Eagerly compile the requested shape buckets so misconfigured resolution
+  // lists fail at startup. Registration goes through the same registry as
+  // lazy bucketing, so pre-compiled and on-demand buckets are
+  // indistinguishable afterwards.
+  std::shared_ptr<const CompiledModel> root = model;
+  for (int hw : resolutions) {
+    std::shared_ptr<const CompiledModel> bucket;
+    LCE_RETURN_IF_ERROR(GetOrCompileShapeBucket(root, hw, &bucket));
+  }
+  *out = std::move(root);
   return Status::Ok();
 }
 
@@ -83,10 +94,14 @@ Status CompiledModel::CompileBatchVariant(
     *out = base;
     return Status::Ok();
   }
-  if (base->base_ != nullptr) {
+  // A batch variant widens a batch-1 model; its base may be the root or a
+  // shape bucket (whose kernels already alias the root's weights -- the
+  // sibling copy just re-shares the same shared_ptr state), but never
+  // another batch variant.
+  if (base->batch_ != 1) {
     return Status::InvalidArgument(
-        "batch variants must be compiled from the base model, not from "
-        "another variant");
+        "batch variants must be compiled from a batch-1 model, not from "
+        "another batch variant");
   }
   std::unique_ptr<Graph> clone;
   std::vector<int> node_map;
@@ -108,6 +123,120 @@ Status CompiledModel::CompileBatchVariant(
       model->Build(std::move(options), base.get(), &node_map));
   *out = std::move(model);
   return Status::Ok();
+}
+
+int CompiledModel::input_hw() const {
+  if (graph_.input_ids().empty()) return 0;
+  const Value& v = graph_.value(graph_.input_ids()[0]);
+  if (v.shape.rank() != 4) return 0;
+  return static_cast<int>(v.shape.dim(1));
+}
+
+Status CompiledModel::CompileShapeVariant(
+    const std::shared_ptr<const CompiledModel>& root, int input_hw,
+    std::shared_ptr<const CompiledModel>* out) {
+  LCE_CHECK(root != nullptr && out != nullptr);
+  if (root->base_ != nullptr || root->batch_ != 1) {
+    return Status::InvalidArgument(
+        "shape variants must be compiled from the root model, not from "
+        "another variant");
+  }
+  LCE_RETURN_IF_ERROR(
+      ValidateShapeBucketRequest(root->graph_, input_hw, root->limits_));
+  if (input_hw == root->input_hw()) {
+    // The root IS its own resolution's bucket.
+    *out = root;
+    return Status::Ok();
+  }
+  std::unique_ptr<Graph> clone;
+  std::vector<int> node_map;
+  LCE_RETURN_IF_ERROR(
+      CloneGraphWithInputSize(root->graph_, input_hw, &clone, &node_map));
+  // Same pool, profile, name, limits and histogram setting as the root: a
+  // bucket is the same model at another resolution, and its per-node
+  // histograms intentionally merge with the root's.
+  CompileOptions options;
+  options.thread_pool = root->pool_;
+  options.kernel_profile = root->kernel_profile_;
+  options.model_name = root->model_name_;
+  options.enable_node_histograms = root->node_histograms_enabled_;
+  options.limits = root->limits_;
+  std::shared_ptr<CompiledModel> model(
+      new CompiledModel(std::move(clone), root));
+  LCE_RETURN_IF_ERROR(model->Build(std::move(options), root.get(), &node_map));
+  *out = std::move(model);
+  return Status::Ok();
+}
+
+Status CompiledModel::GetOrCompileShapeBucket(
+    const std::shared_ptr<const CompiledModel>& root, int input_hw,
+    std::shared_ptr<const CompiledModel>* out) {
+  LCE_CHECK(root != nullptr && out != nullptr);
+  if (root->base_ != nullptr || root->batch_ != 1) {
+    return Status::InvalidArgument(
+        "shape buckets are registered on the root model, not on variants");
+  }
+  if (input_hw == 0 || input_hw == root->input_hw()) {
+    *out = root;
+    return Status::Ok();
+  }
+  // Compilation happens under the registry lock: concurrent first requests
+  // for the same unseen resolution compile it exactly once, and requests for
+  // other resolutions briefly serialize behind it (bucket compiles are
+  // O(IR) -- no weight packing -- so the hold is short; steady-state lookups
+  // only touch the map).
+  std::lock_guard<std::mutex> lock(root->bucket_mu_);
+  auto it = root->shape_buckets_.find(input_hw);
+  if (it != root->shape_buckets_.end()) {
+    *out = it->second;
+    return Status::Ok();
+  }
+  // The root counts as one bucket against the cap: reject when the registry
+  // already holds max_shape_buckets resolutions in total.
+  if (static_cast<std::int64_t>(root->shape_buckets_.size()) + 1 >=
+      root->limits_.max_shape_buckets) {
+    return Status::ResourceExhausted(
+        "shape bucket count would exceed ResourceLimits::max_shape_buckets");
+  }
+  std::shared_ptr<const CompiledModel> bucket;
+  LCE_RETURN_IF_ERROR(CompileShapeVariant(root, input_hw, &bucket));
+  root->shape_buckets_.emplace(input_hw, bucket);
+  root->PublishBucketGaugesLocked();
+  *out = std::move(bucket);
+  return Status::Ok();
+}
+
+std::vector<int> CompiledModel::ShapeBucketResolutions() const {
+  const CompiledModel* root = Root();
+  std::vector<int> out;
+  out.push_back(root->input_hw());
+  {
+    std::lock_guard<std::mutex> lock(root->bucket_mu_);
+    for (const auto& entry : root->shape_buckets_) out.push_back(entry.first);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CompiledModel::PublishBucketGaugesLocked() const {
+  // Cross-bucket arena accounting (docs/SERVING.md): the high-water gauge is
+  // the honest per-context resident figure when contexts cycle across
+  // buckets; the unshared gauge is what pinning every bucket's arena at once
+  // would cost. Published on every registration so the bench and the stats
+  // page see the current bucket set.
+  std::vector<std::size_t> arenas;
+  arenas.push_back(arena_size_);
+  for (const auto& entry : shape_buckets_) {
+    arenas.push_back(entry.second->arena_size_);
+  }
+  const CrossBucketArena plan = PlanCrossBucketArena(arenas);
+  auto& reg = telemetry::MetricsRegistry::Global();
+  reg.Gauge("serving.shape_buckets")
+      ->SetMax(static_cast<std::int64_t>(arenas.size()));
+  reg.Gauge("planner.bucket_arena_high_water_bytes")
+      ->SetMax(static_cast<std::int64_t>(plan.high_water));
+  reg.Gauge("planner.bucket_arena_unshared_bytes")
+      ->SetMax(static_cast<std::int64_t>(plan.unshared_sum));
 }
 
 Status CompiledModel::Build(CompileOptions options,

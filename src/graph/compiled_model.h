@@ -20,7 +20,9 @@
 #define LCE_GRAPH_COMPILED_MODEL_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,15 @@ struct CompileOptions {
   bool enable_node_histograms = false;
   // Enforced on the graph and its memory plan; see core/resource_limits.h.
   ResourceLimits limits;
+  // Square input resolutions to pre-compile as shape buckets at Compile()
+  // (docs/SERVING.md, "Multi-resolution serving"). Each entry other than the
+  // graph's own resolution becomes a ShapeVariant sharing the base model's
+  // packed weights; resolutions not listed here can still be admitted later
+  // through GetOrCompileShapeBucket (lazy compilation), subject to
+  // ResourceLimits::max_shape_buckets. Requires batch-1 rank-4 square
+  // inputs; Compile() fails if any listed resolution is inadmissible, so a
+  // misconfigured bucket list is caught at startup, not on first request.
+  std::vector<int> input_resolutions;
 };
 
 // One executed node's latency record.
@@ -103,6 +114,35 @@ class CompiledModel {
       const std::shared_ptr<const CompiledModel>& base, int batch,
       std::shared_ptr<const CompiledModel>* out);
 
+  // Compiles a sibling model that executes `root` at a different square
+  // input resolution (docs/SERVING.md, "Multi-resolution serving"). Like a
+  // batch variant, the shape variant owns its own graph clone, topological
+  // order and arena plan while every weight-bearing kernel shares the root
+  // kernel's packed weights; only spatial state (indirection tables, zero
+  // rows, tile plans) is rebuilt for the new geometry, so a bucket costs
+  // O(IR) metadata plus its arena plan and reports 0 packed-weight bytes.
+  // `root` must be a root model (batch 1, not itself a variant) with rank-4
+  // batch-1 inputs. input_hw equal to the root's own resolution returns
+  // `root` itself. Inadmissible shapes -- a graph whose ops cannot replay at
+  // the new resolution (e.g. flatten into a fixed fully-connected layer
+  // anywhere but global pooling), or a request outside ResourceLimits --
+  // fail with InvalidArgument / ResourceExhausted and `*out` untouched.
+  static Status CompileShapeVariant(
+      const std::shared_ptr<const CompiledModel>& root, int input_hw,
+      std::shared_ptr<const CompiledModel>* out);
+
+  // Bucket registry: returns the shape bucket for `input_hw`, compiling it
+  // on first use (lazy bucketing). input_hw == 0 or the root's own
+  // resolution returns `root`. Thread-safe; concurrent first requests for
+  // the same resolution compile it once. Enforces
+  // ResourceLimits::max_shape_buckets (counting the root as one bucket):
+  // beyond the cap, unseen resolutions are rejected with ResourceExhausted
+  // rather than compiling unbounded variants. Buckets registered here live
+  // as long as the root model.
+  static Status GetOrCompileShapeBucket(
+      const std::shared_ptr<const CompiledModel>& root, int input_hw,
+      std::shared_ptr<const CompiledModel>* out);
+
   ~CompiledModel();
 
   CompiledModel(const CompiledModel&) = delete;
@@ -128,6 +168,18 @@ class CompiledModel {
   int batch() const { return batch_; }
   // The base model a variant was compiled from; null for base models.
   const CompiledModel* base_model() const { return base_.get(); }
+  // Square input resolution this model executes: dim 1 of graph input 0
+  // (== dim 2; the shape-bucket surface only admits square rank-4 inputs).
+  // 0 when the graph has no rank-4 image input -- such models cannot be
+  // shape-bucketed but compile and serve normally at their one shape.
+  int input_hw() const;
+  // The bucket key this model serves under: its own input_hw(), for both
+  // roots and variants (a batch variant inherits its base's bucket).
+  int shape_bucket_hw() const { return input_hw(); }
+  // Registered shape buckets on this root, base resolution included, sorted
+  // ascending. For a variant, delegates to its root. Snapshot under the
+  // registry lock; the count backs the serving.shape_buckets gauge.
+  std::vector<int> ShapeBucketResolutions() const;
 
  private:
   friend class ExecutionContext;
@@ -183,6 +235,21 @@ class CompiledModel {
   // limits and histogram setting as their base).
   ResourceLimits limits_;
   bool node_histograms_enabled_ = false;
+
+  // Shape-bucket registry (meaningful on root models only). Lazily grown by
+  // GetOrCompileShapeBucket, keyed by square input resolution; entries keep
+  // their variants alive for the root's lifetime so a bucket is compiled at
+  // most once per process however requests interleave. `mutable` because
+  // registering a bucket does not change the root's own immutable compiled
+  // state -- concurrent Invokes never touch it.
+  const CompiledModel* Root() const {
+    const CompiledModel* m = this;
+    while (m->base_ != nullptr) m = m->base_.get();
+    return m;
+  }
+  void PublishBucketGaugesLocked() const;
+  mutable std::mutex bucket_mu_;
+  mutable std::map<int, std::shared_ptr<const CompiledModel>> shape_buckets_;
 };
 
 struct ExecutionOptions {

@@ -1,6 +1,7 @@
 #include "graph/memory_planner.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace lce {
 
@@ -51,6 +52,20 @@ std::vector<BufferPlacement> PlanMemory(std::vector<BufferRequest> requests,
   }
   *arena_size = high_water;
   return result;
+}
+
+CrossBucketArena PlanCrossBucketArena(
+    const std::vector<std::size_t>& bucket_arena_sizes) {
+  CrossBucketArena out;
+  for (const std::size_t bytes : bucket_arena_sizes) {
+    out.high_water = std::max(out.high_water, bytes);
+    std::size_t sum = 0;
+    if (__builtin_add_overflow(out.unshared_sum, bytes, &sum)) {
+      sum = std::numeric_limits<std::size_t>::max();
+    }
+    out.unshared_sum = sum;
+  }
+  return out;
 }
 
 }  // namespace lce

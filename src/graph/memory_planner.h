@@ -29,6 +29,25 @@ std::vector<BufferPlacement> PlanMemory(std::vector<BufferRequest> requests,
                                         std::size_t alignment,
                                         std::size_t* arena_size);
 
+// Cross-bucket arena accounting for shape-bucketed compilation
+// (docs/SERVING.md, "Multi-resolution serving"). Each resolution bucket
+// plans its own arena; a context that serves one bucket at a time only
+// ever needs the largest of them resident, so the high-water mark -- not
+// the per-bucket sum -- is the honest resident-memory figure. The serving
+// context pool realizes this reuse by bounding resident contexts and
+// evicting idle ones of other buckets; these numbers are what its bound
+// works out to, published as the planner.bucket_arena_* gauges.
+struct CrossBucketArena {
+  // max over buckets: resident bytes per context slot when contexts are
+  // rebuilt/evicted across buckets instead of kept per bucket.
+  std::size_t high_water = 0;
+  // sum over buckets: what keeping every bucket's arena resident at once
+  // would cost (the reuse saving is unshared_sum - high_water).
+  std::size_t unshared_sum = 0;  // saturates at SIZE_MAX on overflow
+};
+CrossBucketArena PlanCrossBucketArena(
+    const std::vector<std::size_t>& bucket_arena_sizes);
+
 }  // namespace lce
 
 #endif  // LCE_GRAPH_MEMORY_PLANNER_H_

@@ -1,0 +1,112 @@
+#include "graph/shape_variant.h"
+
+#include <string>
+#include <utility>
+
+#include "core/macros.h"
+
+namespace lce {
+
+Status CloneGraphWithInputShapes(const Graph& src,
+                                 const std::vector<Shape>& input_shapes,
+                                 std::unique_ptr<Graph>* out,
+                                 std::vector<int>* node_map) {
+  LCE_CHECK(out != nullptr);
+  if (input_shapes.size() != src.input_ids().size()) {
+    return Status::InvalidArgument(
+        "graph clone requires one shape per graph input (" +
+        std::to_string(input_shapes.size()) + " shapes for " +
+        std::to_string(src.input_ids().size()) + " inputs)");
+  }
+  auto clone = std::make_unique<Graph>();
+  // Source value id -> clone value id; -1 until materialized.
+  std::vector<int> value_map(src.values().size(), -1);
+
+  for (std::size_t i = 0; i < src.input_ids().size(); ++i) {
+    const Value& v = src.value(src.input_ids()[i]);
+    value_map[v.id] = clone->AddInput(v.name, v.dtype, input_shapes[i]);
+  }
+
+  if (node_map != nullptr) node_map->clear();
+  for (const int nid : src.TopologicalOrder()) {
+    const Node& n = src.node(nid);
+    std::vector<int> inputs;
+    inputs.reserve(n.inputs.size());
+    for (const int vid : n.inputs) {
+      if (value_map[vid] < 0) {
+        const Value& v = src.value(vid);
+        if (!v.is_constant) {
+          // A live node consuming a value with no live producer would have
+          // been rejected by validation on the source graph already.
+          return Status::Internal("graph clone reached operand '" + v.name +
+                                  "' before its producer");
+        }
+        // Shares the base graph's constant storage (Tensor buffers are
+        // refcounted); view-backed constants additionally require the base
+        // graph to outlive the clone -- the same lifetime contract
+        // CompiledModel already imposes on its graph.
+        value_map[vid] = clone->AddConstant(v.name, v.constant_data);
+      }
+      inputs.push_back(value_map[vid]);
+    }
+    int out_value = -1;
+    // TryAddNode re-runs shape inference and attr resolution against the
+    // reshaped operand shapes, so conv/pool geometry picks up the new
+    // resolution (or batch). A node that cannot execute at these shapes --
+    // a spatial dimension shrunk to zero, a fully connected layer whose
+    // flattened input width moved -- fails the clone here with the node's
+    // own diagnostic; that failure is the shape-admissibility verdict.
+    LCE_RETURN_IF_ERROR(
+        clone->TryAddNode(n.type, n.name, std::move(inputs), n.attrs,
+                          &out_value));
+    value_map[n.outputs[0]] = out_value;
+    const int clone_nid = clone->value(out_value).producer;
+    if (node_map != nullptr) {
+      if (static_cast<int>(node_map->size()) <= clone_nid) {
+        node_map->resize(clone_nid + 1, -1);
+      }
+      (*node_map)[clone_nid] = nid;
+    }
+  }
+
+  for (const int vid : src.output_ids()) {
+    const Value& v = src.value(vid);
+    if (value_map[vid] < 0) {
+      return Status::Internal("graph output '" + v.name +
+                              "' was never produced by the clone");
+    }
+    clone->MarkOutput(value_map[vid]);
+  }
+
+  *out = std::move(clone);
+  return Status::Ok();
+}
+
+Status CloneGraphWithInputSize(const Graph& src, int input_hw,
+                               std::unique_ptr<Graph>* out,
+                               std::vector<int>* node_map) {
+  LCE_CHECK(out != nullptr);
+  if (input_hw < 1) {
+    return Status::InvalidArgument(
+        "shape variant requires input_hw >= 1, got " +
+        std::to_string(input_hw));
+  }
+  std::vector<Shape> shapes;
+  shapes.reserve(src.input_ids().size());
+  for (const int vid : src.input_ids()) {
+    const Value& v = src.value(vid);
+    if (v.shape.rank() != 4 || v.shape.dim(0) != 1) {
+      return Status::InvalidArgument(
+          "shape variant requires rank-4 batch-1 [1, H, W, C] graph inputs; "
+          "input '" + v.name + "' has rank " +
+          std::to_string(v.shape.rank()));
+    }
+    Shape resized = v.shape;
+    resized.dim(1) = input_hw;
+    resized.dim(2) = input_hw;
+    shapes.push_back(resized);
+  }
+  return CloneGraphWithInputShapes(src, shapes, out, node_map);
+}
+
+}  // namespace lce

@@ -545,4 +545,53 @@ Status ValidateGraph(const Graph& g, const ResourceLimits& limits) {
   return st;
 }
 
+Status ValidateShapeBucketRequest(const Graph& g, int input_hw,
+                                  const ResourceLimits& limits) {
+  // The resolution itself: zero/negative is nonsense, and anything past
+  // the cap is refused before a single byte of the clone exists. The
+  // square is overflow-checked so a hostile resolution near INT_MAX cannot
+  // wrap the per-tensor element math downstream (which is itself checked,
+  // but this surface should reject with a shape-specific diagnostic).
+  if (input_hw < 1) {
+    return Status::InvalidArgument(
+        "shape bucket resolution must be >= 1, got " +
+        std::to_string(input_hw));
+  }
+  if (static_cast<std::int64_t>(input_hw) > limits.max_input_hw) {
+    return Status::ResourceExhausted(
+        "shape bucket resolution " + std::to_string(input_hw) +
+        " exceeds the max_input_hw limit (" +
+        std::to_string(limits.max_input_hw) + ")");
+  }
+  std::int64_t spatial = 0;
+  if (__builtin_mul_overflow(static_cast<std::int64_t>(input_hw),
+                             static_cast<std::int64_t>(input_hw), &spatial)) {
+    return Status::InvalidArgument("shape bucket resolution overflows");
+  }
+  // The graph side: bucketing replaces the H/W of every graph input, which
+  // is only meaningful for image-shaped batch-1 inputs. Per-tensor element
+  // and byte caps on the resized inputs are pre-checked here; the full
+  // validator re-checks every intermediate tensor when the variant graph
+  // is compiled.
+  for (const int vid : g.input_ids()) {
+    const Value& v = g.value(vid);
+    if (v.shape.rank() != 4 || v.shape.dim(0) != 1) {
+      return Status::InvalidArgument(
+          "shape buckets require rank-4 batch-1 [1, H, W, C] graph inputs; "
+          "input '" + v.name + "' has rank " +
+          std::to_string(v.shape.rank()));
+    }
+    const std::int64_t channels = v.shape.dim(3);
+    std::int64_t elements = 0;
+    if (__builtin_mul_overflow(spatial, channels, &elements) ||
+        elements > limits.max_tensor_elements) {
+      return Status::ResourceExhausted(
+          "shape bucket input '" + v.name +
+          "' exceeds the per-tensor element limit at resolution " +
+          std::to_string(input_hw));
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace lce

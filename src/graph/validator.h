@@ -49,6 +49,22 @@ Status ValidateNode(const Graph& g, const Node& n);
 // model and by Interpreter::Prepare before planning memory.
 Status ValidateGraph(const Graph& g, const ResourceLimits& limits = {});
 
+// Admissibility predicate for the shape-polymorphic surface
+// (docs/SERVING.md, "Multi-resolution serving"): can `g` legally be
+// re-bucketed to a square `input_hw` resolution under `limits`? Checks the
+// request shape itself (>= 1, <= max_input_hw, overflow-free square),
+// and that every graph input is a rank-4 batch-1 image whose resized
+// element count stays within the per-tensor limits. Structural
+// admissibility -- whether every op in the graph can execute at the new
+// resolution -- is decided by the clone replay plus full re-validation
+// when the bucket actually compiles; this predicate is the cheap
+// reject-early surface the serving layer and the lazy-compile path consult
+// per request. InvalidArgument for nonsense shapes, ResourceExhausted for
+// over-limit ones. The bucket-count cap (ResourceLimits::max_shape_buckets)
+// is enforced by CompiledModel's bucket registry, which owns that count.
+Status ValidateShapeBucketRequest(const Graph& g, int input_hw,
+                                  const ResourceLimits& limits = {});
+
 }  // namespace lce
 
 #endif  // LCE_GRAPH_VALIDATOR_H_

@@ -59,14 +59,18 @@ BConv2D::BConv2D(const TBitpacked* packed_weights_ohwi, BConv2DAttrs attrs)
 
 BConv2D::BConv2D(const BConv2D& base, BConv2DAttrs attrs)
     : attrs_(std::move(attrs)), weights_(base.weights_) {
-  // Everything the shared state encodes must be identical; only the batch
-  // (and with it the output row count) may differ.
+  // Everything the shared state encodes -- packed weights, correction
+  // tables, output transforms, all keyed by channels/filter/stride/padding
+  // -- must be identical; the batch and the spatial input size (shape
+  // buckets) may differ, since InitGeometry rebuilds every
+  // spatially-dependent structure (indirection table, zero row, tile plan)
+  // for this instance's own geometry.
   const Conv2DGeometry& g = attrs_.geo;
   const Conv2DGeometry& bg = base.attrs_.geo;
-  LCE_CHECK(g.in_h == bg.in_h && g.in_w == bg.in_w && g.in_c == bg.in_c &&
-            g.out_c == bg.out_c && g.filter_h == bg.filter_h &&
-            g.filter_w == bg.filter_w && g.stride_h == bg.stride_h &&
-            g.stride_w == bg.stride_w && g.padding == bg.padding);
+  LCE_CHECK(g.in_c == bg.in_c && g.out_c == bg.out_c &&
+            g.filter_h == bg.filter_h && g.filter_w == bg.filter_w &&
+            g.stride_h == bg.stride_h && g.stride_w == bg.stride_w &&
+            g.padding == bg.padding);
   LCE_CHECK(attrs_.groups == base.attrs_.groups &&
             attrs_.output_type == base.attrs_.output_type);
   InitGeometry();

@@ -16,6 +16,20 @@
 
 namespace lce {
 
+// ---- Input resolutions ------------------------------------------------------
+
+// Canonical ImageNet evaluation resolution; every builder defaults to it.
+// The single source of truth for the zoo's "224": benches, serving tools
+// and tests that need the default resolution read it from here.
+inline constexpr int kZooDefaultInputHw = 224;
+
+// The multi-resolution serving scenarios (docs/SERVING.md,
+// "Multi-resolution serving"): low-latency preview, reduced, canonical and
+// high-detail. All divisible by 32, the zoo-wide stem constraint (every
+// builder LCE_CHECKs input_hw % 32 == 0: four stride-2 stages plus
+// bitpack-friendly channel tiling).
+inline constexpr int kZooInputResolutions[] = {96, 160, 224, 320};
+
 // ---- QuickNet (paper section 5.1, Figure 6, Table 3) ----------------------
 
 struct QuickNetConfig {
@@ -33,22 +47,22 @@ QuickNetConfig QuickNetLargeConfig();   // (6,8,12,6) / (64,128,256,512)
 // `binary_padding` selects the binarized layers' padding mode; the paper
 // trains QuickNet with one-padding (kSameOne), and the zero-padded variant
 // exists for the padding ablation.
-Graph BuildQuickNet(const QuickNetConfig& config, int input_hw = 224,
+Graph BuildQuickNet(const QuickNetConfig& config, int input_hw = kZooDefaultInputHw,
                     Padding binary_padding = Padding::kSameOne);
 
 // ---- Literature baselines --------------------------------------------------
 
-Graph BuildBiRealNet18(int input_hw = 224);
-Graph BuildBinaryAlexNet(int input_hw = 224);
-Graph BuildXnorNet(int input_hw = 224);
-Graph BuildBinaryResNetE18(int input_hw = 224);
-Graph BuildBinaryDenseNet28(int input_hw = 224);
-Graph BuildBinaryDenseNet37(int input_hw = 224);
-Graph BuildBinaryDenseNet45(int input_hw = 224);
-Graph BuildMeliusNet22(int input_hw = 224);
-Graph BuildMeliusNet29(int input_hw = 224);
-Graph BuildRealToBinaryNet(int input_hw = 224);
-Graph BuildReActNetA(int input_hw = 224);
+Graph BuildBiRealNet18(int input_hw = kZooDefaultInputHw);
+Graph BuildBinaryAlexNet(int input_hw = kZooDefaultInputHw);
+Graph BuildXnorNet(int input_hw = kZooDefaultInputHw);
+Graph BuildBinaryResNetE18(int input_hw = kZooDefaultInputHw);
+Graph BuildBinaryDenseNet28(int input_hw = kZooDefaultInputHw);
+Graph BuildBinaryDenseNet37(int input_hw = kZooDefaultInputHw);
+Graph BuildBinaryDenseNet45(int input_hw = kZooDefaultInputHw);
+Graph BuildMeliusNet22(int input_hw = kZooDefaultInputHw);
+Graph BuildMeliusNet29(int input_hw = kZooDefaultInputHw);
+Graph BuildRealToBinaryNet(int input_hw = kZooDefaultInputHw);
+Graph BuildReActNetA(int input_hw = kZooDefaultInputHw);
 
 // ---- Shortcut-ablation ResNet18 variants (Figures 8 and 9) -----------------
 
@@ -58,11 +72,11 @@ enum class ShortcutMode {
   kNone = 2,          // (C) no shortcuts anywhere
 };
 
-Graph BuildBinarizedResNet18(ShortcutMode mode, int input_hw = 224);
+Graph BuildBinarizedResNet18(ShortcutMode mode, int input_hw = kZooDefaultInputHw);
 
 // Full-precision ResNet18 (float baseline for the precision-comparison
 // experiments; also the PTQ int8 source model).
-Graph BuildFloatResNet18(int input_hw = 224);
+Graph BuildFloatResNet18(int input_hw = kZooDefaultInputHw);
 
 // ---- Registry ---------------------------------------------------------------
 

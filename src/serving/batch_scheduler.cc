@@ -47,23 +47,28 @@ Status BatchScheduler::TryEnqueue(BatchItem item, int* depth_at_admit) {
 std::int64_t BatchScheduler::CloseDeadlineNs() const {
   // Timeout close: the oldest member bounds how long the batch stays open.
   // A zero timeout makes this instant `enqueue_ns` itself, i.e. "close
-  // with whatever is here" -- opportunistic batching.
+  // with whatever is here" -- opportunistic batching. The head item always
+  // belongs to the closing batch (batches form around the head's shape
+  // key), so its enqueue time is the right timeout anchor.
   std::int64_t close =
       static_cast<std::int64_t>(queue_.front().enqueue_ns) +
       options_.batch_timeout_ns;
   // Deadline-aware close: don't hold any *member of this batch* past the
   // last instant it could still start executing and make its deadline.
-  // Only the first max_batch_size items can be in the closing batch.
+  // Only the first max_batch_size head-key items can be in the closing
+  // batch; items under other shape keys wait for a later batch and do not
+  // tighten this one's close.
   std::int64_t est = 0;
   if (options_.execute_estimate_ns) {
     est = std::max<std::int64_t>(0, options_.execute_estimate_ns());
   }
-  const int n = std::min<int>(static_cast<int>(queue_.size()),
-                              options_.max_batch_size);
-  for (int i = 0; i < n; ++i) {
-    const std::int64_t d = queue_[static_cast<std::size_t>(i)].deadline_ns;
-    if (d == CancellationToken::kNoDeadline) continue;
-    close = std::min(close, d - est);
+  const int head_key = queue_.front().shape_key;
+  int members = 0;
+  for (const BatchItem& item : queue_) {
+    if (item.shape_key != head_key) continue;
+    if (members++ >= options_.max_batch_size) break;
+    if (item.deadline_ns == CancellationToken::kNoDeadline) continue;
+    close = std::min(close, item.deadline_ns - est);
   }
   return close;
 }
@@ -75,8 +80,15 @@ std::vector<BatchItem> BatchScheduler::NextBatch() {
     // Shutdown() drains the queue under the lock, so shutdown implies an
     // empty queue here; empty + awake means "exit".
     if (queue_.empty()) return {};
-    const bool full =
-        static_cast<int>(queue_.size()) >= options_.max_batch_size;
+    // The batch forms around the head item's shape key: count its
+    // compatible members across the whole queue (only same-key items can
+    // share the batch-N Invoke).
+    const int head_key = queue_.front().shape_key;
+    int matching = 0;
+    for (const BatchItem& item : queue_) {
+      if (item.shape_key == head_key) ++matching;
+    }
+    const bool full = matching >= options_.max_batch_size;
     std::int64_t close = 0;
     if (!full) {
       close = CloseDeadlineNs();
@@ -93,13 +105,19 @@ std::vector<BatchItem> BatchScheduler::NextBatch() {
     } else {
       ++closed_timeout_;
     }
-    const int n = std::min<int>(static_cast<int>(queue_.size()),
-                                options_.max_batch_size);
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<int>(matching, options_.max_batch_size));
     std::vector<BatchItem> batch;
-    batch.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    batch.reserve(n);
+    // Pop the head-key members in FIFO order; items under other shape keys
+    // keep their queue positions (and their FIFO order) for later batches.
+    for (auto it = queue_.begin(); it != queue_.end() && batch.size() < n;) {
+      if (it->shape_key == head_key) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
     }
     return batch;
   }

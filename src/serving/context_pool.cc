@@ -50,41 +50,77 @@ ContextPool::ContextPool(std::shared_ptr<const CompiledModel> model,
 ContextPool::ContextPool(
     std::vector<std::shared_ptr<const CompiledModel>> models, int capacity,
     ExecutionOptions options)
-    : models_(std::move(models)),
-      capacity_(capacity),
-      options_(std::move(options)) {
-  LCE_CHECK(!models_.empty() && "ContextPool requires at least one model");
-  for (std::size_t i = 0; i < models_.size(); ++i) {
-    LCE_CHECK(models_[i] != nullptr && "ContextPool requires compiled models");
-    for (std::size_t j = 0; j < i; ++j) {
-      LCE_CHECK(models_[i]->batch() != models_[j]->batch() &&
-                "duplicate batch size among pool models");
-    }
-  }
+    : capacity_(capacity), options_(std::move(options)) {
+  LCE_CHECK(!models.empty() && "ContextPool requires at least one model");
   LCE_CHECK_GT(capacity_, 0);
-  free_.resize(models_.size());
+  AddModels(std::move(models));
 }
 
-int ContextPool::VariantIndex(int batch) const {
+void ContextPool::AddModels(
+    std::vector<std::shared_ptr<const CompiledModel>> models) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& m : models) {
+    LCE_CHECK(m != nullptr && "ContextPool requires compiled models");
+    if (ModelIndexLocked(m.get()) >= 0 ||
+        VariantIndexLocked(m->shape_bucket_hw(), m->batch()) >= 0) {
+      continue;  // key already registered
+    }
+    models_.push_back(std::move(m));
+    free_.emplace_back();
+  }
+}
+
+int ContextPool::VariantIndexLocked(int shape_hw, int batch) const {
   for (std::size_t i = 0; i < models_.size(); ++i) {
-    if (models_[i]->batch() == batch) return static_cast<int>(i);
+    if (models_[i]->shape_bucket_hw() == shape_hw &&
+        models_[i]->batch() == batch) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ContextPool::ModelIndexLocked(const CompiledModel* model) const {
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (models_[i].get() == model) return static_cast<int>(i);
   }
   return -1;
 }
 
 Status ContextPool::Acquire(std::unique_ptr<ExecutionContext>* out) {
-  return Acquire(models_.front()->batch(), out);
+  int shape_hw = 0, batch = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shape_hw = models_.front()->shape_bucket_hw();
+    batch = models_.front()->batch();
+  }
+  return Acquire(shape_hw, batch, out);
 }
 
 Status ContextPool::Acquire(int batch, std::unique_ptr<ExecutionContext>* out) {
-  LCE_CHECK(out != nullptr);
-  const int idx = VariantIndex(batch);
-  if (idx < 0) {
-    return Status::InvalidArgument("no compiled variant for batch " +
-                                   std::to_string(batch));
-  }
+  int shape_hw = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    shape_hw = models_.front()->shape_bucket_hw();
+  }
+  return Acquire(shape_hw, batch, out);
+}
+
+Status ContextPool::Acquire(int shape_hw, int batch,
+                            std::unique_ptr<ExecutionContext>* out) {
+  LCE_CHECK(out != nullptr);
+  std::shared_ptr<const CompiledModel> model;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int idx = VariantIndexLocked(shape_hw, batch);
+    if (idx < 0) {
+      // A miss is an InvalidArgument, never a fallback to a "close" variant:
+      // handing out a context whose arena was planned for another
+      // resolution or lane count would read/write through the wrong offsets.
+      return Status::InvalidArgument(
+          "no compiled variant for shape bucket " + std::to_string(shape_hw) +
+          ", batch " + std::to_string(batch));
+    }
     auto& free_list = free_[static_cast<std::size_t>(idx)];
     if (!free_list.empty()) {
       *out = std::move(free_list.back());
@@ -100,8 +136,10 @@ Status ContextPool::Acquire(int batch, std::unique_ptr<ExecutionContext>* out) {
     }
     // The capacity bound covers parked contexts too (resident arenas ==
     // outstanding + pooled <= capacity). When every idle slot is parked
-    // under a different batch size, evict one: the arena mix follows the
-    // batch sizes actually being requested.
+    // under a different variant, evict one: the arena mix follows the
+    // (resolution, batch) keys actually being requested, which is what
+    // keeps resident arena bytes at the cross-bucket high-water mark
+    // instead of the per-bucket sum.
     int resident = outstanding_;
     for (const auto& fl : free_) resident += static_cast<int>(fl.size());
     if (resident >= capacity_) {
@@ -115,11 +153,11 @@ Status ContextPool::Acquire(int batch, std::unique_ptr<ExecutionContext>* out) {
       }
     }
     ++outstanding_;  // reserve the slot while constructing outside the lock
+    model = models_[static_cast<std::size_t>(idx)];
   }
   // Construction (one arena allocation) happens outside the pool lock so a
   // slow or failing allocation never blocks concurrent Release/Acquire.
-  auto ctx = std::make_unique<ExecutionContext>(
-      models_[static_cast<std::size_t>(idx)], options_);
+  auto ctx = std::make_unique<ExecutionContext>(std::move(model), options_);
   if (!ctx->allocation_ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     --outstanding_;
@@ -134,8 +172,6 @@ Status ContextPool::Acquire(int batch, std::unique_ptr<ExecutionContext>* out) {
 void ContextPool::Release(std::unique_ptr<ExecutionContext> ctx,
                           const Status& invoke_status) {
   LCE_CHECK(ctx != nullptr);
-  const int idx = VariantIndex(ctx->model().batch());
-  LCE_CHECK(idx >= 0 && "released context does not belong to this pool");
   bool quarantine = false;
   if (!invoke_status.ok()) {
     // Poisoned run: the arena (and possibly the gemm scratch) holds the
@@ -143,17 +179,24 @@ void ContextPool::Release(std::unique_ptr<ExecutionContext> ctx,
     // context; a later Acquire builds a replacement from scratch.
     QuarantinedTotal()->Add(1);
     quarantine = true;
-    ctx.reset();
   } else {
     // Reset-on-return: zeroed arena + cleared profile makes the pooled
     // context bit-identical (as observable state) to a fresh one.
     ctx->Reset();
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // Resolve the owning variant by model identity, not by key: identity
+  // lookup cannot be confused by variants that happen to share a key
+  // dimension, so the context always returns to exactly the free list it
+  // came from.
+  const int idx = ModelIndexLocked(&ctx->model());
+  LCE_CHECK(idx >= 0 && "released context does not belong to this pool");
   --outstanding_;
   LCE_CHECK_GE(outstanding_, 0);
-  if (quarantine) ++quarantined_;
-  if (ctx != nullptr) {
+  if (quarantine) {
+    ++quarantined_;
+    ctx.reset();
+  } else {
     free_[static_cast<std::size_t>(idx)].push_back(std::move(ctx));
   }
 }

@@ -23,16 +23,26 @@
 //                   reused, and its slot is replenished lazily by a later
 //                   Acquire. `serving.pool.quarantined_total` counts these.
 //
-// BATCH VARIANTS. The pool can serve several sibling CompiledModels at
-// once -- one per batch size, sharing packed weights (see
-// CompiledModel::CompileBatchVariant). Acquire(batch) hands out a context
-// for the variant with that batch. The `capacity` bound covers contexts
-// of *all* variants together: checked-out plus parked contexts never
-// exceed capacity, so resident arena bytes stay bounded by
-// capacity * max-variant-arena regardless of how batch sizes mix. When
-// the bound forces it, an idle context of another batch size is evicted
-// (destroyed, `serving.pool.evicted_total`) to make room -- the pool
-// adapts its resident mix to the batch sizes actually being served.
+// VARIANTS. The pool can serve several sibling CompiledModels at once,
+// sharing one set of packed weights: batch variants
+// (CompiledModel::CompileBatchVariant) and shape buckets
+// (CompiledModel::CompileShapeVariant) in any combination. Each registered
+// model is keyed by (shape bucket, batch) -- Acquire(shape_hw, batch)
+// selects by that pair, so a context's arena always matches both the
+// resolution and the lane count of the work it receives; batch-size-only
+// lookup would hand a 96 px request a 224 px arena the moment two buckets
+// share a batch size. Release() resolves the variant by model identity,
+// which stays correct however many key dimensions variants grow.
+//
+// The `capacity` bound covers contexts of *all* variants together:
+// checked-out plus parked contexts never exceed capacity, so resident
+// arena bytes stay bounded by capacity * max-variant-arena regardless of
+// how resolutions and batch sizes mix. When the bound forces it, an idle
+// context of another variant is evicted (destroyed,
+// `serving.pool.evicted_total`) to make room -- the pool adapts its
+// resident mix to the traffic actually being served, which is what
+// realizes the cross-bucket arena high-water reuse that
+// PlanCrossBucketArena accounts for.
 #ifndef LCE_SERVING_CONTEXT_POOL_H_
 #define LCE_SERVING_CONTEXT_POOL_H_
 
@@ -52,26 +62,39 @@ class ContextPool {
   ContextPool(std::shared_ptr<const CompiledModel> model, int capacity,
               ExecutionOptions options = {});
   // Multi-variant pool: `models[i]` are sibling compilations of one model
-  // at distinct batch sizes (each non-null, batches unique). Acquire(batch)
-  // selects by CompiledModel::batch().
+  // (each non-null, (shape bucket, batch) pairs unique). Acquire selects by
+  // CompiledModel::shape_bucket_hw() and CompiledModel::batch().
   ContextPool(std::vector<std::shared_ptr<const CompiledModel>> models,
               int capacity, ExecutionOptions options = {});
 
   ContextPool(const ContextPool&) = delete;
   ContextPool& operator=(const ContextPool&) = delete;
 
-  // Hands out a batch-1 context for exactly one request. Fails with
-  // ResourceExhausted when every slot is checked out or when a replacement
-  // context's arena allocation fails (in which case nothing is leaked and a
-  // later Acquire retries the allocation).
+  // Registers additional sibling variants after construction (lazy shape
+  // buckets: the server compiles a bucket on first request for an unseen
+  // resolution, then registers its batch variants here). Models whose
+  // (shape bucket, batch) key is already registered are ignored. Does not
+  // change `capacity`; the new variants compete for the same slots.
+  void AddModels(std::vector<std::shared_ptr<const CompiledModel>> models);
+
+  // Hands out a context for the first registered model (batch-1 serving).
+  // Fails with ResourceExhausted when every slot is checked out or when a
+  // replacement context's arena allocation fails (in which case nothing is
+  // leaked and a later Acquire retries the allocation).
   Status Acquire(std::unique_ptr<ExecutionContext>* out);
-  // Same, for the variant serving `batch` lanes. InvalidArgument when no
-  // variant with that batch size was registered.
+  // Same, for the variant serving `batch` lanes in the first registered
+  // model's shape bucket (pre-shape-bucket call sites).
   Status Acquire(int batch, std::unique_ptr<ExecutionContext>* out);
+  // Same, for the variant serving `batch` lanes at resolution `shape_hw`.
+  // InvalidArgument when no variant with that (shape bucket, batch) key was
+  // registered -- a variant miss is an error, never a silently-wrong arena.
+  Status Acquire(int shape_hw, int batch,
+                 std::unique_ptr<ExecutionContext>* out);
 
   // Returns a context after a request. `invoke_status` is the request's
   // Invoke status -- Status::Ok() for a request that never invoked. The
-  // context goes back to its own variant's free list.
+  // context goes back to its own variant's free list (resolved by model
+  // identity).
   void Release(std::unique_ptr<ExecutionContext> ctx,
                const Status& invoke_status);
 
@@ -84,18 +107,23 @@ class ContextPool {
   // the process-wide serving.pool.quarantined_total counter; feeds
   // ServerStats::quarantined).
   std::int64_t quarantined() const;
-  // Idle contexts destroyed to make room for a different batch size.
+  // Idle contexts destroyed to make room for a different variant.
   std::int64_t evicted() const;
 
  private:
-  // Index into models_/free_ for the variant with this batch, or -1.
-  int VariantIndex(int batch) const;
+  // Index into models_/free_ for the (shape bucket, batch) key, or -1.
+  // Caller holds mu_.
+  int VariantIndexLocked(int shape_hw, int batch) const;
+  // Index of the variant `model` itself, or -1. Caller holds mu_.
+  int ModelIndexLocked(const CompiledModel* model) const;
 
-  const std::vector<std::shared_ptr<const CompiledModel>> models_;
   const int capacity_;
   const ExecutionOptions options_;
 
   mutable std::mutex mu_;
+  // Registered variants; grows via AddModels, never shrinks (free_ stays
+  // index-aligned).
+  std::vector<std::shared_ptr<const CompiledModel>> models_;
   // free_[i] parks idle contexts of models_[i].
   std::vector<std::vector<std::unique_ptr<ExecutionContext>>> free_;
   int outstanding_ = 0;

@@ -58,6 +58,12 @@ telemetry::Metric* BatchesExecutedTotal() {
   static telemetry::Metric* m = Counter("serving.batches_executed_total");
   return m;
 }
+// Shaped submits refused because their resolution could not be bucketed
+// (inadmissible, over the bucket cap, or lazy compile disabled).
+telemetry::Metric* ShapeRejectedTotal() {
+  static telemetry::Metric* m = Counter("serving.shape_rejected_total");
+  return m;
+}
 telemetry::Metric* QueueDepth() {
   static telemetry::Metric* m =
       telemetry::MetricsRegistry::Global().Gauge("serving.queue_depth");
@@ -100,6 +106,14 @@ telemetry::Histogram* BatchOccupancyHist() {
       telemetry::MetricsRegistry::Global().Histogram("serving.batch_occupancy");
   return h;
 }
+// Per-bucket occupancy: lanes per executed batch, split by the bucket the
+// batch ran in, so mixed-resolution traffic shows which resolutions batch
+// well ("serving.bucket.224.occupancy" etc.). Registry-owned, looked up by
+// name per batch (a map lookup; batches amortize it over their lanes).
+telemetry::Histogram* BucketOccupancyHist(int shape_hw) {
+  return telemetry::MetricsRegistry::Global().Histogram(
+      "serving.bucket." + std::to_string(shape_hw) + ".occupancy");
+}
 
 }  // namespace
 
@@ -118,6 +132,8 @@ std::string ServerStats::ToJson() const {
   out += "  \"failed\": " + std::to_string(failed) + ",\n";
   out += "  \"quarantined\": " + std::to_string(quarantined) + ",\n";
   out += "  \"batches_executed\": " + std::to_string(batches_executed) + ",\n";
+  out += "  \"shape_rejected\": " + std::to_string(shape_rejected) + ",\n";
+  out += "  \"shape_buckets\": " + std::to_string(shape_buckets) + ",\n";
   out += "  \"queue_depth\": " + std::to_string(queue_depth) + ",\n";
   out += "  \"queue_depth_peak\": " + std::to_string(queue_depth_peak) + ",\n";
   out += "  \"next_request_id\": " + std::to_string(next_request_id) + ",\n";
@@ -156,22 +172,46 @@ void Request::Complete(Status status) {
 }
 
 std::vector<std::shared_ptr<const CompiledModel>> Server::BuildModelSet(
-    std::shared_ptr<const CompiledModel> model, const ServerOptions& options) {
+    const std::shared_ptr<const CompiledModel>& model,
+    const ServerOptions& options) {
+  // The startup bucket set: the base resolution, buckets already on the
+  // model's registry (CompileOptions::input_resolutions), and the server's
+  // own configured resolutions.
+  std::vector<int> resolutions = model->ShapeBucketResolutions();
+  resolutions.insert(resolutions.end(), options.input_resolutions.begin(),
+                     options.input_resolutions.end());
+  std::sort(resolutions.begin(), resolutions.end());
+  resolutions.erase(std::unique(resolutions.begin(), resolutions.end()),
+                    resolutions.end());
+
   std::vector<std::shared_ptr<const CompiledModel>> models;
-  models.push_back(model);
-  // One weight-sharing sibling per servable batch size. Compilation cost
-  // is geometry-only (packed weights are shared, the resident-weights
-  // gauge does not move); a model whose outputs cannot carry a batch
-  // dimension is a configuration error, caught here at startup.
-  for (int n = 2; n <= options.max_batch_size; ++n) {
-    std::shared_ptr<const CompiledModel> variant;
-    const Status st = CompiledModel::CompileBatchVariant(model, n, &variant);
+  for (const int hw : resolutions) {
+    std::shared_ptr<const CompiledModel> bucket;
+    Status st = CompiledModel::GetOrCompileShapeBucket(model, hw, &bucket);
     if (!st.ok()) {
-      std::fprintf(stderr, "[lce] batch-%d variant compilation failed: %s\n",
-                   n, st.message().c_str());
-      LCE_CHECK(st.ok() && "max_batch_size > 1 requires a batchable model");
+      std::fprintf(stderr,
+                   "[lce] shape bucket %d px compilation failed: %s\n", hw,
+                   st.message().c_str());
+      LCE_CHECK(st.ok() &&
+                "ServerOptions::input_resolutions requires admissible "
+                "resolutions");
     }
-    models.push_back(std::move(variant));
+    models.push_back(bucket);
+    // One weight-sharing sibling per servable batch size, per bucket.
+    // Compilation cost is geometry-only (packed weights are shared, the
+    // resident-weights gauge does not move); a model whose outputs cannot
+    // carry a batch dimension is a configuration error, caught here at
+    // startup.
+    for (int n = 2; n <= options.max_batch_size; ++n) {
+      std::shared_ptr<const CompiledModel> variant;
+      st = CompiledModel::CompileBatchVariant(bucket, n, &variant);
+      if (!st.ok()) {
+        std::fprintf(stderr, "[lce] batch-%d variant compilation failed: %s\n",
+                     n, st.message().c_str());
+        LCE_CHECK(st.ok() && "max_batch_size > 1 requires a batchable model");
+      }
+      models.push_back(std::move(variant));
+    }
   }
   return models;
 }
@@ -194,12 +234,17 @@ BatchScheduler::Options Server::SchedulerOptions(const ServerOptions& options) {
 Server::Server(std::shared_ptr<const CompiledModel> model,
                ServerOptions options)
     : options_(std::move(options)),
-      pool_(BuildModelSet(std::move(model), options_),
+      base_model_(std::move(model)),
+      pool_(BuildModelSet(base_model_, options_),
             std::max(1, options_.max_inflight), options_.execution),
       recorder_(options_.flight_recorder),
       scheduler_(SchedulerOptions(options_)) {
   LCE_CHECK_GT(options_.max_queue_depth, 0);
   LCE_CHECK_GE(options_.max_batch_size, 1);
+  // BuildModelSet registered every startup bucket on the model's registry;
+  // mirror them here so shaped submits route without touching the compile
+  // path.
+  registered_buckets_ = base_model_->ShapeBucketResolutions();
   const int executors = std::max(1, options_.max_inflight);
   executors_.reserve(executors);
   for (int i = 0; i < executors; ++i) {
@@ -235,6 +280,57 @@ Server::~Server() {
 
 std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
                                         std::chrono::nanoseconds deadline) {
+  return Submit(0, std::move(fill), std::move(done), deadline);
+}
+
+Status Server::ResolveShapeBucket(int input_hw, int* shape_key) {
+  if (input_hw == 0 || input_hw == base_model_->input_hw()) {
+    *shape_key = base_model_->input_hw();
+    return Status::Ok();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shape_mu_);
+    if (std::find(registered_buckets_.begin(), registered_buckets_.end(),
+                  input_hw) != registered_buckets_.end()) {
+      *shape_key = input_hw;
+      return Status::Ok();
+    }
+  }
+  if (!options_.lazy_shape_compile) {
+    return Status::InvalidArgument(
+        "no pre-compiled shape bucket for resolution " +
+        std::to_string(input_hw) + " and lazy shape compilation is disabled");
+  }
+  // First request for an unseen resolution pays the bucket compile (O(IR),
+  // no weight packing). The model's registry dedups the bucket under
+  // concurrent first requests; the pool ignores duplicate (bucket, batch)
+  // keys, so the worst case for a race is a redundant batch-variant
+  // compile whose result is dropped.
+  std::shared_ptr<const CompiledModel> bucket;
+  LCE_RETURN_IF_ERROR(
+      CompiledModel::GetOrCompileShapeBucket(base_model_, input_hw, &bucket));
+  std::vector<std::shared_ptr<const CompiledModel>> add;
+  add.push_back(bucket);
+  for (int n = 2; n <= options_.max_batch_size; ++n) {
+    std::shared_ptr<const CompiledModel> variant;
+    LCE_RETURN_IF_ERROR(CompiledModel::CompileBatchVariant(bucket, n,
+                                                           &variant));
+    add.push_back(std::move(variant));
+  }
+  pool_.AddModels(std::move(add));
+  {
+    std::lock_guard<std::mutex> lock(shape_mu_);
+    if (std::find(registered_buckets_.begin(), registered_buckets_.end(),
+                  input_hw) == registered_buckets_.end()) {
+      registered_buckets_.push_back(input_hw);
+    }
+  }
+  *shape_key = input_hw;
+  return Status::Ok();
+}
+
+std::shared_ptr<Request> Server::Submit(int input_hw, FillFn fill, DoneFn done,
+                                        std::chrono::nanoseconds deadline) {
   auto req = std::make_shared<Request>();
   req->fill_ = std::move(fill);
   req->done_fn_ = std::move(done);
@@ -259,6 +355,23 @@ std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
       deadline.count() > 0 ? deadline : options_.default_deadline;
   if (budget.count() > 0) req->token_.set_deadline_after(budget);
 
+  // Shape routing before admission: a resolution the server cannot bucket
+  // is refused here -- synchronously, like any other shed -- so nothing
+  // unservable ever occupies a queue slot. On the lazy path this is also
+  // where a first-seen resolution pays its one-time bucket compile.
+  int shape_key = 0;
+  {
+    const Status shape_st = ResolveShapeBucket(input_hw, &shape_key);
+    if (!shape_st.ok()) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      shape_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ShapeRejectedTotal()->Add(1);
+      recorder_.OnShed(req->id_);
+      Finish(req, shape_st, nullptr, /*admitted=*/false);
+      return req;
+    }
+  }
+
   // Admission control: the queue is the only elastic state in the server,
   // and it is bounded (the scheduler refuses beyond max_queue_depth).
   // Shedding here -- synchronously, before any allocation -- is what keeps
@@ -267,6 +380,7 @@ std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
   item.request = req;
   item.enqueue_ns = req->enqueue_ns_;
   item.deadline_ns = req->token_.deadline_ns();
+  item.shape_key = shape_key;  // batches never mix shape buckets
   // TryEnqueue PUBLISHES the request: the instant it returns, an executor
   // may already be running (or finishing) this request on another thread,
   // so no request state may be written here-after. The depth at admit
@@ -297,6 +411,11 @@ std::shared_ptr<Request> Server::Submit(FillFn fill, DoneFn done,
 
 Status Server::Infer(FillFn fill, FillFn consume,
                      std::chrono::nanoseconds deadline) {
+  return Infer(0, std::move(fill), std::move(consume), deadline);
+}
+
+Status Server::Infer(int input_hw, FillFn fill, FillFn consume,
+                     std::chrono::nanoseconds deadline) {
   DoneFn done;
   if (consume) {
     done = [consume = std::move(consume)](const Status& s,
@@ -304,7 +423,7 @@ Status Server::Infer(FillFn fill, FillFn consume,
       if (s.ok() && ctx != nullptr) consume(*ctx);
     };
   }
-  return Submit(std::move(fill), std::move(done), deadline)->Wait();
+  return Submit(input_hw, std::move(fill), std::move(done), deadline)->Wait();
 }
 
 int Server::queue_depth() const { return scheduler_.depth(); }
@@ -322,6 +441,11 @@ ServerStats Server::StatsSnapshot() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.quarantined = pool_.quarantined();
   s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  s.shape_rejected = shape_rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shape_mu_);
+    s.shape_buckets = static_cast<int>(registered_buckets_.size());
+  }
   s.queue_depth = queue_depth();
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   s.next_request_id = next_request_id_.load(std::memory_order_relaxed);
@@ -343,6 +467,9 @@ void Server::ExecutorLoop() {
 
 void Server::ExecuteBatch(std::vector<BatchItem> batch) {
   const std::uint64_t dequeue_ns = telemetry::NowNanos();
+  // The scheduler only closes same-key batches, so the head item's shape
+  // key is every lane's bucket.
+  const int shape_hw = batch.front().shape_key;
   // Per-lane queue-wait bookkeeping, then the expired-in-queue filter: a
   // lane whose token fired while queued is completed without ever touching
   // a context, and -- the batching contract -- its eviction shrinks the
@@ -378,7 +505,7 @@ void Server::ExecuteBatch(std::vector<BatchItem> batch) {
   const int n = static_cast<int>(lanes.size());
 
   std::unique_ptr<ExecutionContext> ctx;
-  Status st = pool_.Acquire(n, &ctx);
+  Status st = pool_.Acquire(shape_hw, n, &ctx);
   if (!st.ok()) {
     // Pool capacity equals the executor count, so this only fires when a
     // replacement context's arena allocation failed -- shed the batch and
@@ -444,6 +571,7 @@ void Server::ExecuteBatch(std::vector<BatchItem> batch) {
   batches_executed_.fetch_add(1, std::memory_order_relaxed);
   BatchesExecutedTotal()->Add(1);
   BatchOccupancyHist()->Record(n);
+  BucketOccupancyHist(shape_hw)->Record(n);
 
   // Gather + per-lane outcome classification. Execute time and the e2e
   // latency are recorded per admitted lane (their histogram counts stay

@@ -34,6 +34,19 @@
 //     batched tensors, and one lane's expiry or cancellation evicts only
 //     that lane's result, never its batchmates'.
 //
+//   * RESOLUTIONS ARE BUCKETED (docs/SERVING.md, "Multi-resolution
+//     serving"). The shaped Submit/Infer overloads route a request to the
+//     shape bucket for its square input resolution: a weight-sharing
+//     CompiledModel sibling compiled for that resolution, pre-built from
+//     ServerOptions::input_resolutions or compiled lazily on the first
+//     request for an unseen admissible resolution. Batches never mix
+//     buckets (the scheduler keys on the bucket), contexts are pooled per
+//     (bucket, batch) so a request can never execute against an arena
+//     planned for another resolution, and packed weights stay flat however
+//     many buckets are live. A resolution the model cannot serve is
+//     rejected at submit time (InvalidArgument / ResourceExhausted, counted
+//     in `shed` and serving.shape_rejected_total), never executed wrong.
+//
 // One Server owns `max_inflight` executor threads. Submit() never blocks;
 // Infer() is the blocking convenience wrapper. Each executor drains the
 // admission queue in FIFO order, so queue wait is measurable and fair.
@@ -82,6 +95,19 @@ struct ServerOptions {
   // member misses its deadline waiting (see serving/batch_scheduler.h).
   // Zero = opportunistic batching (batch whatever is queued, never wait).
   std::chrono::nanoseconds batch_timeout{0};
+  // Multi-resolution serving: square input resolutions to pre-compile as
+  // shape buckets at construction (each with its own batch variants up to
+  // max_batch_size). The base model's own resolution is always served;
+  // resolutions already registered on the model (CompileOptions::
+  // input_resolutions) are picked up automatically. An inadmissible entry
+  // is a configuration error, caught at construction.
+  std::vector<int> input_resolutions;
+  // Whether a shaped Submit for a resolution with no pre-built bucket may
+  // compile one on the fly (bounded by ResourceLimits::max_shape_buckets).
+  // When false, unseen resolutions are rejected with InvalidArgument --
+  // the fixed-latency-budget configuration: no request ever pays a
+  // compile.
+  bool lazy_shape_compile = true;
   // Per-context execution options (profiling, observer).
   ExecutionOptions execution;
   // Periodic stats export (docs/OBSERVABILITY.md): every interval a
@@ -128,6 +154,12 @@ struct ServerStats {
   // Batch-N Invokes this server ran (each covers >= 1 admitted lanes;
   // sum(batch_occupancy) over this server's batches == lanes executed).
   std::int64_t batches_executed = 0;
+  // Shaped submits refused because their resolution could not be bucketed
+  // (inadmissible shape, bucket cap, or lazy compile disabled). A subset of
+  // `shed` -- the invariants above already cover these.
+  std::int64_t shape_rejected = 0;
+  // Shape buckets this server can currently route to (base included).
+  int shape_buckets = 0;
   int queue_depth = 0;
   int queue_depth_peak = 0;
   std::int64_t next_request_id = 0;  // ids assigned so far + 1
@@ -239,9 +271,24 @@ class Server {
       FillFn fill, DoneFn done = nullptr,
       std::chrono::nanoseconds deadline = std::chrono::nanoseconds{0});
 
+  // Shaped submission (multi-resolution serving): routes the request to the
+  // shape bucket for square resolution `input_hw`; `fill` then sees a
+  // context whose input tensor is [1, input_hw, input_hw, C]. 0 means the
+  // base bucket (identical to the unshaped overload). An unseen resolution
+  // is compiled on first use when ServerOptions::lazy_shape_compile allows,
+  // otherwise -- or when the resolution is inadmissible or the bucket cap
+  // is reached -- the returned handle is already terminal with the
+  // rejection status.
+  std::shared_ptr<Request> Submit(
+      int input_hw, FillFn fill, DoneFn done = nullptr,
+      std::chrono::nanoseconds deadline = std::chrono::nanoseconds{0});
+
   // Blocking convenience wrapper: Submit + Wait. `consume` (optional) reads
   // the outputs on the executor thread when the request succeeds.
   Status Infer(FillFn fill, FillFn consume = nullptr,
+               std::chrono::nanoseconds deadline = std::chrono::nanoseconds{0});
+  // Shaped blocking wrapper; see the shaped Submit.
+  Status Infer(int input_hw, FillFn fill, FillFn consume = nullptr,
                std::chrono::nanoseconds deadline = std::chrono::nanoseconds{0});
 
   // Requests currently waiting for an executor.
@@ -259,11 +306,20 @@ class Server {
   FlightRecorder& flight_recorder() { return recorder_; }
 
  private:
-  // Compiles the weight-sharing batch variants [2, max_batch_size] next to
-  // the base model (LCE_CHECK-fails for an unbatchable model).
+  // Compiles the startup model set: every shape bucket (the base, buckets
+  // already on the model's registry, and ServerOptions::input_resolutions)
+  // with its weight-sharing batch variants [2, max_batch_size]
+  // (LCE_CHECK-fails for an unbatchable model or an inadmissible
+  // configured resolution).
   static std::vector<std::shared_ptr<const CompiledModel>> BuildModelSet(
-      std::shared_ptr<const CompiledModel> model, const ServerOptions& options);
+      const std::shared_ptr<const CompiledModel>& model,
+      const ServerOptions& options);
   static BatchScheduler::Options SchedulerOptions(const ServerOptions& options);
+
+  // Maps `input_hw` to its bucket's shape key, compiling and registering
+  // the bucket (and its batch variants) on first use when allowed. The
+  // rejection status is the submit-time answer for unservable resolutions.
+  Status ResolveShapeBucket(int input_hw, int* shape_key);
 
   void ExecutorLoop();
   // One closed batch: queue-wait bookkeeping + expired-lane filtering,
@@ -276,12 +332,23 @@ class Server {
               ExecutionContext* ctx, bool admitted);
 
   const ServerOptions options_;
+  // The root model; kept for lazy shape-bucket compilation (buckets
+  // register on its registry and share its packed weights).
+  const std::shared_ptr<const CompiledModel> base_model_;
   ContextPool pool_;
   FlightRecorder recorder_;
   // Owns the admission queue; executors block in scheduler_.NextBatch().
   BatchScheduler scheduler_;
 
   std::vector<std::thread> executors_;
+
+  // Buckets this server can already route to (their batch variants are in
+  // the pool). A resolution absent here on a shaped Submit takes the lazy
+  // compile path; concurrent first requests may both compile (the model's
+  // registry dedups the bucket, the pool dedups registration) but register
+  // once.
+  mutable std::mutex shape_mu_;
+  std::vector<int> registered_buckets_;
 
   // Stats exporter thread state (separate mutex: the exporter must never
   // contend with the admission path).
@@ -302,6 +369,7 @@ class Server {
   std::atomic<std::int64_t> cancelled_{0};
   std::atomic<std::int64_t> failed_{0};
   std::atomic<std::int64_t> batches_executed_{0};
+  std::atomic<std::int64_t> shape_rejected_{0};
   std::atomic<int> queue_depth_peak_{0};
 };
 

@@ -2,6 +2,7 @@
 // reuse of freed space, alignment.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -97,6 +98,34 @@ TEST(MemoryPlanner, EmptyRequestList) {
   const auto placements = PlanMemory({}, 64, &arena);
   EXPECT_TRUE(placements.empty());
   EXPECT_EQ(arena, 0u);
+}
+
+// ---- Cross-bucket arena accounting (shape-bucketed compilation) ------------
+
+TEST(MemoryPlanner, CrossBucketArenaHighWaterAndSum) {
+  const CrossBucketArena acc = PlanCrossBucketArena({100, 400, 250});
+  EXPECT_EQ(acc.high_water, 400u)
+      << "rebuilding contexts across buckets costs the largest arena only";
+  EXPECT_EQ(acc.unshared_sum, 750u)
+      << "keeping every bucket resident costs the sum";
+}
+
+TEST(MemoryPlanner, CrossBucketArenaEmptyAndSingle) {
+  const CrossBucketArena none = PlanCrossBucketArena({});
+  EXPECT_EQ(none.high_water, 0u);
+  EXPECT_EQ(none.unshared_sum, 0u);
+  const CrossBucketArena one = PlanCrossBucketArena({1234});
+  EXPECT_EQ(one.high_water, 1234u);
+  EXPECT_EQ(one.unshared_sum, 1234u)
+      << "one bucket: reuse saves nothing, accounting must agree";
+}
+
+TEST(MemoryPlanner, CrossBucketArenaSumSaturatesOnOverflow) {
+  const std::size_t big = std::numeric_limits<std::size_t>::max() - 10;
+  const CrossBucketArena acc = PlanCrossBucketArena({big, 100, 100});
+  EXPECT_EQ(acc.high_water, big);
+  EXPECT_EQ(acc.unshared_sum, std::numeric_limits<std::size_t>::max())
+      << "the unshared sum must saturate, never wrap";
 }
 
 }  // namespace

@@ -321,5 +321,82 @@ TEST(Validator, PrepareEnforcesArenaLimit) {
   EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
 }
 
+// ---- Shape-bucket request validation ---------------------------------------
+// The shape-bucket surface is client-reachable (a shaped Submit names an
+// arbitrary resolution), so it gets the same hostile-fixture treatment as
+// the untrusted-model path: nonsense shapes -> kInvalidArgument, over-limit
+// ones -> kResourceExhausted, never an abort or a wrapped size.
+
+TEST(Validator, ShapeBucketAcceptsLegitimateResolutions) {
+  const Graph g = SmallModel();
+  for (const int hw : {1, 8, 96, 224, 320, 4096}) {
+    const Status s = ValidateShapeBucketRequest(g, hw);
+    EXPECT_TRUE(s.ok()) << "hw=" << hw << ": " << s.message();
+  }
+}
+
+TEST(Validator, ShapeBucketRejectsZeroAndNegativeResolutions) {
+  const Graph g = SmallModel();
+  for (const int hw : {0, -1, -224, std::numeric_limits<int>::min()}) {
+    EXPECT_EQ(ValidateShapeBucketRequest(g, hw).code(),
+              StatusCode::kInvalidArgument)
+        << "hw=" << hw;
+  }
+}
+
+TEST(Validator, ShapeBucketRejectsOverLimitResolutions) {
+  const Graph g = SmallModel();
+  // Past max_input_hw (default 4096) and at int max, where hw*hw would
+  // overflow 32-bit math: both must be clean kResourceExhausted (the cap
+  // fires before the overflow check can matter).
+  for (const int hw : {4097, 1 << 20, std::numeric_limits<int>::max()}) {
+    EXPECT_EQ(ValidateShapeBucketRequest(g, hw).code(),
+              StatusCode::kResourceExhausted)
+        << "hw=" << hw;
+  }
+  // With the resolution cap lifted, the per-tensor element cap still
+  // bounds the resized input tensor.
+  ResourceLimits generous = ResourceLimits::Unlimited();
+  generous.max_tensor_elements = 1 << 20;
+  EXPECT_EQ(ValidateShapeBucketRequest(g, 1 << 15, generous).code(),
+            StatusCode::kResourceExhausted)
+      << "3 * (32768^2) elements must trip the tensor cap";
+  // And a resolution whose square overflows int64 is rejected (not UB)
+  // even with every limit at int64 max.
+  EXPECT_FALSE(ValidateShapeBucketRequest(g, std::numeric_limits<int>::max(),
+                                          ResourceLimits::Unlimited())
+                   .ok());
+}
+
+TEST(Validator, ShapeBucketRequiresImageShapedBatch1Inputs) {
+  Graph vec;
+  const int x = vec.AddInput("x", DataType::kFloat32, Shape{1, 10});
+  vec.MarkOutput(x);
+  EXPECT_EQ(ValidateShapeBucketRequest(vec, 32).code(),
+            StatusCode::kInvalidArgument);
+
+  Graph batched;
+  const int y =
+      batched.AddInput("y", DataType::kFloat32, Shape{2, 16, 16, 3});
+  batched.MarkOutput(y);
+  EXPECT_EQ(ValidateShapeBucketRequest(batched, 32).code(),
+            StatusCode::kInvalidArgument)
+      << "buckets are batch-1 by construction; batch-N comes from "
+         "CompileBatchVariant on top";
+}
+
+TEST(Validator, ShapeBucketAbsurdBucketCountIsCappedByTheRegistry) {
+  // The validator checks one request; the bucket-count cap lives in
+  // CompiledModel's registry. An absurd max_shape_buckets setting must
+  // still leave per-request validation intact.
+  const Graph g = SmallModel();
+  ResourceLimits limits;
+  limits.max_shape_buckets = std::numeric_limits<std::int64_t>::max();
+  EXPECT_TRUE(ValidateShapeBucketRequest(g, 64, limits).ok());
+  limits.max_shape_buckets = 0;
+  EXPECT_TRUE(ValidateShapeBucketRequest(g, 64, limits).ok())
+      << "the per-request check is count-independent by design";
+}
+
 }  // namespace
 }  // namespace lce
